@@ -1,0 +1,76 @@
+"""Benchmark-suite fixtures and result reporting.
+
+Every benchmark regenerates one paper table/figure and registers its
+rendered rows/series through the ``report`` fixture; the terminal summary
+prints them all after the timing table, and a copy lands in
+``benchmarks/output/`` so ``bench_output.txt`` runs are self-contained.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SEEDS``      number of seeds for town runs (default 2)
+``REPRO_BENCH_DURATION``   seconds of simulated driving per trial (default 600)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+_REPORTS: Dict[str, str] = {}
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_seeds() -> tuple:
+    return tuple(range(int(os.environ.get("REPRO_BENCH_SEEDS", "2"))))
+
+
+def bench_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", "600"))
+
+
+@pytest.fixture
+def report():
+    """Register a rendered experiment output under a label."""
+
+    def _register(label: str, text: str) -> None:
+        _REPORTS[label] = text
+        _OUTPUT_DIR.mkdir(exist_ok=True)
+        safe = label.replace("/", "_").replace(" ", "_").lower()
+        (_OUTPUT_DIR / f"{safe}.txt").write_text(text + "\n")
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper tables & figures (reproduced)")
+    for label in sorted(_REPORTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"===== {label} =====")
+        for line in _REPORTS[label].splitlines():
+            terminalreporter.write_line(line)
+
+
+# ----------------------------------------------------------------------
+# Expensive shared runs (session-scoped, computed once)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def town_suite():
+    """The Table 2 configuration drives, shared by Table 2/Figs 11-13/16-17."""
+    from repro.experiments.town_runs import run_configuration_suite
+
+    return run_configuration_suite(
+        seeds=bench_seeds(), duration_s=bench_duration(), include_cambridge=True
+    )
+
+
+@pytest.fixture(scope="session")
+def timeout_grid_results():
+    """The join-timeout grid shared by Table 3 and Figs 14/15."""
+    from repro.experiments.timeout_grid import run_grid
+
+    return run_grid(seeds=bench_seeds(), duration_s=min(bench_duration(), 420.0))

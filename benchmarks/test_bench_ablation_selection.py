@@ -1,0 +1,59 @@
+"""Ablation (Design Choice 2): utility-history AP selection vs RSSI/random.
+
+In a town where DHCP slowness is a persistent per-AP trait, the utility
+tracker learns to avoid slow joiners; RSSI-only and random selection keep
+paying for them.  The measured edge is join success per attempt and the
+resulting throughput.
+"""
+
+from dataclasses import replace
+
+from conftest import bench_duration, bench_seeds
+
+from repro.core.link_manager import SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.core.spider import SpiderClient
+from repro.experiments.common import run_town_trials
+
+
+def _factory(policy: str):
+    def make(sim, world, mobility):
+        config = replace(
+            SpiderConfig.spider_defaults(OperationMode.single_channel(1), 7),
+            selection_policy=policy,
+        )
+        return SpiderClient(sim, world, mobility, config, client_id="sel")
+
+    return make
+
+
+def test_bench_ablation_selection(benchmark, report):
+    def run():
+        results = {}
+        for policy in ("utility", "rssi", "random"):
+            metrics = run_town_trials(
+                _factory(policy),
+                policy,
+                seeds=bench_seeds(),
+                duration_s=max(bench_duration(), 600.0),
+            )
+            verified = sum(
+                sum(1 for a in t.join_log.attempts if a.verified)
+                for t in metrics.trials
+            )
+            attempts = sum(len(t.join_log.attempts) for t in metrics.trials)
+            results[policy] = (
+                metrics.average_throughput_kBps,
+                metrics.connectivity_pct,
+                verified / max(attempts, 1),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{policy:8s} tput={tput:7.1f} kB/s  conn={conn:5.1f}%  join-success={ok:.2f}"
+        for policy, (tput, conn, ok) in results.items()
+    ]
+    report("Ablation: AP selection policy", "\n".join(lines))
+    # Utility history should not lose to random selection on join success.
+    assert results["utility"][2] >= results["random"][2] - 0.05

@@ -1,0 +1,70 @@
+"""Extension bench (§4.8): speed-adaptive scheduling across speeds.
+
+The adaptive policy should track the better of the two fixed policies at
+each speed: single-channel-like throughput when fast, multi-channel-like
+connectivity when slow.
+"""
+
+from conftest import bench_seeds
+
+from repro.core.adaptive import AdaptiveScheduler
+from repro.core.link_manager import SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.core.spider import ORTHOGONAL_CHANNELS, SpiderClient
+from repro.sim.engine import Simulator
+from repro.workloads.town import build_town
+
+DURATION_S = 500.0
+
+
+def _run(policy: str, speed: float, seed: int):
+    sim = Simulator(seed=seed)
+    town = build_town(sim, preset="amherst")
+    mobility = town.make_vehicle_mobility(speed)
+    if policy == "single":
+        mode = OperationMode.single_channel(1)
+    else:
+        mode = OperationMode.equal_split(ORTHOGONAL_CHANNELS, 0.6)
+    config = SpiderConfig.spider_defaults(mode, num_interfaces=7)
+    client = SpiderClient(sim, town.world, mobility, config, client_id="veh")
+    scheduler = None
+    if policy == "adaptive":
+        scheduler = AdaptiveScheduler(sim, client, speed_fn=lambda: speed)
+    client.start()
+    sim.run(until=DURATION_S)
+    if scheduler is not None:
+        scheduler.stop()
+    return (
+        client.average_throughput_kBps(DURATION_S),
+        client.connectivity_percent(DURATION_S),
+    )
+
+
+def test_bench_adaptive(benchmark, report):
+    def run():
+        table = {}
+        for speed in (3.0, 15.0):
+            for policy in ("single", "multi", "adaptive"):
+                rows = [_run(policy, speed, s) for s in bench_seeds()]
+                table[(speed, policy)] = (
+                    sum(r[0] for r in rows) / len(rows),
+                    sum(r[1] for r in rows) / len(rows),
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"v={speed:4.1f} m/s {policy:8s} tput={tput:7.1f} kB/s conn={conn:5.1f}%"
+        for (speed, policy), (tput, conn) in sorted(table.items(), key=str)
+    ]
+    report("Extension: adaptive scheduling", "\n".join(lines))
+    # At speed, adaptive must recover most of the single-channel throughput
+    # advantage over the static multi-channel schedule.
+    fast_adaptive = table[(15.0, "adaptive")][0]
+    fast_multi = table[(15.0, "multi")][0]
+    assert fast_adaptive > fast_multi
+    # When slow, adaptive connectivity must not collapse to single-channel's
+    # worst case.
+    slow_adaptive = table[(3.0, "adaptive")][1]
+    slow_single = table[(3.0, "single")][1]
+    assert slow_adaptive >= 0.7 * slow_single

@@ -1,0 +1,14 @@
+"""Bench FIG15: join delay per scheduling policy."""
+
+from repro.experiments import fig15_join_policies
+
+
+def test_bench_fig15(benchmark, report, timeout_grid_results):
+    result = benchmark.pedantic(
+        lambda: fig15_join_policies.run(grid=timeout_grid_results),
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig 15 (join delay per policy)", result.render())
+    # Single channel with reduced timeouts is the fastest join policy.
+    assert result.fastest_policy() == "ch1, ll=100ms, dhcp=200ms, 7if"

@@ -1,0 +1,16 @@
+"""Bench FIG2: join-probability model vs Monte-Carlo simulation."""
+
+from repro.experiments import fig2_join_validation
+
+
+def test_bench_fig2(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig2_join_validation.run(runs=20, trials_per_run=100),
+        rounds=1,
+        iterations=1,
+    )
+    gap = result.max_model_sim_gap()
+    report("Fig 2 (join model vs simulation)",
+           result.render() + f"\nmax |model - sim| = {gap:.3f}")
+    # The simulation internally validates the closed form.
+    assert gap < 0.08

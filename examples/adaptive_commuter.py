@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A commuter whose speed varies — the §4.8 adaptive-scheduling extension.
+
+The vehicle alternates between crawling through the town core (3 m/s) and
+arterial driving (15 m/s).  A fixed single-channel schedule wastes the slow
+segments' discovery opportunities; a fixed multi-channel schedule throttles
+the fast segments.  The :class:`AdaptiveScheduler` switches modes with the
+measured speed and should track the better policy in each regime.
+
+Run:  python examples/adaptive_commuter.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core import SpiderClient
+from repro.core.adaptive import AdaptiveScheduler
+from repro.core.link_manager import SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.sim import Simulator, VariableSpeedLoopMobility
+from repro.workloads import build_town
+
+DURATION_S = 700.0
+SLOW_MPS, FAST_MPS = 3.0, 15.0
+SEGMENT_S = 60.0  # speed regime alternates every minute
+
+
+def run(policy: str, seed: int = 11):
+    sim = Simulator(seed=seed)
+    town = build_town(sim, preset="amherst")
+    mobility = VariableSpeedLoopMobility(
+        [(SEGMENT_S, SLOW_MPS), (SEGMENT_S, FAST_MPS)], town.config.loop_length_m
+    )
+    if policy == "single-channel":
+        mode = OperationMode.single_channel(1)
+    else:
+        mode = OperationMode.equal_split((1, 6, 11), 0.6)
+    config = SpiderConfig.spider_defaults(mode, num_interfaces=7)
+    client = SpiderClient(sim, town.world, mobility, config, client_id="commuter")
+    scheduler = None
+    if policy == "adaptive":
+        scheduler = AdaptiveScheduler(
+            sim, client, speed_fn=lambda: mobility.speed_at(sim.now)
+        )
+    client.start()
+    sim.run(until=DURATION_S)
+    switches = scheduler.mode_switches if scheduler else 0
+    return (
+        policy,
+        f"{client.average_throughput_kBps(DURATION_S):.1f} kB/s",
+        f"{client.connectivity_percent(DURATION_S):.1f} %",
+        switches,
+    )
+
+
+def main() -> None:
+    rows = [run(policy) for policy in ("single-channel", "multi-channel", "adaptive")]
+    print(
+        format_table(
+            ["policy", "throughput", "connectivity", "mode switches"],
+            rows,
+            title="Commute with alternating speed: fixed schedules vs adaptive",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

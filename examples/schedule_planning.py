@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Plan a channel schedule analytically before ever touching the radio.
+
+Uses the paper's join model (Eq. 1-7) and throughput-maximization
+framework (Eq. 8-10) to answer two operational questions:
+
+* "I am joined to APs worth 6 Mb/s on channel 1; channel 6 advertises
+  another 4 Mb/s I would have to join.  At my speed, is switching worth
+  it?"  (the Fig. 4 question), and
+* "How long must I stay in range for a join to be likely at all?"
+  (the Fig. 2/3 question).
+
+Run:  python examples/schedule_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series, format_table
+from repro.model import (
+    ChannelState,
+    JoinModelParams,
+    dividing_speed,
+    join_probability,
+    optimal_schedule,
+    sweep_speeds,
+)
+
+BW_BPS = 11e6
+
+
+def join_feasibility() -> None:
+    """How much channel time does a successful join need?"""
+    params = JoinModelParams(beta_min_s=0.5, beta_max_s=5.0)
+    fractions = (0.1, 0.25, 0.5, 0.75, 1.0)
+    for window_s in (4.0, 8.0, 16.0):
+        probabilities = [join_probability(params, f, window_s) for f in fractions]
+        print(
+            format_series(
+                f"P(lease | {window_s:.0f}s in range)",
+                list(fractions),
+                probabilities,
+                "fraction on channel",
+                "probability",
+            )
+        )
+
+
+def plan_schedule() -> None:
+    channels = [
+        ChannelState(1, joined_bps=6e6),      # already-joined APs
+        ChannelState(6, available_bps=4e6),   # would have to join
+    ]
+    params = JoinModelParams(beta_min_s=0.5, beta_max_s=10.0)
+    rows = []
+    for speed, result in sweep_speeds(channels, (2.5, 5.0, 10.0, 20.0), params=params):
+        rows.append(
+            (
+                f"{speed:.1f} m/s",
+                f"{result.fraction(1):.2f}",
+                f"{result.fraction(6):.2f}",
+                f"{result.total_throughput_bps / 1e6:.2f} Mb/s",
+            )
+        )
+    print(
+        format_table(
+            ["speed", "f(ch1)", "f(ch6)", "predicted throughput"],
+            rows,
+            title="Optimal schedule vs speed (Eq. 8-10)",
+        )
+    )
+    divide = dividing_speed(channels, params=params)
+    print(f"dividing speed for this environment: {divide:g} m/s")
+    at_city_speed = optimal_schedule(channels, time_in_range_s=20.0, params=params)
+    print(
+        f"at 10 m/s the solver recommends spending "
+        f"{at_city_speed.fraction(6):.0%} of each period on the join channel"
+    )
+
+
+def main() -> None:
+    join_feasibility()
+    print()
+    plan_schedule()
+
+
+if __name__ == "__main__":
+    main()

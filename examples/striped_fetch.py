@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fetch one large object over Spider's concurrent links (striping).
+
+The paper's related work (PERM, MAR, Horde) stripes data across diverse
+links; Spider provides the links.  This example downloads a 4 MB object
+while driving: each verified link fetches the next unclaimed chunk, chunks
+on dying links are re-queued, and the object completes across however many
+APs the drive encounters.
+
+Run:  python examples/striped_fetch.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import kv_block
+from repro.core import SpiderClient, StripedDownload
+from repro.core.link_manager import SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.sim import Simulator
+from repro.workloads import build_town
+
+OBJECT_BYTES = 4_000_000
+CHUNK_BYTES = 200_000
+DEADLINE_S = 600.0
+
+
+def main() -> None:
+    sim = Simulator(seed=21)
+    town = build_town(sim, preset="amherst")
+    config = SpiderConfig.spider_defaults(OperationMode.single_channel(1), 7)
+    client = SpiderClient(
+        sim,
+        town.world,
+        town.make_vehicle_mobility(10.0),
+        config,
+        client_id="fetcher",
+        enable_traffic=False,  # the stripe owns the flows
+    )
+    stripe = StripedDownload(
+        sim,
+        town.world,
+        total_bytes=OBJECT_BYTES,
+        chunk_bytes=CHUNK_BYTES,
+        on_bytes=client.recorder.record,
+    )
+    # Wire the stripe to Spider's link lifecycle.
+    client.lmm.on_link_up = stripe.attach_link
+    client.lmm.on_link_down = stripe.detach_link
+    client.start()
+
+    while not stripe.done and sim.now < DEADLINE_S:
+        sim.run(until=sim.now + 10.0)
+        print(
+            f"t={sim.now:5.0f}s  {stripe.progress():6.1%} "
+            f"({stripe.bytes_completed // 1000} kB, "
+            f"{client.lmm.established_count} live links)"
+        )
+
+    print(
+        kv_block(
+            "striped fetch result",
+            [
+                ("completed", stripe.done),
+                ("elapsed", f"{stripe.elapsed_s():.0f} s" if stripe.done else "-"),
+                ("chunk retries (link churn)", stripe.chunk_retries),
+                ("interfaces used", len({c.assigned_iface for c in stripe.chunks})),
+                (
+                    "effective rate",
+                    f"{OBJECT_BYTES / stripe.elapsed_s() / 1e3:.1f} kB/s"
+                    if stripe.done
+                    else "-",
+                ),
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a full reproduction of *Spider: Improving Mobile Networking with
+Concurrent Wi-Fi Connections* (Soroush et al., 2011).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event wireless substrate (802.11 medium, APs, DHCP, TCP,
+    mobility, the stock-driver baseline).
+``repro.core``
+    Spider itself: channel scheduling, utility-based AP selection, and the
+    link-management module.
+``repro.model``
+    The paper's analytical join model (Eq. 1-7) and the throughput
+    optimization framework (Eq. 8-10).
+``repro.workloads``
+    Synthetic towns and mesh-user traces standing in for the vehicular
+    testbed.
+``repro.experiments``
+    One module per paper table/figure, regenerating the reported series.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, sim  # noqa: F401
+
+__all__ = ["core", "sim", "__version__"]

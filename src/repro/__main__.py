@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig2                 # regenerate Figure 2
+    python -m repro table2 --quick       # Table 2 at reduced scale
+
+``--quick`` trims seeds/durations for a fast sanity pass; default
+parameters match the benchmark suite's defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .experiments import (
+    ap_density,
+    appendix_knapsack,
+    fig2_join_validation,
+    fig3_beta_sensitivity,
+    fig4_optimal_schedule,
+    fig5_association,
+    fig6_dhcp,
+    fig7_tcp_fraction,
+    fig8_tcp_dwell,
+    fig10_micro,
+    fig11_13_cdfs,
+    fig14_join_timeouts,
+    fig15_join_policies,
+    fig16_17_usability,
+    fleet,
+    speed_sweep,
+    table1_switch_latency,
+    table2_configs,
+    table3_dhcp_failures,
+    table4_channels,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig2": fig2_join_validation.main,
+    "fig3": fig3_beta_sensitivity.main,
+    "fig4": fig4_optimal_schedule.main,
+    "fig5": fig5_association.main,
+    "fig6": fig6_dhcp.main,
+    "fig7": fig7_tcp_fraction.main,
+    "fig8": fig8_tcp_dwell.main,
+    "fig10": fig10_micro.main,
+    "fig11-13": fig11_13_cdfs.main,
+    "fig14": fig14_join_timeouts.main,
+    "fig15": fig15_join_policies.main,
+    "fig16-17": fig16_17_usability.main,
+    "table1": table1_switch_latency.main,
+    "table2": table2_configs.main,
+    "table3": table3_dhcp_failures.main,
+    "table4": table4_channels.main,
+    "density": ap_density.main,
+    "speed-sweep": speed_sweep.main,
+    "fleet": fleet.main,
+    "knapsack": appendix_knapsack.main,
+}
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from the Spider paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="artifact id (see 'list') or 'list' to enumerate them",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    runner()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

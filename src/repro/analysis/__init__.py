@@ -1,0 +1,22 @@
+"""Statistics and report-rendering helpers shared by experiments."""
+
+from .stats import Summary, bootstrap_mean_ci, cdf_at, ecdf, percentile, summarize
+from .reporting import format_cdf, format_series, format_table, kv_block
+from .ascii_plot import bar_chart, cdf_plot, histogram, sparkline
+
+__all__ = [
+    "Summary",
+    "bootstrap_mean_ci",
+    "cdf_at",
+    "ecdf",
+    "percentile",
+    "summarize",
+    "format_cdf",
+    "format_series",
+    "format_table",
+    "kv_block",
+    "bar_chart",
+    "cdf_plot",
+    "histogram",
+    "sparkline",
+]

@@ -1,0 +1,123 @@
+"""Terminal plots: bar charts, sparklines, and histograms in plain text.
+
+The experiments print tables and series; these helpers add shape at a
+glance without any plotting dependency.  Everything returns a string — the
+caller decides where it goes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "sparkline", "histogram", "cdf_plot"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR = "█"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if v == v and abs(v) != math.inf]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line shape summary of a series."""
+    finite = _finite(values)
+    if not finite:
+        return ""
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if value != value or abs(value) == math.inf:
+            chars.append(" ")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if width <= 0:
+        raise ValueError(f"width must be positive: {width!r}")
+    finite = _finite(values)
+    peak = max(finite) if finite else 0.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        if value != value:
+            bar, shown = "", "nan"
+        else:
+            length = 0 if peak <= 0 else max(
+                int(round(width * max(value, 0.0) / peak)),
+                1 if value > 0 else 0,
+            )
+            bar = _BAR * length
+            shown = f"{value:,.1f}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar} {shown}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+    bounds: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Text histogram with equal-width bins."""
+    if bins <= 0:
+        raise ValueError(f"bins must be positive: {bins!r}")
+    finite = _finite(values)
+    if not finite:
+        return title or "(no data)"
+    low, high = bounds if bounds is not None else (min(finite), max(finite))
+    if high <= low:
+        high = low + 1.0
+    counts = [0] * bins
+    for value in finite:
+        if value < low or value > high:
+            continue
+        index = min(int((value - low) / (high - low) * bins), bins - 1)
+        counts[index] += 1
+    labels = []
+    for index in range(bins):
+        edge_lo = low + (high - low) * index / bins
+        edge_hi = low + (high - low) * (index + 1) / bins
+        labels.append(f"[{edge_lo:8.2f}, {edge_hi:8.2f})")
+    return bar_chart(labels, [float(c) for c in counts], width=width, title=title)
+
+
+def cdf_plot(
+    values: Sequence[float],
+    points: int = 12,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Text CDF: cumulative fraction at evenly spaced quantile points."""
+    finite = sorted(_finite(values))
+    if not finite:
+        return title or "(no data)"
+    if points <= 0:
+        raise ValueError(f"points must be positive: {points!r}")
+    labels, fractions = [], []
+    n = len(finite)
+    for step in range(1, points + 1):
+        fraction = step / points
+        index = min(int(fraction * n) - 1, n - 1)
+        index = max(index, 0)
+        labels.append(f"<= {finite[index]:10.2f}")
+        fractions.append(fraction)
+    return bar_chart(labels, fractions, width=width, title=title)

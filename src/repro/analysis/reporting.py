@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment module returns structured data *and* can print the same
+rows/series the paper reports.  These helpers keep that rendering uniform:
+aligned ASCII tables, labelled series, and coarse CDF printouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .stats import cdf_at
+
+__all__ = ["format_table", "format_series", "format_cdf", "kv_block"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    pairs = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"
+
+
+def format_cdf(
+    name: str, values: Sequence[float], points: Sequence[float], unit: str = "s"
+) -> str:
+    """Render an empirical CDF evaluated at fixed points."""
+    fractions = cdf_at(values, points)
+    pairs = "  ".join(
+        f"P(<= {_fmt(p)}{unit})={_fmt(f)}" for p, f in zip(points, fractions)
+    )
+    return f"{name} (n={len(values)}): {pairs}"
+
+
+def kv_block(title: str, items: Sequence[Tuple[str, object]]) -> str:
+    """Render a titled key/value block."""
+    width = max((len(k) for k, _ in items), default=0)
+    lines = [title]
+    for key, value in items:
+        lines.append(f"  {key.ljust(width)} : {_fmt(value)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

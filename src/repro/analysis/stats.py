@@ -1,0 +1,120 @@
+"""Small statistics toolkit used by experiments and tests.
+
+Pure functions over lists of floats: empirical CDFs, percentiles, summary
+statistics, and bootstrap confidence intervals.  Kept dependency-free so the
+core library needs nothing beyond the standard library (numpy is only an
+optional accelerator for callers that want it).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ecdf", "cdf_at", "percentile", "Summary", "summarize", "bootstrap_mean_ci"]
+
+
+def ecdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF: returns (sorted x, P[X <= x]) step coordinates."""
+    if not values:
+        return [], []
+    xs = sorted(values)
+    n = len(xs)
+    ys = [(i + 1) / n for i in range(n)]
+    return xs, ys
+
+
+def cdf_at(values: Sequence[float], points: Sequence[float]) -> List[float]:
+    """Evaluate the empirical CDF at given points."""
+    if not values:
+        return [math.nan for _ in points]
+    xs = sorted(values)
+    n = len(xs)
+    result = []
+    for p in points:
+        # count of xs <= p via binary search
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if xs[mid] <= p:
+                lo = mid + 1
+            else:
+                hi = mid
+        result.append(lo / n)
+    return result
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        return math.nan
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100]: {q!r}")
+    xs = sorted(values)
+    if len(xs) == 1:
+        return xs[0]
+    rank = (q / 100.0) * (len(xs) - 1)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, len(xs) - 1)
+    weight = rank - lower
+    return xs[lower] * (1.0 - weight) + xs[upper] * weight
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    p10: float
+    p90: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics (mean/std/median/percentiles) of a sample."""
+    if not values:
+        nan = math.nan
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((x - mean) ** 2 for x in values) / max(n - 1, 1)
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        median=percentile(values, 50),
+        p10=percentile(values, 10),
+        p90=percentile(values, 90),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if not values:
+        return (math.nan, math.nan)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1): {confidence!r}")
+    rng = random.Random(f"bootstrap/{seed}")
+    n = len(values)
+    means = []
+    for _ in range(resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(sample) / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo = means[int(alpha * resamples)]
+    hi = means[min(int((1.0 - alpha) * resamples), resamples - 1)]
+    return (lo, hi)

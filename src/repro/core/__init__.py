@@ -1,0 +1,43 @@
+"""Spider: the paper's primary contribution.
+
+Channel-based scheduling (:class:`SpiderDriver`), utility-driven AP
+selection, the link-management module (:class:`LinkManager`), and the
+:class:`SpiderClient` façade exposing the four evaluation configurations.
+"""
+
+from .schedule import OperationMode
+from .ap_selection import (
+    ApOption,
+    JoinOutcome,
+    UtilityTracker,
+    knapsack_select_bruteforce,
+    knapsack_select_dp,
+    knapsack_select_greedy,
+    select_aps,
+)
+from .adaptive import AdaptiveScheduler
+from .driver import SpiderDriver
+from .fatvap import ApSlicedDriver
+from .link_manager import LinkManager, SpiderConfig
+from .spider import ORTHOGONAL_CHANNELS, SpiderClient
+from .striping import ChunkState, StripedDownload
+
+__all__ = [
+    "OperationMode",
+    "ApOption",
+    "JoinOutcome",
+    "UtilityTracker",
+    "knapsack_select_bruteforce",
+    "knapsack_select_dp",
+    "knapsack_select_greedy",
+    "select_aps",
+    "AdaptiveScheduler",
+    "SpiderDriver",
+    "ApSlicedDriver",
+    "LinkManager",
+    "SpiderConfig",
+    "ORTHOGONAL_CHANNELS",
+    "SpiderClient",
+    "ChunkState",
+    "StripedDownload",
+]

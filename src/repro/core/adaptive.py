@@ -1,0 +1,127 @@
+"""Speed-adaptive scheduling — the §4.8 future-work extension, implemented.
+
+The paper's proposed augmentation: "alternating between staying on one
+channel at high speeds and managing multiple channels when moving slowly."
+:class:`AdaptiveScheduler` implements that policy above a running
+:class:`~repro.core.spider.SpiderClient`:
+
+* **fast** (speed ≥ threshold): single channel.  The channel is chosen from
+  accumulated observations — a recency-weighted count of distinct APs heard
+  per channel, weighted by their join-success utility, so the card parks
+  where joinable capacity actually lives.
+* **slow**: the multi-channel discovery schedule (equal split), trading
+  throughput for the larger AP pool, as Table 2's connectivity column
+  recommends.
+* **starvation escape**: if the card has been disconnected for a while in
+  single-channel mode, it temporarily returns to the discovery schedule —
+  the chosen channel may simply have no coverage on this block.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, Sequence
+
+from ..sim.engine import PeriodicProcess, Simulator
+from .schedule import OperationMode
+from .spider import ORTHOGONAL_CHANNELS, SpiderClient
+
+__all__ = ["AdaptiveScheduler"]
+
+logger = logging.getLogger(__name__)
+
+#: EWMA weight for per-channel AP observations.
+_OBS_ALPHA = 0.3
+
+
+class AdaptiveScheduler:
+    """Dynamically retunes a SpiderClient's operation mode."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: SpiderClient,
+        speed_fn: Callable[[], float],
+        speed_threshold_mps: float = 10.0,
+        channels: Sequence[int] = ORTHOGONAL_CHANNELS,
+        multi_period_s: float = 0.6,
+        check_period_s: float = 3.0,
+        starvation_s: float = 12.0,
+    ):
+        self.sim = sim
+        self.client = client
+        self.speed_fn = speed_fn
+        self.speed_threshold_mps = speed_threshold_mps
+        self.channels = list(channels)
+        self.discovery_mode = OperationMode.equal_split(channels, multi_period_s)
+        self.starvation_s = starvation_s
+        self._channel_scores: Dict[int, float] = {c: 0.0 for c in channels}
+        self._last_connected_at = sim.now
+        self.mode_switches = 0
+        self._process = PeriodicProcess(sim, check_period_s, self._tick)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop the component and release its resources."""
+        self._process.stop()
+
+    def _observe_channels(self) -> None:
+        """Fold the current scan table into per-channel quality scores."""
+        now = self.sim.now
+        tracker = self.client.lmm.tracker
+        fresh = self.client.nic.scan_table.fresh_entries(now)
+        seen: Dict[int, float] = {c: 0.0 for c in self.channels}
+        for entry in fresh:
+            if entry.channel in seen:
+                seen[entry.channel] += tracker.utility(entry.bssid)
+        for channel, score in seen.items():
+            # Scan entries are at most a few seconds old, so they are valid
+            # observations of whichever channel they were heard on; scores
+            # for channels we stopped visiting decay toward zero.
+            previous = self._channel_scores[channel]
+            self._channel_scores[channel] = (
+                (1 - _OBS_ALPHA) * previous + _OBS_ALPHA * score
+            )
+
+    def best_channel(self) -> int:
+        """Channel with the best observed joinable capacity."""
+        return max(
+            self.channels, key=lambda c: (self._channel_scores[c], -c)
+        )
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._observe_channels()
+        connected_channels = [
+            iface.channel
+            for iface in self.client.lmm.established_ifaces()
+            if iface.channel is not None
+        ]
+        if connected_channels:
+            self._last_connected_at = self.sim.now
+        starved = (
+            self.sim.now - self._last_connected_at >= self.starvation_s
+        )
+        fast = self.speed_fn() >= self.speed_threshold_mps
+        if fast and connected_channels:
+            # Park where the most working links live (cf. configuration (4));
+            # scan scores break ties.
+            counts: Dict[int, int] = {}
+            for channel in connected_channels:
+                counts[channel] = counts.get(channel, 0) + 1
+            best = max(
+                counts,
+                key=lambda c: (counts[c], self._channel_scores.get(c, 0.0), -c),
+            )
+            target = OperationMode.single_channel(best)
+        elif fast and not starved:
+            target = OperationMode.single_channel(self.best_channel())
+        else:
+            target = self.discovery_mode
+        if target.fractions != self.client.config.mode.fractions:
+            logger.debug(
+                "adaptive: switching to %s (fast=%s, starved=%s) at t=%.1f",
+                target.name, fast, starved, self.sim.now,
+            )
+            self.mode_switches += 1
+            self.client.set_mode(target)

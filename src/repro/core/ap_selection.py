@@ -1,0 +1,219 @@
+"""AP selection: join-success utilities, the shipping heuristic, and the
+exact (exponential) formulation it replaces.
+
+Design Choice 2 of the paper: optimal multi-AP selection is NP-hard
+(Appendix A reduces it to 0-1 knapsack), so Spider ranks APs by a
+*join-success utility* instead of end-to-end bandwidth:
+
+* every attempt is scored by how far it got — association only (``va``),
+  DHCP lease (``vb``), end-to-end verified (``vc``), with
+  ``va < vb < vc`` — and failures at association score zero;
+* an AP's utility is a recency-weighted average of its attempt scores;
+* unseen open APs with sufficient signal bootstrap at the maximum utility
+  "so that the AP is considered for association at least once";
+* signal strength breaks ties.
+
+The module also implements the Appendix-A knapsack exactly (dynamic
+programming) plus a brute-force checker and a greedy ratio heuristic, used
+by the ablation benches to show why the exact approach is infeasible online.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim.nic import ScanEntry
+
+__all__ = [
+    "JoinOutcome",
+    "UtilityTracker",
+    "select_aps",
+    "ApOption",
+    "knapsack_select_dp",
+    "knapsack_select_bruteforce",
+    "knapsack_select_greedy",
+]
+
+#: Stage rewards, va < vb < vc (§3.1 Design Choice 2).
+VA_ASSOCIATED = 0.3
+VB_LEASED = 0.6
+VC_VERIFIED = 1.0
+#: Reward for an attempt that failed during link-layer association.
+V_FAILED = 0.0
+
+#: Recency weight: "recent joins are given larger weights".
+_EWMA_ALPHA = 0.5
+
+#: Minimum RSSI (dBm) for an AP to be considered at all ("sufficient
+#: signal strength").
+MIN_USABLE_RSSI_DBM = -88.0
+
+
+class JoinOutcome:
+    """How far one join attempt progressed (symbolic constants)."""
+
+    FAILED = "failed"
+    ASSOCIATED = "associated"
+    LEASED = "leased"
+    VERIFIED = "verified"
+
+    REWARDS = {
+        FAILED: V_FAILED,
+        ASSOCIATED: VA_ASSOCIATED,
+        LEASED: VB_LEASED,
+        VERIFIED: VC_VERIFIED,
+    }
+
+
+class UtilityTracker:
+    """Recency-weighted join-success utility per AP."""
+
+    def __init__(self, alpha: float = _EWMA_ALPHA, bootstrap: float = VC_VERIFIED):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha!r}")
+        self.alpha = alpha
+        self.bootstrap = bootstrap
+        self._utilities: Dict[str, float] = {}
+        self._attempts: Dict[str, int] = {}
+
+    def record(self, bssid: str, outcome: str) -> None:
+        """Fold one attempt's outcome into the AP's utility."""
+        reward = JoinOutcome.REWARDS[outcome]
+        previous = self._utilities.get(bssid)
+        if previous is None:
+            self._utilities[bssid] = reward
+        else:
+            self._utilities[bssid] = (
+                (1.0 - self.alpha) * previous + self.alpha * reward
+            )
+        self._attempts[bssid] = self._attempts.get(bssid, 0) + 1
+
+    def utility(self, bssid: str) -> float:
+        """Current utility; unseen APs bootstrap at the maximum."""
+        return self._utilities.get(bssid, self.bootstrap)
+
+    def attempts(self, bssid: str) -> int:
+        """Number of recorded join attempts for the AP."""
+        return self._attempts.get(bssid, 0)
+
+    def known(self) -> Set[str]:
+        """BSSIDs with at least one recorded attempt."""
+        return set(self._utilities)
+
+
+def select_aps(
+    candidates: Sequence[ScanEntry],
+    tracker: UtilityTracker,
+    count: int,
+    exclude: Optional[Set[str]] = None,
+    min_rssi_dbm: float = MIN_USABLE_RSSI_DBM,
+) -> List[ScanEntry]:
+    """Spider's shipping heuristic: top-``count`` APs by utility.
+
+    ``exclude`` holds BSSIDs already bound to another interface (the
+    synchronization rule: no two interfaces on the same AP) or currently
+    blacklisted.  Ties in utility break on signal strength, then BSSID for
+    determinism.
+    """
+    if count <= 0:
+        return []
+    excluded = exclude or set()
+    usable = [
+        e
+        for e in candidates
+        if e.bssid not in excluded and e.rssi >= min_rssi_dbm
+    ]
+    usable.sort(key=lambda e: (-tracker.utility(e.bssid), -e.rssi, e.bssid))
+    return usable[:count]
+
+
+# ----------------------------------------------------------------------
+# Appendix A: exact selection as 0-1 knapsack
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ApOption:
+    """One candidate (or candidate subset) in the Appendix-A formulation.
+
+    ``value`` is ``T_i × W_i`` (time in range times offered bandwidth) and
+    ``cost`` is ``T_i + ⌈T_i/T⌉ × D_i`` (time plus switching/queue overhead).
+    """
+
+    name: str
+    value: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0 or self.cost < 0:
+            raise ValueError("value and cost must be non-negative")
+
+
+def knapsack_select_dp(
+    options: Sequence[ApOption], budget: float, resolution: float = 0.01
+) -> Tuple[float, List[ApOption]]:
+    """Exact 0-1 knapsack via DP over cost quantized at ``resolution``.
+
+    Returns ``(total_value, chosen_options)``.  Costs are floored to the
+    grid, so the solution is exact for grid-aligned instances and an upper
+    bound otherwise; tests use grid-aligned instances.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative: {budget!r}")
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive: {resolution!r}")
+    capacity = int(math.floor(budget / resolution + 1e-9))
+    costs = [int(math.floor(o.cost / resolution + 1e-9)) for o in options]
+    # best[c] = (value, chosen-bitmask-as-int) at cost exactly <= c
+    best_value = [0.0] * (capacity + 1)
+    best_pick: List[int] = [0] * (capacity + 1)
+    for index, option in enumerate(options):
+        cost = costs[index]
+        if cost > capacity:
+            continue
+        for c in range(capacity, cost - 1, -1):
+            candidate = best_value[c - cost] + option.value
+            if candidate > best_value[c] + 1e-12:
+                best_value[c] = candidate
+                best_pick[c] = best_pick[c - cost] | (1 << index)
+    best_c = max(range(capacity + 1), key=lambda c: best_value[c])
+    chosen = [o for i, o in enumerate(options) if best_pick[best_c] >> i & 1]
+    return best_value[best_c], chosen
+
+
+def knapsack_select_bruteforce(
+    options: Sequence[ApOption], budget: float
+) -> Tuple[float, List[ApOption]]:
+    """Enumerate all subsets — the exponential baseline (testing only)."""
+    best_value = 0.0
+    best_subset: Tuple[ApOption, ...] = ()
+    for r in range(len(options) + 1):
+        for subset in itertools.combinations(options, r):
+            cost = sum(o.cost for o in subset)
+            if cost > budget + 1e-12:
+                continue
+            value = sum(o.value for o in subset)
+            if value > best_value + 1e-12:
+                best_value = value
+                best_subset = subset
+    return best_value, list(best_subset)
+
+
+def knapsack_select_greedy(
+    options: Sequence[ApOption], budget: float
+) -> Tuple[float, List[ApOption]]:
+    """Greedy value/cost-ratio heuristic (real-time feasible)."""
+    remaining = budget
+    chosen: List[ApOption] = []
+    total = 0.0
+    ranked = sorted(
+        options,
+        key=lambda o: (-(o.value / o.cost) if o.cost > 0 else -math.inf, o.name),
+    )
+    for option in ranked:
+        if option.cost <= remaining + 1e-12:
+            chosen.append(option)
+            remaining -= option.cost
+            total += option.value
+    return total, chosen

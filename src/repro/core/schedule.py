@@ -1,0 +1,132 @@
+"""Operation modes: how the card's time is divided among channels.
+
+An operation mode is "the total amount of time to be scheduled among
+channels and the fraction of time spent on each channel" (§3.2.2).  The
+driver cycles the channels round-robin, dwelling ``f_i * D`` on channel
+``i``; a single-channel mode never switches.
+
+Feasibility follows Eq. 10: the dwells plus one switching overhead ``w`` per
+visited channel must fit inside the period, i.e. ``Σ(f_i·D + ⌈f_i⌉·w) ≤ D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Tuple
+
+__all__ = ["OperationMode", "DEFAULT_SWITCH_OVERHEAD_S"]
+
+#: Nominal per-switch overhead used for feasibility checks (Table 1).
+DEFAULT_SWITCH_OVERHEAD_S = 5.5e-3
+
+_FRACTION_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class OperationMode:
+    """An immutable channel schedule.
+
+    Parameters
+    ----------
+    period_s:
+        The scheduling period ``D``.
+    fractions:
+        Mapping of channel number to the fraction ``f_i`` of the period
+        spent there.  Fractions must be positive and sum to at most 1.
+    name:
+        Human-readable label used in experiment reports.
+    """
+
+    period_s: float
+    fractions: Mapping[int, float]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive: {self.period_s!r}")
+        if not self.fractions:
+            raise ValueError("operation mode needs at least one channel")
+        total = 0.0
+        for channel, fraction in self.fractions.items():
+            if fraction <= 0:
+                raise ValueError(
+                    f"fraction for channel {channel} must be positive: {fraction!r}"
+                )
+            total += fraction
+        if total > 1.0 + _FRACTION_EPSILON:
+            raise ValueError(f"fractions sum to {total:.6f} > 1")
+        # Freeze the mapping so the dataclass is truly immutable.
+        object.__setattr__(self, "fractions", dict(self.fractions))
+        if not self.name:
+            label = ",".join(
+                f"ch{c}:{f:.0%}" for c, f in sorted(self.fractions.items())
+            )
+            object.__setattr__(self, "name", f"D={self.period_s * 1e3:.0f}ms {label}")
+
+    # ------------------------------------------------------------------
+    @property
+    def channels(self) -> List[int]:
+        """Scheduled channels in ascending order."""
+        return sorted(self.fractions)
+
+    @property
+    def is_single_channel(self) -> bool:
+        """Whether the schedule never leaves one channel."""
+        return len(self.fractions) == 1
+
+    def dwell_s(self, channel: int) -> float:
+        """Seconds per period spent on ``channel``."""
+        return self.fractions.get(channel, 0.0) * self.period_s
+
+    def fraction(self, channel: int) -> float:
+        """The fraction assigned to ``channel`` (0 when unscheduled)."""
+        return self.fractions.get(channel, 0.0)
+
+    # ------------------------------------------------------------------
+    def is_feasible(self, switch_overhead_s: float = DEFAULT_SWITCH_OVERHEAD_S) -> bool:
+        """Eq. 10: dwells plus switching overheads fit in the period."""
+        if self.is_single_channel:
+            return True
+        used = sum(
+            f * self.period_s + switch_overhead_s for f in self.fractions.values()
+        )
+        return used <= self.period_s + _FRACTION_EPSILON
+
+    def cycle(self) -> List[Tuple[int, float]]:
+        """(channel, dwell) visit order for one period."""
+        return [(c, self.dwell_s(c)) for c in self.channels]
+
+    # ------------------------------------------------------------------
+    # Constructors for the paper's standard modes
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_channel(cls, channel: int, period_s: float = 0.4) -> "OperationMode":
+        """A schedule that spends all time on one channel."""
+        return cls(period_s, {channel: 1.0}, name=f"single-ch{channel}")
+
+    @classmethod
+    def equal_split(cls, channels: Iterable[int], period_s: float) -> "OperationMode":
+        """A schedule dividing the period equally among channels."""
+        channel_list = sorted(set(channels))
+        if not channel_list:
+            raise ValueError("equal_split needs at least one channel")
+        fraction = 1.0 / len(channel_list)
+        return cls(
+            period_s,
+            {c: fraction for c in channel_list},
+            name=f"equal-{len(channel_list)}ch-D{period_s * 1e3:.0f}ms",
+        )
+
+    @classmethod
+    def weighted(
+        cls, weights: Mapping[int, float], period_s: float, name: str = ""
+    ) -> "OperationMode":
+        """Normalize arbitrary non-negative weights into fractions."""
+        positive = {c: w for c, w in weights.items() if w > 0}
+        total = sum(positive.values())
+        if total <= 0:
+            raise ValueError("weights must include a positive entry")
+        return cls(period_s, {c: w / total for c, w in positive.items()}, name=name)
+
+    def __str__(self) -> str:
+        return self.name

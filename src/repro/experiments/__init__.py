@@ -1,0 +1,60 @@
+"""One module per paper table/figure, plus shared harnesses.
+
+Each module exposes ``run(...) -> <Result>`` returning structured data with
+a ``render()`` method that prints the same rows/series the paper reports,
+and a ``main()`` entry point.  Quick parameters (seeds, durations) are
+keyword arguments so the benchmark harness and the CLI can trade accuracy
+for time.
+"""
+
+from . import (
+    ap_density,
+    appendix_knapsack,
+    common,
+    fig2_join_validation,
+    fig3_beta_sensitivity,
+    fig4_optimal_schedule,
+    fig5_association,
+    fig6_dhcp,
+    fig7_tcp_fraction,
+    fig8_tcp_dwell,
+    fig10_micro,
+    fig11_13_cdfs,
+    fig14_join_timeouts,
+    fig15_join_policies,
+    fig16_17_usability,
+    fleet,
+    speed_sweep,
+    table1_switch_latency,
+    table2_configs,
+    table3_dhcp_failures,
+    table4_channels,
+    timeout_grid,
+    town_runs,
+)
+
+__all__ = [
+    "ap_density",
+    "appendix_knapsack",
+    "common",
+    "fig2_join_validation",
+    "fig3_beta_sensitivity",
+    "fig4_optimal_schedule",
+    "fig5_association",
+    "fig6_dhcp",
+    "fig7_tcp_fraction",
+    "fig8_tcp_dwell",
+    "fig10_micro",
+    "fig11_13_cdfs",
+    "fig14_join_timeouts",
+    "fig15_join_policies",
+    "fig16_17_usability",
+    "fleet",
+    "speed_sweep",
+    "table1_switch_latency",
+    "table2_configs",
+    "table3_dhcp_failures",
+    "table4_channels",
+    "timeout_grid",
+    "town_runs",
+]

@@ -1,0 +1,168 @@
+"""Shared harness for the per-figure/table experiment modules.
+
+Every §4 experiment is "drive a client around a synthetic town and collect
+the four metrics".  :func:`run_town_trial` executes one such run for any
+client (Spider in any configuration, or the stock baseline);
+:func:`run_town_trials` averages over seeds.  Experiment modules supply a
+client factory and post-process the returned :class:`TownRunMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Union
+
+from ..sim.engine import Simulator
+from ..sim.metrics import JoinLog
+from ..sim.mobility import MobilityModel
+from ..sim.world import World
+from ..workloads.town import TownConfig, build_town
+
+__all__ = [
+    "ClientFactory",
+    "TownRunMetrics",
+    "AggregatedMetrics",
+    "run_town_trial",
+    "run_town_trials",
+    "DEFAULT_TRIAL_DURATION_S",
+    "DEFAULT_VEHICLE_SPEED_MPS",
+]
+
+#: Default per-trial simulated duration.  The paper drives 30-60 minutes;
+#: quick benches use 300 s and the full mode passes more.
+DEFAULT_TRIAL_DURATION_S = 300.0
+#: Vehicular speed for town circuits (≈22 mph, the paper's threshold case).
+DEFAULT_VEHICLE_SPEED_MPS = 10.0
+
+#: A client factory builds a started-able client from (sim, world, mobility).
+ClientFactory = Callable[[Simulator, World, MobilityModel], object]
+
+
+@dataclass
+class TownRunMetrics:
+    """Everything an experiment might need from one town run."""
+
+    label: str
+    seed: int
+    duration_s: float
+    average_throughput_kBps: float
+    connectivity_pct: float
+    connection_durations_s: List[float]
+    disruption_durations_s: List[float]
+    instantaneous_kBps: List[float]
+    join_log: JoinLog
+    links_established: int
+    events_processed: int
+
+
+def run_town_trial(
+    factory: ClientFactory,
+    label: str,
+    seed: int = 0,
+    duration_s: float = DEFAULT_TRIAL_DURATION_S,
+    town: Union[str, TownConfig, None] = "amherst",
+    speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
+) -> TownRunMetrics:
+    """Build a town, drive one client around it, and collect metrics."""
+    sim = Simulator(seed=seed)
+    if isinstance(town, TownConfig):
+        instance = build_town(sim, config=town)
+    else:
+        instance = build_town(sim, preset=town or "amherst")
+    mobility = instance.make_vehicle_mobility(speed_mps)
+    client = factory(sim, instance.world, mobility)
+    client.start()
+    sim.run(until=duration_s)
+    recorder = client.recorder
+    return TownRunMetrics(
+        label=label,
+        seed=seed,
+        duration_s=duration_s,
+        average_throughput_kBps=recorder.average_throughput_bps(duration_s) / 1e3,
+        connectivity_pct=100.0 * recorder.connectivity_fraction(duration_s),
+        connection_durations_s=recorder.connection_durations(duration_s),
+        disruption_durations_s=recorder.disruption_durations(duration_s),
+        instantaneous_kBps=[
+            b / 1e3 for b in recorder.instantaneous_bandwidths_bps(duration_s)
+        ],
+        join_log=client.join_log,
+        links_established=client.links_established,
+        events_processed=sim.events_processed,
+    )
+
+
+@dataclass
+class AggregatedMetrics:
+    """Seed-averaged metrics with pooled distributions."""
+
+    label: str
+    trials: List[TownRunMetrics]
+
+    @property
+    def average_throughput_kBps(self) -> float:
+        """Mean delivered throughput in kilobytes/second."""
+        return _mean([t.average_throughput_kBps for t in self.trials])
+
+    @property
+    def connectivity_pct(self) -> float:
+        """Mean connectivity percentage across trials."""
+        return _mean([t.connectivity_pct for t in self.trials])
+
+    @property
+    def connection_durations_s(self) -> List[float]:
+        """Pooled connection durations across trials."""
+        return [d for t in self.trials for d in t.connection_durations_s]
+
+    @property
+    def disruption_durations_s(self) -> List[float]:
+        """Pooled disruption durations across trials."""
+        return [d for t in self.trials for d in t.disruption_durations_s]
+
+    @property
+    def instantaneous_kBps(self) -> List[float]:
+        """Pooled instantaneous bandwidth samples (kB/s)."""
+        return [b for t in self.trials for b in t.instantaneous_kBps]
+
+    def pooled_join_times(self) -> List[float]:
+        """Join times pooled across all trials."""
+        return [jt for t in self.trials for jt in t.join_log.join_times()]
+
+    def pooled_association_times(self) -> List[float]:
+        """Association times pooled across all trials."""
+        return [a for t in self.trials for a in t.join_log.association_times()]
+
+    def pooled_dhcp_times(self) -> List[float]:
+        """DHCP times pooled across all trials."""
+        return [d for t in self.trials for d in t.join_log.dhcp_times()]
+
+    def dhcp_failure_rates(self) -> List[float]:
+        """Per-trial DHCP failure rates (NaN-free)."""
+        rates = [t.join_log.dhcp_failure_rate() for t in self.trials]
+        return [r for r in rates if r == r]  # drop NaN
+
+
+def run_town_trials(
+    factory: ClientFactory,
+    label: str,
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = DEFAULT_TRIAL_DURATION_S,
+    town: Union[str, TownConfig, None] = "amherst",
+    speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
+) -> AggregatedMetrics:
+    """Repeat :func:`run_town_trial` over seeds and aggregate."""
+    trials = [
+        run_town_trial(
+            factory,
+            label,
+            seed=seed,
+            duration_s=duration_s,
+            town=town,
+            speed_mps=speed_mps,
+        )
+        for seed in seeds
+    ]
+    return AggregatedMetrics(label=label, trials=trials)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")

@@ -1,0 +1,73 @@
+"""Figure 14: CDF of successful join time (association + DHCP) vs timeout.
+
+Paper finding: reducing DHCP timers improves the *median* time to obtain a
+lease (even though Table 3 shows more outright failures), and switching
+among channels roughly doubles the join time — hence "it is best to stay
+on one channel."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import format_cdf
+from ..analysis.stats import percentile
+from .common import AggregatedMetrics
+from .timeout_grid import run_grid
+
+__all__ = ["Fig14Result", "run", "main"]
+
+FIG14_LABELS = (
+    "ch1, ll=100ms, dhcp=200ms, 7if",
+    "ch1, ll=100ms, dhcp=400ms, 7if",
+    "ch1, ll=100ms, dhcp=600ms, 7if",
+    "ch1, default timers, 7if",
+    "3ch, default timers, 7if",
+    "3ch, ll=100ms, dhcp=200ms, 7if",
+)
+
+CDF_POINTS_S = (0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 15.0)
+
+
+@dataclass
+class Fig14Result:
+    """Join-time distributions per timeout configuration."""
+    join_times: Dict[str, List[float]]
+
+    def median(self, label: str) -> float:
+        """Median of the named curve's join times."""
+        return percentile(self.join_times[label], 50)
+
+    def render(self) -> str:
+        """Render the result as printable text."""
+        lines = []
+        for label, values in self.join_times.items():
+            lines.append(
+                format_cdf(f"Fig14 {label} (median={self.median(label):.2f}s)",
+                           values, CDF_POINTS_S)
+            )
+        return "\n".join(lines)
+
+
+def run(
+    labels: Sequence[str] = FIG14_LABELS,
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 300.0,
+    grid: Optional[Dict[str, AggregatedMetrics]] = None,
+) -> Fig14Result:
+    """Execute the experiment and return its structured result."""
+    if grid is None:
+        grid = run_grid(labels=labels, seeds=seeds, duration_s=duration_s)
+    return Fig14Result(
+        join_times={label: grid[label].pooled_join_times() for label in labels}
+    )
+
+
+def main() -> None:
+    """Command-line entry point."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Figure 15: join delay across scheduling policies.
+
+The six curves of the paper: one vs seven interfaces on channel 1 with
+default timers, seven interfaces with reduced timers, a 50/50 two-channel
+schedule, and three-channel schedules with default and reduced timers.
+Single-channel with reduced timeouts joins fastest; every added channel
+slows the join pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import format_cdf
+from ..analysis.stats import percentile
+from .common import AggregatedMetrics
+from .timeout_grid import run_grid
+
+__all__ = ["Fig15Result", "run", "main"]
+
+FIG15_LABELS = (
+    "ch1, default timers, 1if",
+    "ch1, default timers, 7if",
+    "ch1, ll=100ms, dhcp=200ms, 7if",
+    "2ch(1,6), default timers, 7if",
+    "3ch, default timers, 7if",
+    "3ch, ll=100ms, dhcp=200ms, 7if",
+)
+
+CDF_POINTS_S = (0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 15.0)
+
+
+@dataclass
+class Fig15Result:
+    """Join-time distributions per scheduling policy."""
+    join_times: Dict[str, List[float]]
+
+    def median(self, label: str) -> float:
+        """Median of the named curve's join times."""
+        return percentile(self.join_times[label], 50)
+
+    def fastest_policy(self) -> str:
+        """Label of the policy with the lowest median join time."""
+        candidates = {k: self.median(k) for k, v in self.join_times.items() if v}
+        return min(candidates, key=candidates.get)  # type: ignore[arg-type]
+
+    def render(self) -> str:
+        """Render the result as printable text."""
+        lines = []
+        for label, values in self.join_times.items():
+            lines.append(
+                format_cdf(
+                    f"Fig15 {label} (median={self.median(label):.2f}s)",
+                    values,
+                    CDF_POINTS_S,
+                )
+            )
+        return "\n".join(lines)
+
+
+def run(
+    labels: Sequence[str] = FIG15_LABELS,
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 300.0,
+    grid: Optional[Dict[str, AggregatedMetrics]] = None,
+) -> Fig15Result:
+    """Execute the experiment and return its structured result."""
+    if grid is None:
+        grid = run_grid(labels=labels, seeds=seeds, duration_s=duration_s)
+    return Fig15Result(
+        join_times={label: grid[label].pooled_join_times() for label in labels}
+    )
+
+
+def main() -> None:
+    """Command-line entry point."""
+    result = run()
+    print(result.render())
+    print(f"fastest policy: {result.fastest_policy()}")
+
+
+if __name__ == "__main__":
+    main()

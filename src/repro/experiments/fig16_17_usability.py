@@ -1,0 +1,112 @@
+"""Figures 16-17: does Spider's supply match mesh users' demand?
+
+The paper compares the CDF of real users' TCP connection durations
+(Fig. 16) and inter-connection gaps (Fig. 17) against the connection and
+disruption distributions Spider achieves while driving.  Claims to check:
+
+* Spider's connection durations stochastically dominate the users' flow
+  durations ("Spider can support all the TCP flows that users need"), and
+* the multi-channel multi-AP configuration's disruptions are comparable to
+  the users' natural inter-connection gaps.
+
+The demand side is the synthetic mesh trace (see
+:mod:`repro.workloads.mesh_users`); the supply side reuses the Table 2
+drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import format_cdf
+from ..analysis.stats import percentile
+from ..workloads.mesh_users import MeshUserConfig, generate_mesh_trace
+from .town_runs import (
+    CONFIG_CH1_MULTI_AP,
+    CONFIG_MULTI_CH_MULTI_AP,
+    ConfigurationSuite,
+    run_configuration_suite,
+)
+
+__all__ = ["UsabilityResult", "run", "main"]
+
+CONNECTION_POINTS_S = (2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 100.0)
+GAP_POINTS_S = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0)
+
+
+@dataclass
+class UsabilityResult:
+    """User demand vs Spider supply distributions."""
+    user_connection_durations: List[float]
+    user_gaps: List[float]
+    spider_connections: Dict[str, List[float]]
+    spider_disruptions: Dict[str, List[float]]
+
+    # ------------------------------------------------------------------
+    def supply_covers_demand_fraction(self, label: str = CONFIG_CH1_MULTI_AP) -> float:
+        """Fraction of user flows shorter than Spider's median connection."""
+        median_supply = percentile(self.spider_connections[label], 50)
+        covered = sum(1 for d in self.user_connection_durations if d <= median_supply)
+        return covered / len(self.user_connection_durations)
+
+    def disruption_comparable_to_user_gaps(
+        self, label: str = CONFIG_MULTI_CH_MULTI_AP
+    ) -> bool:
+        """Multi-channel Spider's median disruption within the users' gap IQR."""
+        med = percentile(self.spider_disruptions[label], 50)
+        return percentile(self.user_gaps, 25) <= med <= percentile(self.user_gaps, 90)
+
+    def render(self) -> str:
+        """Render the result as printable text."""
+        lines = ["-- Fig 16: connection durations --"]
+        lines.append(
+            format_cdf("users' TCP flows", self.user_connection_durations, CONNECTION_POINTS_S)
+        )
+        for label, values in self.spider_connections.items():
+            lines.append(format_cdf(f"Spider {label}", values, CONNECTION_POINTS_S))
+        lines.append("-- Fig 17: gaps / disruptions --")
+        lines.append(format_cdf("users' inter-connection", self.user_gaps, GAP_POINTS_S))
+        for label, values in self.spider_disruptions.items():
+            lines.append(format_cdf(f"Spider {label}", values, GAP_POINTS_S))
+        return "\n".join(lines)
+
+
+def run(
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 900.0,
+    mesh_config: MeshUserConfig = MeshUserConfig(),
+    mesh_seed: int = 0,
+    suite: Optional[ConfigurationSuite] = None,
+) -> UsabilityResult:
+    """Execute the experiment and return its structured result."""
+    labels = (CONFIG_CH1_MULTI_AP, CONFIG_MULTI_CH_MULTI_AP)
+    if suite is None:
+        suite = run_configuration_suite(
+            seeds=seeds, duration_s=duration_s, include_cambridge=False, labels=labels
+        )
+    trace = generate_mesh_trace(mesh_config, seed=mesh_seed)
+    return UsabilityResult(
+        user_connection_durations=trace.connection_durations(),
+        user_gaps=trace.inter_connection_gaps(),
+        spider_connections={label: suite[label].connection_durations_s for label in labels},
+        spider_disruptions={label: suite[label].disruption_durations_s for label in labels},
+    )
+
+
+def main() -> None:
+    """Command-line entry point."""
+    result = run()
+    print(result.render())
+    print(
+        "user flows covered by ch1 multi-AP median connection: "
+        f"{100 * result.supply_covers_demand_fraction():.0f}%"
+    )
+    print(
+        "multi-channel disruptions comparable to user gaps: "
+        f"{result.disruption_comparable_to_user_gaps()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Fleet experiment: several Spider vehicles sharing one town.
+
+The paper's §2.2 measurements ran on five vehicles simultaneously.  This
+experiment puts ``n`` Spider clients (single-channel multi-AP) on the same
+loop, staggered along the route, and measures how per-vehicle and aggregate
+performance scale.  Vehicles contend for three resources the substrate
+models explicitly: channel airtime, per-AP backhaul, and the LMM's
+one-interface-per-AP rule (two vehicles *can* share an AP — they are
+different stations — but they split its backhaul).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.reporting import format_table
+from ..core.link_manager import SpiderConfig
+from ..core.schedule import OperationMode
+from ..core.spider import SpiderClient
+from ..sim.engine import Simulator
+from ..workloads.town import build_town
+
+__all__ = ["FleetRow", "FleetResult", "run", "main"]
+
+
+@dataclass
+class FleetRow:
+    """One fleet size's per-vehicle and aggregate outcomes."""
+    vehicles: int
+    per_vehicle_kBps: float
+    aggregate_kBps: float
+    mean_connectivity_pct: float
+
+
+@dataclass
+class FleetResult:
+    """All fleet rows."""
+    rows: List[FleetRow]
+
+    def aggregate_grows(self) -> bool:
+        """Whether aggregate fleet throughput is (weakly) increasing."""
+        aggregates = [r.aggregate_kBps for r in self.rows]
+        return all(b >= 0.8 * a for a, b in zip(aggregates, aggregates[1:]))
+
+    def per_vehicle_declines_gracefully(self) -> bool:
+        """Per-vehicle share shrinks with fleet size but never collapses."""
+        per = [r.per_vehicle_kBps for r in self.rows]
+        return per[-1] > 0.2 * per[0]
+
+    def render(self) -> str:
+        """Render the result as printable text."""
+        return format_table(
+            ["vehicles", "per-vehicle", "aggregate", "mean connectivity"],
+            [
+                (
+                    r.vehicles,
+                    f"{r.per_vehicle_kBps:.1f} kB/s",
+                    f"{r.aggregate_kBps:.1f} kB/s",
+                    f"{r.mean_connectivity_pct:.1f}%",
+                )
+                for r in self.rows
+            ],
+            title="Fleet scaling: Spider vehicles sharing one town",
+        )
+
+
+def _run_fleet(n_vehicles: int, seed: int, duration_s: float, town_preset: str) -> FleetRow:
+    sim = Simulator(seed=seed)
+    town = build_town(sim, preset=town_preset)
+    spacing = town.config.loop_length_m / max(n_vehicles, 1)
+    clients = []
+    for index in range(n_vehicles):
+        mobility = town.make_vehicle_mobility(10.0, start_arc_m=index * spacing)
+        config = SpiderConfig.spider_defaults(
+            OperationMode.single_channel(1), num_interfaces=7
+        )
+        client = SpiderClient(
+            sim, town.world, mobility, config, client_id=f"veh{index}"
+        )
+        client.start()
+        clients.append(client)
+    sim.run(until=duration_s)
+    throughputs = [c.average_throughput_kBps(duration_s) for c in clients]
+    connectivities = [c.connectivity_percent(duration_s) for c in clients]
+    return FleetRow(
+        vehicles=n_vehicles,
+        per_vehicle_kBps=sum(throughputs) / n_vehicles,
+        aggregate_kBps=sum(throughputs),
+        mean_connectivity_pct=sum(connectivities) / n_vehicles,
+    )
+
+
+def run(
+    fleet_sizes: Sequence[int] = (1, 2, 5),
+    seeds: Sequence[int] = (0,),
+    duration_s: float = 300.0,
+    town_preset: str = "amherst",
+) -> FleetResult:
+    """Execute the experiment and return its structured result."""
+    rows = []
+    for size in fleet_sizes:
+        per_seed = [
+            _run_fleet(size, seed, duration_s, town_preset) for seed in seeds
+        ]
+        n = len(per_seed)
+        rows.append(
+            FleetRow(
+                vehicles=size,
+                per_vehicle_kBps=sum(r.per_vehicle_kBps for r in per_seed) / n,
+                aggregate_kBps=sum(r.aggregate_kBps for r in per_seed) / n,
+                mean_connectivity_pct=sum(
+                    r.mean_connectivity_pct for r in per_seed
+                ) / n,
+            )
+        )
+    return FleetResult(rows=rows)
+
+
+def main() -> None:
+    """Command-line entry point."""
+    result = run()
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

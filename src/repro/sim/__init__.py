@@ -1,0 +1,77 @@
+"""Discrete-event wireless network substrate.
+
+Everything the paper's testbed provided in hardware, rebuilt as a
+timing-faithful simulator: an event engine, an 802.11 medium with channels
+and loss, APs with DHCP servers / PSM buffering / backhaul bottlenecks, a
+packet-level TCP Reno model, mobility, client NIC virtualization, and the
+stock-driver baseline.
+"""
+
+from .engine import EventHandle, PeriodicProcess, Simulator
+from .frames import BROADCAST, DhcpMessage, Frame, FrameKind, TcpSegment
+from .mobility import (
+    LinearMobility,
+    LoopMobility,
+    MobilityModel,
+    StaticPosition,
+    VariableSpeedLoopMobility,
+    circle_point,
+    ring_distance,
+)
+from .radio import Medium, rssi_from_distance
+from .nic import ScanEntry, ScanTable, VirtualInterface, WifiNic
+from .mac import Associator, AssociationState
+from .dhcp import DhcpClient, DhcpServer, LeaseCache
+from .ap import AccessPoint, BackhaulLink
+from .tcp import TcpParams, TcpReceiver, TcpSender
+from .world import ServerHost, World
+from .traffic import ClientFlow, LivenessMonitor, PingService
+from .metrics import JoinAttempt, JoinLog, ThroughputRecorder, segment_lengths
+from .tracing import FrameTrace, TraceRecord
+from .stock_client import StockClient
+
+__all__ = [
+    "EventHandle",
+    "PeriodicProcess",
+    "Simulator",
+    "BROADCAST",
+    "DhcpMessage",
+    "Frame",
+    "FrameKind",
+    "TcpSegment",
+    "LinearMobility",
+    "LoopMobility",
+    "MobilityModel",
+    "StaticPosition",
+    "VariableSpeedLoopMobility",
+    "circle_point",
+    "ring_distance",
+    "Medium",
+    "rssi_from_distance",
+    "ScanEntry",
+    "ScanTable",
+    "VirtualInterface",
+    "WifiNic",
+    "Associator",
+    "AssociationState",
+    "DhcpClient",
+    "DhcpServer",
+    "LeaseCache",
+    "AccessPoint",
+    "BackhaulLink",
+    "TcpParams",
+    "TcpReceiver",
+    "TcpSender",
+    "ServerHost",
+    "World",
+    "ClientFlow",
+    "LivenessMonitor",
+    "PingService",
+    "JoinAttempt",
+    "JoinLog",
+    "ThroughputRecorder",
+    "segment_lengths",
+    "StockClient",
+    "FrameTrace",
+    "TraceRecord",
+]

@@ -1,0 +1,363 @@
+"""Access points: beaconing, association handling, PSM buffering, backhaul.
+
+An :class:`AccessPoint` is a static station on a fixed channel that
+
+* beacons periodically (feeding opportunistic scanning),
+* answers probe/auth/assoc requests with a small processing delay,
+* runs a :class:`~repro.sim.dhcp.DhcpServer`,
+* honours power-save mode: data destined to a PSM client is buffered until
+  the client's PS-poll.  **Join traffic is never PSM-buffered** — the paper's
+  core observation is that DHCP responses cannot be covered by power-save
+  games, so an off-channel client simply misses them,
+* bridges to the wired world through a rate/latency-limited
+  :class:`BackhaulLink` in each direction (backhaul is typically the
+  bottleneck, which is what makes multi-AP aggregation profitable at all).
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from .engine import PeriodicProcess, Simulator
+from .frames import (
+    BROADCAST,
+    DHCP_FRAME_BYTES,
+    MGMT_FRAME_BYTES,
+    PING_FRAME_BYTES,
+    DhcpMessage,
+    Frame,
+    FrameKind,
+)
+from .dhcp import DhcpServer
+from .radio import Medium
+
+__all__ = ["BackhaulLink", "AccessPoint", "BEACON_PERIOD_S"]
+
+logger = logging.getLogger(__name__)
+
+#: 802.11 beacon interval (~102.4 ms nominally).
+BEACON_PERIOD_S = 0.1
+
+#: AP-side processing delay for management responses, seconds.
+AP_PROC_DELAY_S = 2.0e-3
+
+#: Frames buffered per PSM client before tail drop.
+PSM_BUFFER_DEPTH = 100
+
+
+class BackhaulLink:
+    """A serialized, fixed-latency pipe between an AP and the wired core."""
+
+    def __init__(self, sim: Simulator, rate_bps: float, latency_s: float):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive: {rate_bps!r}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative: {latency_s!r}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.latency_s = latency_s
+        self._busy_until = 0.0
+        self.bytes_carried = 0
+
+    def send(self, size_bytes: int, fn: Callable[..., None], *args: Any) -> None:
+        """Deliver ``fn(*args)`` after serialization + propagation."""
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + size_bytes * 8.0 / self.rate_bps
+        self.bytes_carried += size_bytes
+        self.sim.schedule_at(self._busy_until + self.latency_s, fn, *args)
+
+
+@dataclass
+class _ClientState:
+    """Per-associated-client bookkeeping at the AP."""
+
+    mac: str
+    psm: bool = False
+    buffer: Deque[Frame] = field(default_factory=deque)
+    associated_at: float = 0.0
+
+
+class AccessPoint:
+    """One 802.11 AP with a DHCP server and a backhaul.
+
+    ``uplink_handler`` is installed by the :class:`~repro.sim.world.World`
+    and receives every uplink payload that crosses the backhaul, as
+    ``handler(ap, kind, payload, src_mac)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        bssid: str,
+        channel: int,
+        position: Tuple[float, float],
+        subnet: str,
+        backhaul_rate_bps: float = 1.5e6,
+        backhaul_latency_s: float = 0.02,
+        dhcp_response_delay: Optional[Callable[[], float]] = None,
+        ssid: Optional[str] = None,
+        beacon_period_s: float = BEACON_PERIOD_S,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.station_id = bssid
+        self.bssid = bssid
+        self.ssid = ssid if ssid is not None else f"net-{bssid}"
+        self.channel = channel
+        self._position = position
+        if dhcp_response_delay is None:
+            rng = sim.rng(f"dhcp.{bssid}")
+            dhcp_response_delay = lambda: rng.uniform(0.4, 1.2)  # noqa: E731
+        self.dhcp = DhcpServer(sim, subnet=subnet, response_delay=dhcp_response_delay)
+        self.downlink = BackhaulLink(sim, backhaul_rate_bps, backhaul_latency_s)
+        self.uplink = BackhaulLink(sim, backhaul_rate_bps, backhaul_latency_s)
+        self.backhaul_rate_bps = backhaul_rate_bps
+        self.uplink_handler: Optional[Callable[["AccessPoint", FrameKind, Any, str], None]] = None
+        self.clients: Dict[str, _ClientState] = {}
+        self.frames_dropped_unassociated = 0
+        self.frames_dropped_psm_overflow = 0
+        self._beacons = PeriodicProcess(
+            sim,
+            beacon_period_s,
+            self._send_beacon,
+            phase=sim.rng("beacon.phase").uniform(0, beacon_period_s),
+        )
+        medium.register(self)
+
+    # ------------------------------------------------------------------
+    # Station protocol
+    # ------------------------------------------------------------------
+    def position(self) -> Tuple[float, float]:
+        """Current (x, y) coordinates in metres."""
+        return self._position
+
+    def tuned_channel(self) -> Optional[int]:
+        """Channel the radio is currently listening on (None while resetting)."""
+        return self.channel
+
+    def accepts(self, dst: str) -> bool:
+        """Whether a unicast frame addressed to ``dst`` is for this station."""
+        return dst == self.bssid
+
+    # ------------------------------------------------------------------
+    # Beaconing / probing
+    # ------------------------------------------------------------------
+    def _send_beacon(self) -> None:
+        self.medium.transmit(
+            self,
+            Frame(
+                kind=FrameKind.BEACON,
+                src=self.bssid,
+                dst=BROADCAST,
+                size=MGMT_FRAME_BYTES,
+                channel=self.channel,
+                bssid=self.bssid,
+                payload={"ssid": self.ssid},
+            ),
+        )
+
+    def stop(self) -> None:
+        """Stop beaconing (teardown helper for tests)."""
+        self._beacons.stop()
+
+    # ------------------------------------------------------------------
+    # Frame reception
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame, rssi: float) -> None:
+        """Handle one received frame."""
+        kind = frame.kind
+        if kind is FrameKind.PROBE_REQUEST:
+            self._reply(
+                FrameKind.PROBE_RESPONSE, frame.src, payload={"ssid": self.ssid}
+            )
+        elif kind is FrameKind.AUTH_REQUEST:
+            self._reply(FrameKind.AUTH_RESPONSE, frame.src)
+        elif kind is FrameKind.ASSOC_REQUEST:
+            # (Re)association resets the client's session state: a client
+            # returning after driving out of range must not inherit the
+            # stale power-save flag and buffer from its previous visit.
+            self.clients[frame.src] = _ClientState(
+                mac=frame.src, associated_at=self.sim.now
+            )
+            self._reply(
+                FrameKind.ASSOC_RESPONSE, frame.src, payload={"accepted": True}
+            )
+        elif kind is FrameKind.DISASSOC:
+            self.clients.pop(frame.src, None)
+        elif kind is FrameKind.PSM:
+            state = self.clients.get(frame.src)
+            if state is not None:
+                state.psm = True
+        elif kind is FrameKind.PS_POLL:
+            self._handle_ps_poll(frame.src)
+        elif kind is FrameKind.DHCP:
+            message = frame.payload
+            if isinstance(message, DhcpMessage):
+                self.dhcp.handle(message, self._reply_dhcp)
+        elif kind is FrameKind.PING_REQUEST:
+            self._handle_ping(frame)
+        elif kind is FrameKind.DATA:
+            self._handle_uplink_data(frame)
+
+    # ------------------------------------------------------------------
+    # Management replies
+    # ------------------------------------------------------------------
+    def _reply(self, kind: FrameKind, dst: str, payload=None) -> None:
+        self.sim.schedule(
+            AP_PROC_DELAY_S,
+            self.medium.transmit,
+            self,
+            Frame(
+                kind=kind,
+                src=self.bssid,
+                dst=dst,
+                size=MGMT_FRAME_BYTES,
+                channel=self.channel,
+                bssid=self.bssid,
+                payload=payload,
+            ),
+        )
+
+    def _reply_dhcp(self, message: DhcpMessage, delay_s: float) -> None:
+        """DHCP answers are never PSM-buffered: off-channel clients miss them."""
+        self.sim.schedule(
+            delay_s,
+            self.medium.transmit,
+            self,
+            Frame(
+                kind=FrameKind.DHCP,
+                src=self.bssid,
+                dst=message.client_mac,
+                size=DHCP_FRAME_BYTES,
+                channel=self.channel,
+                bssid=self.bssid,
+                payload=message,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Power-save mode
+    # ------------------------------------------------------------------
+    def _handle_ps_poll(self, client_mac: str) -> None:
+        state = self.clients.get(client_mac)
+        if state is None:
+            return
+        state.psm = False
+        while state.buffer:
+            self.medium.transmit(self, state.buffer.popleft())
+
+    # ------------------------------------------------------------------
+    # Ping (LMM liveness + end-to-end join verification)
+    # ------------------------------------------------------------------
+    def _handle_ping(self, frame: Frame) -> None:
+        payload = frame.payload if isinstance(frame.payload, dict) else {}
+        dst_ip = payload.get("dst_ip")
+        if dst_ip in (None, self.dhcp.gateway_ip):
+            # Gateway ping: answer locally.
+            self._send_ping_reply(frame.src, payload)
+            return
+        # End-to-end ping: cross the backhaul, let the wired side echo.
+        self.uplink.send(
+            frame.size, self._dispatch_uplink, FrameKind.PING_REQUEST, payload, frame.src
+        )
+
+    def _send_ping_reply(self, dst_mac: str, payload: dict) -> None:
+        self.send_downlink_to_mac(
+            dst_mac,
+            Frame(
+                kind=FrameKind.PING_REPLY,
+                src=self.bssid,
+                dst=dst_mac,
+                size=PING_FRAME_BYTES,
+                channel=self.channel,
+                bssid=self.bssid,
+                payload=dict(payload),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Uplink data path (client -> wired)
+    # ------------------------------------------------------------------
+    def _handle_uplink_data(self, frame: Frame) -> None:
+        if frame.src not in self.clients:
+            self.frames_dropped_unassociated += 1
+            return
+        self.uplink.send(
+            frame.size, self._dispatch_uplink, FrameKind.DATA, frame.payload, frame.src
+        )
+
+    def _dispatch_uplink(self, kind: FrameKind, payload: Any, src_mac: str) -> None:
+        if self.uplink_handler is not None:
+            self.uplink_handler(self, kind, payload, src_mac)
+
+    # ------------------------------------------------------------------
+    # Downlink data path (wired -> client)
+    # ------------------------------------------------------------------
+    def deliver_downlink(self, dst_ip: str, kind: FrameKind, payload: Any, size: int) -> None:
+        """Entry point from the wired core: queue onto the backhaul."""
+        self.downlink.send(size, self._downlink_arrived, dst_ip, kind, payload, size)
+
+    def _downlink_arrived(self, dst_ip: str, kind: FrameKind, payload: Any, size: int) -> None:
+        client_mac = self.dhcp.mac_for_ip(dst_ip)
+        if client_mac is None or client_mac not in self.clients:
+            self.frames_dropped_unassociated += 1
+            return
+        self.send_downlink_to_mac(
+            client_mac,
+            Frame(
+                kind=kind,
+                src=self.bssid,
+                dst=client_mac,
+                size=size,
+                channel=self.channel,
+                bssid=self.bssid,
+                payload=payload,
+            ),
+        )
+
+    def send_downlink_to_mac(self, client_mac: str, frame: Frame) -> None:
+        """Transmit to an associated client, honouring PSM buffering."""
+        state = self.clients.get(client_mac)
+        if state is None:
+            self.frames_dropped_unassociated += 1
+            return
+        if state.psm:
+            self._psm_buffer(state, frame)
+            return
+        self.medium.transmit(self, frame)
+
+    def _psm_buffer(self, state: _ClientState, frame: Frame) -> None:
+        if len(state.buffer) >= PSM_BUFFER_DEPTH:
+            self.frames_dropped_psm_overflow += 1
+            state.buffer.popleft()
+        state.buffer.append(frame)
+
+    def on_delivery_failed(self, frame: Frame) -> None:
+        """Link-layer retries toward this client all failed.
+
+        For data-plane frames to a still-associated client, the station is
+        evidently asleep or mid-switch: mark it power-saving and re-queue
+        the frame, exactly as production APs move unACKed frames to the PS
+        queue.  Join-plane frames (auth/assoc/DHCP) are *not* rescued —
+        that asymmetry is the paper's core premise.
+        """
+        if frame.kind not in (FrameKind.DATA, FrameKind.PING_REPLY):
+            return
+        state = self.clients.get(frame.dst)
+        if state is None:
+            self.frames_dropped_unassociated += 1
+            return
+        state.psm = True
+        self._psm_buffer(state, frame)
+
+    # ------------------------------------------------------------------
+    def is_associated(self, client_mac: str) -> bool:
+        """Whether the client MAC is currently associated."""
+        return client_mac in self.clients
+
+    def __repr__(self) -> str:
+        return f"AccessPoint({self.bssid}, ch{self.channel}, {len(self.clients)} clients)"

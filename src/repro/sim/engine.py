@@ -1,0 +1,211 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the foundation of the :mod:`repro.sim` substrate.  It provides
+
+* a time-ordered event queue with stable FIFO ordering for simultaneous
+  events (insertion order breaks ties, which keeps runs reproducible),
+* cancellable timers,
+* named, independently seeded random streams so that changing how one
+  subsystem consumes randomness does not perturb another subsystem, and
+* a tiny periodic-process helper used by beaconing, ping probers, and the
+  link-management tick.
+
+The design is intentionally callback-based rather than coroutine-based:
+protocol logic in this package is written as explicit state machines, and
+explicit machines are easier to unit-test and to reason about than implicit
+generator state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["EventHandle", "Simulator", "PeriodicProcess"]
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.
+
+    Ordering is by ``(time, seq)``; ``seq`` is a monotonically increasing
+    counter so ties are broken by scheduling order.
+    """
+
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`.  Calling :meth:`cancel` before the event
+    fires prevents the callback from running; cancelling after it fired is a
+    harmless no-op.
+    """
+
+    __slots__ = ("fn", "args", "cancelled", "fired", "time")
+
+    def __init__(self, time: float, fn: Callable[..., None], args: tuple):
+        self.time = time
+        self.fn: Optional[Callable[..., None]] = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled timers do not pin objects.
+        self.fn = None
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has neither fired nor been cancelled."""
+        return not (self.cancelled or self.fired)
+
+
+class Simulator:
+    """A discrete-event simulator with deterministic execution.
+
+    Parameters
+    ----------
+    seed:
+        Base seed for all random streams.  Two simulators constructed with
+        the same seed and driven by the same code execute identically.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.now: float = 0.0
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._streams: Dict[str, random.Random] = {}
+        self._running = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Random streams
+    # ------------------------------------------------------------------
+    def rng(self, name: str) -> random.Random:
+        """Return the named random stream, creating it on first use.
+
+        Each stream is seeded from ``(base seed, stream name)`` so streams
+        are mutually independent and stable across runs.
+        """
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(f"{self.seed}/{name}")
+            self._streams[name] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute simulation ``time``."""
+        if math.isnan(time):
+            raise ValueError("event time is NaN")
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        handle = EventHandle(time, fn, args)
+        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float = math.inf, max_events: Optional[int] = None) -> None:
+        """Run events in order until the queue drains or ``until`` is reached.
+
+        The clock is advanced to ``until`` at the end of the run (when
+        ``until`` is finite), so periodic processes observe a full window.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        budget = math.inf if max_events is None else max_events
+        try:
+            while self._queue:
+                entry = self._queue[0]
+                if entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                handle = entry.handle
+                if handle.cancelled:
+                    continue
+                if budget <= 0:
+                    raise RuntimeError("event budget exhausted; possible event storm")
+                budget -= 1
+                self.now = entry.time
+                handle.fired = True
+                fn, args = handle.fn, handle.args
+                handle.fn, handle.args = None, ()
+                self.events_processed += 1
+                fn(*args)  # type: ignore[misc]
+            if until != math.inf and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.handle.cancelled)
+
+
+class PeriodicProcess:
+    """Invoke a callback at a fixed period until stopped.
+
+    The callback runs first after ``phase`` seconds (default: one full
+    period), then every ``period`` seconds.  Used for beacons, ping probers,
+    link-manager ticks, and metric sampling.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[[], None],
+        phase: Optional[float] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period!r}")
+        self.sim = sim
+        self.period = period
+        self.fn = fn
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        first = period if phase is None else phase
+        self._handle = sim.schedule(first, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.fn()
+        if not self._stopped:
+            self._handle = self.sim.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Stop the process; pending tick (if any) is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the process is still scheduled."""
+        return not self._stopped

@@ -1,0 +1,199 @@
+"""Metric collection: the four key metrics of §4.3 plus join-event logs.
+
+* **Average throughput** — bytes delivered to the sink per unit time.
+* **Average connectivity** — percentage of time bins with non-zero delivery.
+* **Disruption length** — contiguous periods with no delivery.
+* **Instantaneous bandwidth** — per-second delivery during connected bins.
+
+:class:`ThroughputRecorder` bins delivered bytes into fixed-width windows
+and derives all four.  :class:`JoinLog` records every join attempt with how
+far it got (association / DHCP / end-to-end), feeding Figs. 5, 6, 14, 15 and
+Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .engine import Simulator
+
+__all__ = ["ThroughputRecorder", "JoinAttempt", "JoinLog", "segment_lengths"]
+
+
+def segment_lengths(flags: List[bool], bin_s: float) -> Tuple[List[float], List[float]]:
+    """Split a boolean timeline into (connected, disrupted) segment lengths.
+
+    Returns two lists of durations in seconds: maximal runs of True bins and
+    maximal runs of False bins.  Together they partition the timeline.
+    """
+    connected: List[float] = []
+    disrupted: List[float] = []
+    run_value: Optional[bool] = None
+    run_length = 0
+    for value in flags:
+        if value == run_value:
+            run_length += 1
+            continue
+        if run_value is not None:
+            (connected if run_value else disrupted).append(run_length * bin_s)
+        run_value = value
+        run_length = 1
+    if run_value is not None and run_length:
+        (connected if run_value else disrupted).append(run_length * bin_s)
+    return connected, disrupted
+
+
+class ThroughputRecorder:
+    """Delivered-byte timeline with fixed-width bins."""
+
+    def __init__(self, sim: Simulator, bin_s: float = 1.0):
+        if bin_s <= 0:
+            raise ValueError(f"bin width must be positive: {bin_s!r}")
+        self.sim = sim
+        self.bin_s = bin_s
+        self._bins: Dict[int, int] = {}
+        self.total_bytes = 0
+        self.started_at = sim.now
+
+    def record(self, byte_count: int) -> None:
+        """Credit bytes to the current time bin."""
+        if byte_count <= 0:
+            return
+        index = int(self.sim.now / self.bin_s)
+        self._bins[index] = self._bins.get(index, 0) + byte_count
+        self.total_bytes += byte_count
+
+    # ------------------------------------------------------------------
+    def _bin_range(self, duration_s: Optional[float]) -> Tuple[int, int]:
+        start = int(self.started_at / self.bin_s)
+        if duration_s is None:
+            end = int(self.sim.now / self.bin_s)
+        else:
+            end = int((self.started_at + duration_s) / self.bin_s)
+        return start, max(end, start)
+
+    def timeline(self, duration_s: Optional[float] = None) -> List[int]:
+        """Bytes per bin from the recorder's start over the duration."""
+        start, end = self._bin_range(duration_s)
+        return [self._bins.get(i, 0) for i in range(start, end)]
+
+    def connected_flags(self, duration_s: Optional[float] = None) -> List[bool]:
+        """Per-bin booleans: was anything delivered in the bin?"""
+        return [b > 0 for b in self.timeline(duration_s)]
+
+    # ------------------------------------------------------------------
+    # The four §4.3 metrics
+    # ------------------------------------------------------------------
+    def average_throughput_bps(self, duration_s: Optional[float] = None) -> float:
+        """Mean delivery rate in bytes/second over the whole window."""
+        timeline = self.timeline(duration_s)
+        if not timeline:
+            return 0.0
+        return sum(timeline) / (len(timeline) * self.bin_s)
+
+    def connectivity_fraction(self, duration_s: Optional[float] = None) -> float:
+        """Fraction of bins with non-zero delivery."""
+        flags = self.connected_flags(duration_s)
+        if not flags:
+            return 0.0
+        return sum(flags) / len(flags)
+
+    def connection_durations(self, duration_s: Optional[float] = None) -> List[float]:
+        """Lengths of maximal connected runs, seconds."""
+        connected, _ = segment_lengths(self.connected_flags(duration_s), self.bin_s)
+        return connected
+
+    def disruption_durations(self, duration_s: Optional[float] = None) -> List[float]:
+        """Lengths of maximal disconnected runs, seconds."""
+        _, disrupted = segment_lengths(self.connected_flags(duration_s), self.bin_s)
+        return disrupted
+
+    def instantaneous_bandwidths_bps(self, duration_s: Optional[float] = None) -> List[float]:
+        """Per-bin delivery rate during connected bins only (Fig. 13)."""
+        return [b / self.bin_s for b in self.timeline(duration_s) if b > 0]
+
+    def average_throughput_between_bps(self, start_s: float, end_s: float) -> float:
+        """Mean delivery rate over an absolute window (warm-up exclusion)."""
+        if end_s <= start_s:
+            raise ValueError("end_s must exceed start_s")
+        first = int(start_s / self.bin_s)
+        last = int(end_s / self.bin_s)
+        total = sum(self._bins.get(i, 0) for i in range(first, last))
+        return total / ((last - first) * self.bin_s) if last > first else 0.0
+
+
+@dataclass
+class JoinAttempt:
+    """One attempt to join one AP, however far it got."""
+
+    bssid: str
+    channel: int
+    started_at: float
+    associated: bool = False
+    association_time_s: Optional[float] = None
+    leased: bool = False
+    dhcp_time_s: Optional[float] = None
+    used_cache: bool = False
+    verified: bool = False
+    join_time_s: Optional[float] = None  # association + dhcp (Figs. 14/15)
+    failure_reason: Optional[str] = None
+
+    @property
+    def dhcp_attempted(self) -> bool:
+        """True if the attempt reached the DHCP stage."""
+        return self.associated
+
+
+class JoinLog:
+    """Accumulates :class:`JoinAttempt` records for a whole run."""
+
+    def __init__(self) -> None:
+        self.attempts: List[JoinAttempt] = []
+
+    def new_attempt(self, bssid: str, channel: int, now: float) -> JoinAttempt:
+        """Open a new join-attempt record."""
+        attempt = JoinAttempt(bssid=bssid, channel=channel, started_at=now)
+        self.attempts.append(attempt)
+        return attempt
+
+    # ------------------------------------------------------------------
+    def association_times(self) -> List[float]:
+        """Durations of successful link-layer associations."""
+        return [
+            a.association_time_s
+            for a in self.attempts
+            if a.association_time_s is not None
+        ]
+
+    def dhcp_times(self) -> List[float]:
+        """Durations of successful lease acquisitions."""
+        return [a.dhcp_time_s for a in self.attempts if a.dhcp_time_s is not None]
+
+    def join_times(self) -> List[float]:
+        """Durations of complete joins (association + DHCP)."""
+        return [a.join_time_s for a in self.attempts if a.join_time_s is not None]
+
+    def association_success_rate(self) -> float:
+        """Fraction of attempts that associated."""
+        if not self.attempts:
+            return math.nan
+        return sum(a.associated for a in self.attempts) / len(self.attempts)
+
+    def dhcp_failure_rate(self) -> float:
+        """Failed DHCP attempts / attempts that reached DHCP (Table 3)."""
+        reached = [a for a in self.attempts if a.dhcp_attempted]
+        if not reached:
+            return math.nan
+        return sum(not a.leased for a in reached) / len(reached)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of successful leases served from cache."""
+        leased = [a for a in self.attempts if a.leased]
+        if not leased:
+            return math.nan
+        return sum(a.used_cache for a in leased) / len(leased)
+
+    def __len__(self) -> int:
+        return len(self.attempts)

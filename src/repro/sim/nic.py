@@ -1,0 +1,304 @@
+"""Client wireless hardware: one physical radio, many virtual interfaces.
+
+This module models the hardware layer Spider's driver sits on:
+
+* :class:`WifiNic` — the physical card.  It is tuned to exactly one channel
+  at a time (or none, during the hardware reset a channel change requires),
+  owns one outbound queue per channel, and hosts any number of virtual
+  interfaces.  Frames sent for a channel the card is not currently on are
+  buffered and flushed when the card returns — Design Choice 1 of the paper
+  (per-*channel* queues rather than per-AP queues).
+* :class:`VirtualInterface` — one 802.11 persona with its own MAC address,
+  exposed to the host as a separate network device (Design Choice 3).
+* :class:`ScanTable` — the opportunistic-scanning state: beacons and probe
+  responses overheard on the current channel populate it without dedicated
+  scan time.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .engine import Simulator
+from .frames import BROADCAST, Frame, FrameKind, MGMT_FRAME_BYTES
+from .mobility import MobilityModel
+from .radio import Medium
+
+__all__ = ["ScanEntry", "ScanTable", "VirtualInterface", "WifiNic"]
+
+logger = logging.getLogger(__name__)
+
+#: Hardware-reset time for a channel change, seconds.  Table 1 measures the
+#: zero-interface switch at 4.94 ms and attributes most of it to this reset.
+DEFAULT_RESET_S = 4.9e-3
+
+#: Per-channel outbound queue depth, frames.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: RSSI exponential-average weight for repeated sightings of the same AP.
+_RSSI_EWMA = 0.5
+
+
+@dataclass
+class ScanEntry:
+    """One AP sighting record in the scan table."""
+
+    bssid: str
+    ssid: str
+    channel: int
+    rssi: float
+    last_seen: float
+    sightings: int = 1
+
+
+class ScanTable:
+    """APs heard from recently, populated by opportunistic scanning."""
+
+    def __init__(self, max_age_s: float = 5.0):
+        self.max_age_s = max_age_s
+        self._entries: Dict[str, ScanEntry] = {}
+
+    def observe(self, frame: Frame, rssi: float, now: float) -> None:
+        """Record a beacon or probe response."""
+        bssid = frame.bssid or frame.src
+        ssid = ""
+        if isinstance(frame.payload, dict):
+            ssid = frame.payload.get("ssid", "")
+        entry = self._entries.get(bssid)
+        if entry is None:
+            self._entries[bssid] = ScanEntry(
+                bssid=bssid, ssid=ssid, channel=frame.channel, rssi=rssi, last_seen=now
+            )
+        else:
+            entry.rssi = (1 - _RSSI_EWMA) * entry.rssi + _RSSI_EWMA * rssi
+            entry.last_seen = now
+            entry.channel = frame.channel
+            entry.sightings += 1
+
+    def fresh_entries(self, now: float, channels: Optional[List[int]] = None) -> List[ScanEntry]:
+        """Entries seen within ``max_age_s``, optionally channel-filtered.
+
+        Stale entries are pruned as a side effect; results are sorted by
+        descending RSSI so callers can use index 0 as "strongest".
+        """
+        cutoff = now - self.max_age_s
+        stale = [b for b, e in self._entries.items() if e.last_seen < cutoff]
+        for bssid in stale:
+            del self._entries[bssid]
+        entries = [
+            e
+            for e in self._entries.values()
+            if channels is None or e.channel in channels
+        ]
+        entries.sort(key=lambda e: (-e.rssi, e.bssid))
+        return entries
+
+    def get(self, bssid: str) -> Optional[ScanEntry]:
+        """Fetch a valid (unexpired) lease for the BSSID, if cached."""
+        return self._entries.get(bssid)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class VirtualInterface:
+    """One virtual 802.11 interface (one Linux netdev in real Spider).
+
+    Protocol layers (association FSM, DHCP client, data plane) register
+    per-frame-kind handlers; the NIC demultiplexes received unicast frames
+    to the owning interface by destination MAC.
+    """
+
+    def __init__(self, nic: "WifiNic", index: int):
+        self.nic = nic
+        self.index = index
+        self.mac = f"{nic.station_id}:if{index}"
+        #: Channel this interface's AP lives on (None when unbound).
+        self.channel: Optional[int] = None
+        #: BSSID the interface is bound to / joining (None when idle).
+        self.bssid: Optional[str] = None
+        #: Leased IP address once DHCP completes.
+        self.ip: Optional[str] = None
+        self.gateway_ip: Optional[str] = None
+        #: True once link-layer association has completed (PSM signalling
+        #: applies only to associated interfaces).
+        self.link_associated: bool = False
+        #: True once the join pipeline has fully verified the link.
+        self.routable: bool = False
+        self.handlers: Dict[FrameKind, Callable[[Frame, float], None]] = {}
+
+    def send(self, frame: Frame) -> None:
+        """Send through the physical card (queued if the card is off-channel)."""
+        if self.channel is None:
+            raise RuntimeError(f"{self.mac}: send with no channel bound")
+        frame.channel = self.channel
+        self.nic.send(frame)
+
+    def send_mgmt(self, kind: FrameKind, dst: str, payload=None, size: int = MGMT_FRAME_BYTES) -> None:
+        """Convenience constructor+send for management frames."""
+        self.send(
+            Frame(kind=kind, src=self.mac, dst=dst, size=size, bssid=self.bssid, payload=payload)
+        )
+
+    def reset_binding(self) -> None:
+        """Clear all join state (AP lost or released)."""
+        self.channel = None
+        self.bssid = None
+        self.ip = None
+        self.gateway_ip = None
+        self.link_associated = False
+        self.routable = False
+        self.handlers.clear()
+
+    @property
+    def bound(self) -> bool:
+        """Whether the interface is bound to (or joining) an AP."""
+        return self.bssid is not None
+
+    def __repr__(self) -> str:
+        return f"VirtualInterface({self.mac}, bssid={self.bssid}, ip={self.ip})"
+
+
+class WifiNic:
+    """The physical Wi-Fi card shared by all virtual interfaces.
+
+    The card is on exactly one channel at a time.  ``tune`` models the
+    hardware reset a channel change requires: during the reset the radio
+    hears nothing (``tuned_channel()`` is None).  Outbound frames for other
+    channels wait in per-channel queues, preserving Spider's semantics that
+    leaving a channel buffers that channel's traffic rather than dropping it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        mobility: MobilityModel,
+        nic_id: str,
+        initial_channel: int = 1,
+        reset_s: float = DEFAULT_RESET_S,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.mobility = mobility
+        self.station_id = nic_id
+        self.reset_s = reset_s
+        self.queue_depth = queue_depth
+        self.current_channel: int = initial_channel
+        self._resetting = False
+        self.interfaces: List[VirtualInterface] = []
+        self._iface_by_mac: Dict[str, VirtualInterface] = {}
+        self._queues: Dict[int, Deque[Frame]] = {}
+        self.scan_table = ScanTable()
+        #: Called for every received frame (after dispatch); used by
+        #: promiscuous observers such as metric collectors.
+        self.sniffers: List[Callable[[Frame, float], None]] = []
+        self.switches = 0
+        self.frames_dropped_queue_full = 0
+        medium.register(self)
+
+    # ------------------------------------------------------------------
+    # Station protocol
+    # ------------------------------------------------------------------
+    def position(self) -> Tuple[float, float]:
+        """Current (x, y) coordinates in metres."""
+        return self.mobility.position_at(self.sim.now)
+
+    def tuned_channel(self) -> Optional[int]:
+        """Channel the radio is currently listening on (None while resetting)."""
+        return None if self._resetting else self.current_channel
+
+    def accepts(self, dst: str) -> bool:
+        """Whether a unicast frame addressed to ``dst`` is for this station."""
+        return dst == self.station_id or dst in self._iface_by_mac
+
+    def on_frame(self, frame: Frame, rssi: float) -> None:
+        """Handle one received frame."""
+        if frame.kind in (FrameKind.BEACON, FrameKind.PROBE_RESPONSE):
+            self.scan_table.observe(frame, rssi, self.sim.now)
+        for sniffer in self.sniffers:
+            sniffer(frame, rssi)
+        if frame.dst == BROADCAST:
+            return
+        iface = self._iface_by_mac.get(frame.dst)
+        if iface is None:
+            return
+        handler = iface.handlers.get(frame.kind)
+        if handler is not None:
+            handler(frame, rssi)
+
+    # ------------------------------------------------------------------
+    # Interfaces
+    # ------------------------------------------------------------------
+    def add_interface(self) -> VirtualInterface:
+        """Create and register a new virtual interface."""
+        iface = VirtualInterface(self, len(self.interfaces))
+        self.interfaces.append(iface)
+        self._iface_by_mac[iface.mac] = iface
+        return iface
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> None:
+        """Transmit now if on-channel, otherwise buffer for that channel."""
+        if not self._resetting and frame.channel == self.current_channel:
+            self.medium.transmit(self, frame)
+            return
+        queue = self._queues.setdefault(frame.channel, deque())
+        if len(queue) >= self.queue_depth:
+            self.frames_dropped_queue_full += 1
+            queue.popleft()  # oldest frame is the least useful to keep
+        queue.append(frame)
+
+    def send_probe_request(self) -> None:
+        """Broadcast a probe request on the current channel."""
+        if self._resetting:
+            return
+        self.medium.transmit(
+            self,
+            Frame(
+                kind=FrameKind.PROBE_REQUEST,
+                src=self.station_id,
+                dst=BROADCAST,
+                size=MGMT_FRAME_BYTES,
+                channel=self.current_channel,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Channel control
+    # ------------------------------------------------------------------
+    def tune(self, channel: int, on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Retune the card: hardware reset, then flush the channel's queue.
+
+        The caller (Spider's driver) is responsible for PSM signalling on
+        the old channel *before* calling tune; this method only models the
+        reset plus queue flush.
+        """
+        if self._resetting:
+            raise RuntimeError(f"{self.station_id}: tune during reset")
+        if channel == self.current_channel:
+            if on_complete is not None:
+                on_complete()
+            return
+        self._resetting = True
+        self.switches += 1
+        self.sim.schedule(self.reset_s, self._finish_tune, channel, on_complete)
+
+    def _finish_tune(self, channel: int, on_complete: Optional[Callable[[], None]]) -> None:
+        self.current_channel = channel
+        self._resetting = False
+        queue = self._queues.get(channel)
+        while queue:
+            self.medium.transmit(self, queue.popleft())
+        if on_complete is not None:
+            on_complete()
+
+    def queued_frames(self, channel: int) -> int:
+        """Frames buffered for the channel while off-channel."""
+        return len(self._queues.get(channel, ()))

@@ -1,0 +1,218 @@
+"""Wireless medium: channels, range, airtime serialization, and loss.
+
+The model is deliberately at the granularity the paper's analysis needs:
+
+* **Channels** are orthogonal; a frame on channel 6 is invisible on 1 and 11.
+* **Airtime** on a channel is serialized FIFO — a transmission begins when the
+  channel is free, so stations sharing a channel share its capacity.  This is
+  a first-order stand-in for CSMA/CA that preserves the "wireless bandwidth
+  Bw is split among users of the channel" behaviour Eq. 8 assumes.
+* **Range** is a disk of radius ``range_m`` (the paper assumes 100 m).
+* **Loss** is i.i.d. per delivery with probability ``loss_rate`` (the model's
+  ``h``) for management-plane frames — beacons, probes, the association
+  handshake, DHCP — matching the per-message loss the join model assumes.
+  Unicast *data* frames (TCP segments, pings) additionally benefit from
+  802.11 link-layer retransmission: their residual loss is
+  ``h^(1+retry_limit)`` and their airtime is inflated by the expected
+  number of transmissions ``1/(1-h)``.
+* **RSSI** follows a log-distance path-loss curve and is reported to
+  receivers so AP selection can break ties on signal strength.
+
+Stations are any objects satisfying :class:`Station`; mobile clients and APs
+both register with the medium.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from .engine import Simulator
+from .frames import Frame, FrameKind
+
+__all__ = ["Station", "Medium", "rssi_from_distance"]
+
+#: Frame kinds that enjoy 802.11 link-layer retransmission (data plane).
+_RETRIED_KINDS = frozenset(
+    {FrameKind.DATA, FrameKind.PING_REQUEST, FrameKind.PING_REPLY}
+)
+
+#: 802.11 retry limit applied to data-plane unicast frames.
+DATA_RETRY_LIMIT = 3
+
+#: Per-frame fixed MAC/PHY overhead added to airtime, seconds (preamble,
+#: DIFS/SIFS, link-layer ACK).  A round number in the right regime.
+FRAME_OVERHEAD_S = 3.0e-4
+
+#: One-way propagation delay, seconds.  Negligible at Wi-Fi ranges but kept
+#: non-zero so event ordering between tx and rx is unambiguous.
+PROPAGATION_DELAY_S = 1.0e-6
+
+
+def rssi_from_distance(distance_m: float) -> float:
+    """Log-distance path-loss RSSI estimate in dBm.
+
+    Calibrated so that ~1 m gives -40 dBm and 100 m (edge of the paper's
+    assumed range) gives roughly -90 dBm.
+    """
+    d = max(distance_m, 1.0)
+    return -40.0 - 25.0 * math.log10(d)
+
+
+class Station(Protocol):
+    """What the medium requires of a registered radio endpoint."""
+
+    station_id: str
+
+    def position(self) -> Tuple[float, float]:
+        """Current (x, y) coordinates in metres."""
+        ...
+
+    def tuned_channel(self) -> Optional[int]:
+        """Channel the radio is listening on, or None if off/resetting."""
+        ...
+
+    def accepts(self, dst: str) -> bool:
+        """True if a unicast frame addressed to ``dst`` is for this station.
+
+        A physical client NIC accepts the MAC of every virtual interface it
+        hosts; an AP accepts its BSSID.
+        """
+        ...
+
+    def on_frame(self, frame: Frame, rssi: float) -> None:
+        """Deliver a received frame."""
+        ...
+
+
+class Medium:
+    """The shared wireless medium.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    data_rate_bps:
+        Channel bit rate; the paper's Bw = 11 Mb/s by default.
+    range_m:
+        Radio range (disk model); 100 m per the paper.
+    loss_rate:
+        i.i.d. per-delivery frame-loss probability ``h``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        data_rate_bps: float = 11e6,
+        range_m: float = 100.0,
+        loss_rate: float = 0.1,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate!r}")
+        if data_rate_bps <= 0 or range_m <= 0:
+            raise ValueError("data_rate_bps and range_m must be positive")
+        self.sim = sim
+        self.data_rate_bps = data_rate_bps
+        self.range_m = range_m
+        self.loss_rate = loss_rate
+        self._stations: Dict[str, Station] = {}
+        self._busy_until: Dict[int, float] = {}
+        self._rng = sim.rng("medium.loss")
+        #: Optional observers called as fn(frame, receiver_id) on delivery.
+        self.delivery_hooks: List[Callable[[Frame, str], None]] = []
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+
+    # ------------------------------------------------------------------
+    def register(self, station: Station) -> None:
+        """Add a station; id collisions are programming errors."""
+        if station.station_id in self._stations:
+            raise ValueError(f"duplicate station id {station.station_id!r}")
+        self._stations[station.station_id] = station
+
+    def unregister(self, station_id: str) -> None:
+        """Remove a station from the medium."""
+        self._stations.pop(station_id, None)
+
+    def stations(self) -> List[Station]:
+        """All registered stations."""
+        return list(self._stations.values())
+
+    # ------------------------------------------------------------------
+    def _is_retried(self, frame: Frame) -> bool:
+        return frame.kind in _RETRIED_KINDS and not frame.is_broadcast
+
+    def airtime(self, frame: Frame) -> float:
+        """Seconds of channel time a frame occupies.
+
+        Data-plane unicast frames include the expected cost of link-layer
+        retransmissions (``1/(1-h)`` transmissions on average).
+        """
+        base = frame.size * 8.0 / self.data_rate_bps + FRAME_OVERHEAD_S
+        if self._is_retried(frame) and self.loss_rate > 0:
+            return base / (1.0 - self.loss_rate)
+        return base
+
+    def delivery_loss_probability(self, frame: Frame) -> float:
+        """Residual loss probability after any link-layer retries."""
+        if self._is_retried(frame):
+            return self.loss_rate ** (1 + DATA_RETRY_LIMIT)
+        return self.loss_rate
+
+    def channel_busy_until(self, channel: int) -> float:
+        """Absolute time the channel's current transmissions end."""
+        return self._busy_until.get(channel, 0.0)
+
+    def transmit(self, sender: Station, frame: Frame) -> float:
+        """Queue a frame for transmission on ``frame.channel``.
+
+        Returns the absolute time at which the transmission completes.  The
+        channel is serialized: the frame starts when the channel frees up.
+        Delivery (including the in-range and tuned checks) happens at
+        completion time, so stations that moved away or retuned mid-flight
+        miss the frame — exactly the hazard the join model studies.
+        """
+        now = self.sim.now
+        start = max(now, self._busy_until.get(frame.channel, 0.0))
+        done = start + self.airtime(frame)
+        self._busy_until[frame.channel] = done
+        self.frames_sent += 1
+        self.sim.schedule_at(
+            done + PROPAGATION_DELAY_S, self._deliver, sender.station_id, frame
+        )
+        return done
+
+    # ------------------------------------------------------------------
+    def _deliver(self, sender_id: str, frame: Frame) -> None:
+        sender = self._stations.get(sender_id)
+        if sender is None:
+            return  # sender vanished mid-flight (e.g., torn down)
+        sx, sy = sender.position()
+        receiver_reachable = False
+        for station in list(self._stations.values()):
+            if station.station_id == sender_id:
+                continue
+            if station.tuned_channel() != frame.channel:
+                continue
+            if not frame.is_broadcast and not station.accepts(frame.dst):
+                continue
+            rx, ry = station.position()
+            distance = math.hypot(sx - rx, sy - ry)
+            if distance > self.range_m:
+                continue
+            receiver_reachable = True
+            if self._rng.random() < self.delivery_loss_probability(frame):
+                self.frames_lost += 1
+                continue
+            self.frames_delivered += 1
+            for hook in self.delivery_hooks:
+                hook(frame, station.station_id)
+            station.on_frame(frame, rssi_from_distance(distance))
+        if not frame.is_broadcast and not receiver_reachable:
+            # No eligible receiver: the link-layer ACK never comes back.
+            # Senders that care (APs re-queueing toward sleeping clients)
+            # implement on_delivery_failed.
+            failed = getattr(sender, "on_delivery_failed", None)
+            if failed is not None:
+                failed(frame)

@@ -1,0 +1,338 @@
+"""Packet-level TCP Reno model.
+
+Figures 7, 8, and 10 of the paper hinge on two TCP mechanisms:
+
+* **retransmission timeouts** fire when the client is away from the data
+  channel longer than the RTO, collapsing cwnd to one segment, and
+* **slow start** must then rebuild the window, so every timeout costs far
+  more than the time away.
+
+This module implements enough of RFC 5681/6298 to exhibit both: slow start,
+congestion avoidance, RFC 6298 SRTT/RTTVAR estimation with Karn's algorithm,
+exponential RTO backoff, triple-duplicate-ACK fast retransmit, and a
+receiver with out-of-order reassembly and cumulative ACKs.
+
+Senders and receivers are transport endpoints only: the caller supplies a
+``transmit`` function, and the :mod:`repro.sim.world` plumbing routes
+segments across the wired core, AP backhaul, and wireless hop.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .engine import EventHandle, Simulator
+from .frames import TcpSegment
+
+__all__ = ["TcpParams", "TcpSender", "TcpReceiver", "TCP_HEADER_BYTES"]
+
+logger = logging.getLogger(__name__)
+
+#: Wire overhead per data segment (IP + TCP headers), bytes.
+TCP_HEADER_BYTES = 52
+
+
+@dataclass
+class TcpParams:
+    """Tunable constants for a sender."""
+
+    mss: int = 1400
+    initial_cwnd_segments: float = 2.0
+    initial_ssthresh_segments: float = 64.0
+    max_cwnd_segments: float = 128.0  # models the receiver window
+    #: Linux's RTO floor (200 ms), the value that makes off-channel gaps
+    #: longer than ~2 RTTs expensive — the mechanism behind Figs. 7/8.
+    rto_min_s: float = 0.2
+    rto_max_s: float = 60.0
+    rto_initial_s: float = 1.0
+    dupack_threshold: int = 3
+
+
+class TcpSender:
+    """Bulk-data Reno sender.
+
+    ``transmit(segment)`` hands a segment to the network.  ``on_complete``
+    fires once when ``total_bytes`` (if given) are cumulatively ACKed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        src_ip: str,
+        dst_ip: str,
+        transmit: Callable[[TcpSegment], None],
+        params: Optional[TcpParams] = None,
+        total_bytes: Optional[int] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.transmit = transmit
+        self.p = params or TcpParams()
+        self.total_bytes = total_bytes
+        self.on_complete = on_complete
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = self.p.initial_cwnd_segments
+        self.ssthresh = self.p.initial_ssthresh_segments
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = self.p.rto_initial_s
+        self.dupacks = 0
+        self.closed = False
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.segments_sent = 0
+        self.bytes_acked = 0
+
+        self._timer: Optional[EventHandle] = None
+        # One outstanding RTT probe at a time (Karn-safe).
+        self._rtt_probe_ack: Optional[int] = None
+        self._rtt_probe_sent_at = 0.0
+        # Highest byte ever sent; anything below it is a retransmission
+        # (Karn's algorithm excludes those from RTT sampling).
+        self._max_sent = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def flight_bytes(self) -> int:
+        """Bytes sent but not yet cumulatively ACKed."""
+        return self.snd_nxt - self.snd_una
+
+    def start(self) -> None:
+        """Start the component."""
+        self._fill_window()
+
+    def close(self) -> None:
+        """Stop sending and cancel timers (connection torn down)."""
+        self.closed = True
+        self._cancel_timer()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _remaining(self) -> Optional[int]:
+        if self.total_bytes is None:
+            return None
+        return max(self.total_bytes - self.snd_nxt, 0)
+
+    def _fill_window(self) -> None:
+        if self.closed:
+            return
+        window_bytes = int(min(self.cwnd, self.p.max_cwnd_segments) * self.p.mss)
+        while self.flight_bytes + self.p.mss <= window_bytes:
+            remaining = self._remaining()
+            if remaining is not None and remaining <= 0:
+                break
+            length = self.p.mss if remaining is None else min(self.p.mss, remaining)
+            # After an RTO rewinds snd_nxt (go-back-N), bytes below the
+            # high-water mark are retransmissions.
+            self._send_segment(
+                self.snd_nxt, length, retransmit=self.snd_nxt < self._max_sent
+            )
+            self.snd_nxt += length
+            self._max_sent = max(self._max_sent, self.snd_nxt)
+        if self.flight_bytes > 0:
+            self._ensure_timer()
+
+    def _send_segment(self, seq: int, length: int, retransmit: bool) -> None:
+        segment = TcpSegment(
+            flow_id=self.flow_id,
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            seq=seq,
+            payload_bytes=length,
+            sent_at=self.sim.now,
+            retransmit=retransmit,
+        )
+        self.segments_sent += 1
+        if not retransmit and self._rtt_probe_ack is None:
+            self._rtt_probe_ack = seq + length
+            self._rtt_probe_sent_at = self.sim.now
+        self.transmit(segment)
+
+    # ------------------------------------------------------------------
+    # Timer
+    # ------------------------------------------------------------------
+    def _ensure_timer(self) -> None:
+        if self._timer is None or not self._timer.pending:
+            self._timer = self.sim.schedule(self.rto, self._on_rto)
+
+    def _restart_timer(self) -> None:
+        self._cancel_timer()
+        if self.flight_bytes > 0:
+            self._timer = self.sim.schedule(self.rto, self._on_rto)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_rto(self) -> None:
+        self._timer = None
+        if self.closed or self.flight_bytes == 0:
+            return
+        self.timeouts += 1
+        flight_segments = max(self.flight_bytes / self.p.mss, 1.0)
+        self.ssthresh = max(flight_segments / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.rto = min(self.rto * 2.0, self.p.rto_max_s)
+        self.dupacks = 0
+        self._rtt_probe_ack = None  # Karn: no samples from retransmits
+        # Go-back-N: rewind and let the window refill from snd_una, so a
+        # burst loss recovers via slow start rather than one RTO per hole.
+        self.snd_nxt = self.snd_una
+        self._fill_window()
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_ack(self, segment: TcpSegment) -> None:
+        """Process an incoming ACK segment."""
+        if self.closed:
+            return
+        ack = segment.ack
+        if ack > self._max_sent:
+            return  # acking data never sent: ignore
+        if ack > self.snd_una:
+            # A late cumulative ACK can exceed a go-back-N-rewound snd_nxt;
+            # it is still valid (the bytes were sent before the rewind).
+            self.snd_nxt = max(self.snd_nxt, ack)
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self.flight_bytes > 0:
+            self.dupacks += 1
+            if self.dupacks == self.p.dupack_threshold:
+                self._fast_retransmit()
+
+    def _on_new_ack(self, ack: int) -> None:
+        acked_bytes = ack - self.snd_una
+        self.bytes_acked += acked_bytes
+        self.dupacks = 0
+        if self._rtt_probe_ack is not None and ack >= self._rtt_probe_ack:
+            self._take_rtt_sample(self.sim.now - self._rtt_probe_sent_at)
+            self._rtt_probe_ack = None
+        acked_segments = acked_bytes / self.p.mss
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + acked_segments, self.p.max_cwnd_segments)
+        else:
+            self.cwnd = min(
+                self.cwnd + acked_segments / max(self.cwnd, 1.0),
+                self.p.max_cwnd_segments,
+            )
+        self.snd_una = ack
+        self._restart_timer()
+        if self.total_bytes is not None and self.snd_una >= self.total_bytes:
+            finished_cb = self.on_complete
+            self.close()
+            if finished_cb is not None:
+                finished_cb()
+            return
+        self._fill_window()
+
+    def _fast_retransmit(self) -> None:
+        self.fast_retransmits += 1
+        flight_segments = max(self.flight_bytes / self.p.mss, 1.0)
+        self.ssthresh = max(flight_segments / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+        self._rtt_probe_ack = None
+        length = min(self.p.mss, self.flight_bytes)
+        self._send_segment(self.snd_una, length, retransmit=True)
+        self._restart_timer()
+
+    def _take_rtt_sample(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(
+            max(self.srtt + 4.0 * self.rttvar, self.p.rto_min_s), self.p.rto_max_s
+        )
+
+
+class TcpReceiver:
+    """Cumulative-ACK receiver with out-of-order reassembly.
+
+    ``send_ack(segment)`` transmits an ACK back toward the sender;
+    ``on_deliver(byte_count)`` reports bytes newly delivered *in order*
+    (the number the throughput metrics count).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        src_ip: str,
+        dst_ip: str,
+        send_ack: Callable[[TcpSegment], None],
+        on_deliver: Optional[Callable[[int], None]] = None,
+    ):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.send_ack = send_ack
+        self.on_deliver = on_deliver
+        self.rcv_nxt = 0
+        self.bytes_delivered = 0
+        self.duplicate_segments = 0
+        self._out_of_order: Dict[int, int] = {}  # seq -> length
+
+    def on_segment(self, segment: TcpSegment) -> None:
+        """Process an incoming data segment."""
+        seq, length = segment.seq, segment.payload_bytes
+        if length <= 0:
+            return
+        if seq + length <= self.rcv_nxt:
+            self.duplicate_segments += 1
+        elif seq <= self.rcv_nxt:
+            advanced = seq + length - self.rcv_nxt
+            self.rcv_nxt = seq + length
+            advanced += self._drain_out_of_order()
+            self.bytes_delivered += advanced
+            if self.on_deliver is not None:
+                self.on_deliver(advanced)
+        else:
+            self._out_of_order[seq] = max(self._out_of_order.get(seq, 0), length)
+        self._emit_ack()
+
+    def _drain_out_of_order(self) -> int:
+        advanced = 0
+        while True:
+            matched = None
+            for seq, length in self._out_of_order.items():
+                if seq <= self.rcv_nxt < seq + length:
+                    matched = (seq, length)
+                    break
+            if matched is None:
+                break
+            seq, length = matched
+            del self._out_of_order[seq]
+            gain = seq + length - self.rcv_nxt
+            if gain > 0:
+                self.rcv_nxt += gain
+                advanced += gain
+        # Discard stale holes fully below rcv_nxt.
+        self._out_of_order = {
+            s: l for s, l in self._out_of_order.items() if s + l > self.rcv_nxt
+        }
+        return advanced
+
+    def _emit_ack(self) -> None:
+        self.send_ack(
+            TcpSegment(
+                flow_id=self.flow_id,
+                src_ip=self.src_ip,
+                dst_ip=self.dst_ip,
+                ack=self.rcv_nxt,
+                is_ack=True,
+                sent_at=self.sim.now,
+            )
+        )

@@ -1,0 +1,167 @@
+"""Frame-level tracing: a tcpdump for the simulated medium.
+
+Debugging a virtualized Wi-Fi driver is mostly staring at frame timelines.
+:class:`FrameTrace` hooks the medium's delivery path and records every
+delivered frame (kind, time, src, dst, channel, size), with optional
+filters.  It can summarize by kind or station, compute per-channel airtime
+occupancy, and render a compact text timeline — the tooling a developer
+would reach for when a join pipeline stalls.
+
+The trace observes *deliveries*; frames lost to the channel or to absent
+receivers never appear (exactly like a sniffer co-located with the
+receiver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .frames import Frame, FrameKind
+from .radio import Medium
+
+__all__ = ["TraceRecord", "FrameTrace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One delivered frame."""
+
+    time: float
+    kind: FrameKind
+    src: str
+    dst: str
+    receiver: str
+    channel: int
+    size: int
+
+    def render(self) -> str:
+        """Render the result as printable text."""
+        return (
+            f"{self.time:10.4f}  ch{self.channel:<2d} {self.kind.value:<15s} "
+            f"{self.src} -> {self.dst} ({self.size}B)"
+        )
+
+
+class FrameTrace:
+    """Records frame deliveries from a :class:`Medium`.
+
+    Parameters
+    ----------
+    medium:
+        The medium to observe.
+    kinds:
+        Optional whitelist of frame kinds.
+    stations:
+        Optional set of station ids; a frame is recorded when its source,
+        destination, or receiver matches.
+    max_records:
+        Ring-buffer cap; oldest records are discarded beyond it.
+    """
+
+    def __init__(
+        self,
+        medium: Medium,
+        kinds: Optional[Iterable[FrameKind]] = None,
+        stations: Optional[Iterable[str]] = None,
+        max_records: int = 100_000,
+    ):
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive: {max_records!r}")
+        self.medium = medium
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.stations = frozenset(stations) if stations is not None else None
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.dropped_records = 0
+        self._active = True
+        medium.delivery_hooks.append(self._on_delivery)
+
+    # ------------------------------------------------------------------
+    def _matches(self, frame: Frame, receiver: str) -> bool:
+        if self.kinds is not None and frame.kind not in self.kinds:
+            return False
+        if self.stations is not None and not (
+            frame.src in self.stations
+            or frame.dst in self.stations
+            or receiver in self.stations
+        ):
+            return False
+        return True
+
+    def _on_delivery(self, frame: Frame, receiver: str) -> None:
+        if not self._active or not self._matches(frame, receiver):
+            return
+        if len(self.records) >= self.max_records:
+            self.records.pop(0)
+            self.dropped_records += 1
+        self.records.append(
+            TraceRecord(
+                time=self.medium.sim.now,
+                kind=frame.kind,
+                src=frame.src,
+                dst=frame.dst,
+                receiver=receiver,
+                channel=frame.channel,
+                size=frame.size,
+            )
+        )
+
+    def stop(self) -> None:
+        """Stop recording (records are kept)."""
+        self._active = False
+        if self._on_delivery in self.medium.delivery_hooks:
+            self.medium.delivery_hooks.remove(self._on_delivery)
+
+    def clear(self) -> None:
+        """Discard all recorded frames."""
+        self.records.clear()
+        self.dropped_records = 0
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def counts_by_kind(self) -> Dict[FrameKind, int]:
+        """Delivered-frame counts grouped by frame kind."""
+        counts: Dict[FrameKind, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def counts_by_station(self) -> Dict[str, int]:
+        """Frames sent per source station."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.src] = counts.get(record.src, 0) + 1
+        return counts
+
+    def bytes_by_channel(self) -> Dict[int, int]:
+        """Delivered bytes grouped by channel."""
+        totals: Dict[int, int] = {}
+        for record in self.records:
+            totals[record.channel] = totals.get(record.channel, 0) + record.size
+        return totals
+
+    def between(self, start_s: float, end_s: float) -> List[TraceRecord]:
+        """Records within the half-open time window [start, end)."""
+        return [r for r in self.records if start_s <= r.time < end_s]
+
+    def conversation(self, a: str, b: str) -> List[TraceRecord]:
+        """All frames exchanged between two stations, in order."""
+        return [
+            r
+            for r in self.records
+            if (r.src == a and r.dst == b) or (r.src == b and r.dst == a)
+        ]
+
+    def render(self, limit: int = 50) -> str:
+        """The last ``limit`` records as a text timeline."""
+        lines = [r.render() for r in self.records[-limit:]]
+        header = (
+            f"frame trace: {len(self.records)} records"
+            + (f" (+{self.dropped_records} dropped)" if self.dropped_records else "")
+        )
+        return "\n".join([header] + lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

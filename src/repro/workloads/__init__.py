@@ -1,0 +1,15 @@
+"""Synthetic workloads standing in for the paper's measured environments."""
+
+from .town import PRESETS, TownConfig, TownInstance, build_town, lab_topology
+from .mesh_users import MeshUserConfig, MeshUserTrace, generate_mesh_trace
+
+__all__ = [
+    "PRESETS",
+    "TownConfig",
+    "TownInstance",
+    "build_town",
+    "lab_topology",
+    "MeshUserConfig",
+    "MeshUserTrace",
+    "generate_mesh_trace",
+]

@@ -1,0 +1,122 @@
+"""Synthetic mesh-user demand traces (the §4.7 usability study).
+
+The paper compares Spider's *supply* (connection/disruption distributions)
+against the *demand* of 161 real users on a 25-node downtown mesh: 128,587
+TCP connections, 68 % of them HTTP.  We cannot have that capture, so this
+module generates a statistically similar trace:
+
+* TCP connection durations are heavy-tailed — a lognormal body (most web
+  flows finish in a few seconds) with a Pareto tail (long downloads,
+  streaming) — matching the Fig. 16 shape where the bulk of user flows are
+  far shorter than what Spider can sustain.
+* Inter-connection gaps (user think time / idle periods) are likewise
+  lognormal with a long tail, matching Fig. 17.
+
+The generator is deterministic given a seed, and the defaults put ~68 % of
+flows in a short "http-like" class.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["MeshUserConfig", "MeshUserTrace", "generate_mesh_trace"]
+
+
+@dataclass(frozen=True)
+class MeshUserConfig:
+    """Knobs of the demand-trace generator."""
+
+    users: int = 161
+    flows_per_user_mean: float = 80.0
+    #: Fraction of short, http-like flows (the paper reports 68 % http).
+    http_fraction: float = 0.68
+    #: Lognormal(mu, sigma) of http flow durations (seconds).
+    http_duration_lognorm: Tuple[float, float] = (0.7, 1.0)
+    #: Lognormal(mu, sigma) of bulk flow durations (seconds).
+    bulk_duration_lognorm: Tuple[float, float] = (2.2, 1.2)
+    #: Pareto tail: probability of a very long flow and its shape.
+    long_tail_probability: float = 0.03
+    long_tail_shape: float = 1.3
+    long_tail_scale_s: float = 60.0
+    #: Lognormal(mu, sigma) of inter-connection gaps (seconds).
+    gap_lognorm: Tuple[float, float] = (2.6, 1.4)
+    max_duration_s: float = 3600.0
+
+
+@dataclass
+class Flow:
+    """One user TCP connection."""
+
+    user: int
+    start_s: float
+    duration_s: float
+    is_http: bool
+
+
+@dataclass
+class MeshUserTrace:
+    """The generated day of mesh traffic."""
+
+    config: MeshUserConfig
+    flows: List[Flow]
+
+    def connection_durations(self) -> List[float]:
+        """Lengths of maximal connected runs, seconds."""
+        return [f.duration_s for f in self.flows]
+
+    def inter_connection_gaps(self) -> List[float]:
+        """Gaps between consecutive flows of the same user."""
+        by_user: Dict[int, List[Flow]] = {}
+        for flow in self.flows:
+            by_user.setdefault(flow.user, []).append(flow)
+        gaps: List[float] = []
+        for user_flows in by_user.values():
+            user_flows.sort(key=lambda f: f.start_s)
+            for earlier, later in zip(user_flows[:-1], user_flows[1:]):
+                gap = later.start_s - (earlier.start_s + earlier.duration_s)
+                if gap > 0:
+                    gaps.append(gap)
+        return gaps
+
+    def http_fraction(self) -> float:
+        """Fraction of flows in the short http-like class."""
+        if not self.flows:
+            return math.nan
+        return sum(f.is_http for f in self.flows) / len(self.flows)
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+
+def _draw_duration(rng: random.Random, config: MeshUserConfig, is_http: bool) -> float:
+    if rng.random() < config.long_tail_probability:
+        # Pareto tail: scale / U^(1/shape).
+        u = max(rng.random(), 1e-12)
+        duration = config.long_tail_scale_s / (u ** (1.0 / config.long_tail_shape))
+    else:
+        mu, sigma = (
+            config.http_duration_lognorm if is_http else config.bulk_duration_lognorm
+        )
+        duration = rng.lognormvariate(mu, sigma)
+    return min(max(duration, 0.05), config.max_duration_s)
+
+
+def generate_mesh_trace(config: MeshUserConfig = MeshUserConfig(), seed: int = 0) -> MeshUserTrace:
+    """Generate one day of synthetic mesh-user flows."""
+    rng = random.Random(f"mesh/{seed}")
+    flows: List[Flow] = []
+    for user in range(config.users):
+        count = max(1, int(rng.expovariate(1.0 / config.flows_per_user_mean)))
+        clock = rng.uniform(0.0, 3600.0)  # stagger users across the morning
+        for _ in range(count):
+            is_http = rng.random() < config.http_fraction
+            duration = _draw_duration(rng, config, is_http)
+            flows.append(Flow(user=user, start_s=clock, duration_s=duration, is_http=is_http))
+            mu, sigma = config.gap_lognorm
+            clock += duration + rng.lognormvariate(mu, sigma)
+    flows.sort(key=lambda f: f.start_s)
+    return MeshUserTrace(config=config, flows=flows)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.mobility import StaticPosition
+from repro.sim.world import World
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def world(sim) -> World:
+    """A lossless world for deterministic protocol tests."""
+    return World(sim, loss_rate=0.0)
+
+
+@pytest.fixture
+def lossy_world(sim) -> World:
+    return World(sim, loss_rate=0.1)
+
+
+@pytest.fixture
+def static_client_position() -> StaticPosition:
+    return StaticPosition(0.0, 0.0)
+
+
+def make_lab_ap(world, channel=1, backhaul_bps=2e6, dhcp_delay=0.2, x=10.0):
+    """One AP close to the origin with a deterministic DHCP delay."""
+    return world.add_ap(
+        channel=channel,
+        position=(x, 0.0),
+        backhaul_rate_bps=backhaul_bps,
+        dhcp_response_delay=lambda: dhcp_delay,
+    )

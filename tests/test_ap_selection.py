@@ -1,0 +1,215 @@
+"""Unit tests for utility tracking, selection, and the Appendix-A knapsack."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ap_selection import (
+    MIN_USABLE_RSSI_DBM,
+    VA_ASSOCIATED,
+    VB_LEASED,
+    VC_VERIFIED,
+    ApOption,
+    JoinOutcome,
+    UtilityTracker,
+    knapsack_select_bruteforce,
+    knapsack_select_dp,
+    knapsack_select_greedy,
+    select_aps,
+)
+from repro.sim.nic import ScanEntry
+
+
+def entry(bssid, rssi=-50.0, channel=1):
+    return ScanEntry(bssid=bssid, ssid="", channel=channel, rssi=rssi, last_seen=0.0)
+
+
+class TestUtilityTracker:
+    def test_unseen_ap_bootstraps_at_maximum(self):
+        tracker = UtilityTracker()
+        assert tracker.utility("new-ap") == VC_VERIFIED
+
+    def test_staged_rewards_ordered(self):
+        assert 0.0 < VA_ASSOCIATED < VB_LEASED < VC_VERIFIED
+
+    def test_failure_drops_utility(self):
+        tracker = UtilityTracker()
+        tracker.record("ap", JoinOutcome.FAILED)
+        assert tracker.utility("ap") == 0.0
+
+    def test_recency_weighting_prefers_recent_outcomes(self):
+        tracker = UtilityTracker(alpha=0.6)
+        tracker.record("ap", JoinOutcome.VERIFIED)
+        tracker.record("ap", JoinOutcome.FAILED)
+        recent_fail = tracker.utility("ap")
+        tracker2 = UtilityTracker(alpha=0.6)
+        tracker2.record("ap", JoinOutcome.FAILED)
+        tracker2.record("ap", JoinOutcome.VERIFIED)
+        recent_ok = tracker2.utility("ap")
+        assert recent_ok > recent_fail
+
+    def test_attempt_counter(self):
+        tracker = UtilityTracker()
+        tracker.record("ap", JoinOutcome.VERIFIED)
+        tracker.record("ap", JoinOutcome.LEASED)
+        assert tracker.attempts("ap") == 2
+        assert tracker.attempts("other") == 0
+
+    def test_known_set(self):
+        tracker = UtilityTracker()
+        tracker.record("a", JoinOutcome.VERIFIED)
+        assert tracker.known() == {"a"}
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            UtilityTracker(alpha=0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        outcomes=st.lists(
+            st.sampled_from(
+                [JoinOutcome.FAILED, JoinOutcome.ASSOCIATED, JoinOutcome.LEASED, JoinOutcome.VERIFIED]
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_utility_stays_in_reward_range(self, outcomes):
+        tracker = UtilityTracker()
+        for outcome in outcomes:
+            tracker.record("ap", outcome)
+        assert 0.0 <= tracker.utility("ap") <= VC_VERIFIED
+
+
+class TestSelectAps:
+    def test_prefers_higher_utility(self):
+        tracker = UtilityTracker()
+        tracker.record("bad", JoinOutcome.FAILED)
+        tracker.record("good", JoinOutcome.VERIFIED)
+        picks = select_aps([entry("bad", rssi=-40), entry("good", rssi=-70)], tracker, 1)
+        assert picks[0].bssid == "good"
+
+    def test_rssi_breaks_ties(self):
+        tracker = UtilityTracker()
+        picks = select_aps([entry("far", rssi=-80), entry("near", rssi=-45)], tracker, 2)
+        assert [p.bssid for p in picks] == ["near", "far"]
+
+    def test_bootstrap_means_new_ap_considered_at_least_once(self):
+        tracker = UtilityTracker()
+        tracker.record("proven", JoinOutcome.LEASED)  # 0.6 < bootstrap 1.0
+        picks = select_aps([entry("proven"), entry("unseen")], tracker, 1)
+        assert picks[0].bssid == "unseen"
+
+    def test_exclusion_set_respected(self):
+        tracker = UtilityTracker()
+        picks = select_aps([entry("a"), entry("b")], tracker, 2, exclude={"a"})
+        assert [p.bssid for p in picks] == ["b"]
+
+    def test_weak_signal_filtered(self):
+        tracker = UtilityTracker()
+        picks = select_aps([entry("weak", rssi=MIN_USABLE_RSSI_DBM - 1)], tracker, 1)
+        assert picks == []
+
+    def test_count_limits_results(self):
+        tracker = UtilityTracker()
+        picks = select_aps([entry(f"ap{i}") for i in range(5)], tracker, 3)
+        assert len(picks) == 3
+
+    def test_zero_count_returns_empty(self):
+        assert select_aps([entry("a")], UtilityTracker(), 0) == []
+
+    def test_deterministic_order_for_exact_ties(self):
+        tracker = UtilityTracker()
+        picks = select_aps([entry("b", rssi=-50), entry("a", rssi=-50)], tracker, 2)
+        assert [p.bssid for p in picks] == ["a", "b"]
+
+
+class TestKnapsack:
+    def test_dp_matches_brute_force_on_known_instance(self):
+        options = [
+            ApOption("a", value=10.0, cost=5.0),
+            ApOption("b", value=6.0, cost=3.0),
+            ApOption("c", value=5.0, cost=3.0),
+        ]
+        dp_value, dp_set = knapsack_select_dp(options, budget=6.0, resolution=1.0)
+        bf_value, _ = knapsack_select_bruteforce(options, budget=6.0)
+        assert dp_value == pytest.approx(bf_value) == pytest.approx(11.0)
+        assert {o.name for o in dp_set} == {"b", "c"}
+
+    def test_greedy_can_be_suboptimal(self):
+        options = [
+            ApOption("ratio-king", value=6.0, cost=1.0),
+            ApOption("big", value=50.0, cost=10.0),
+        ]
+        greedy_value, _ = knapsack_select_greedy(options, budget=10.0)
+        dp_value, _ = knapsack_select_dp(options, budget=10.0, resolution=1.0)
+        assert greedy_value < dp_value
+
+    def test_empty_options(self):
+        assert knapsack_select_dp([], 10.0)[0] == 0.0
+        assert knapsack_select_bruteforce([], 10.0)[0] == 0.0
+        assert knapsack_select_greedy([], 10.0)[0] == 0.0
+
+    def test_zero_budget_selects_nothing_with_positive_costs(self):
+        options = [ApOption("a", value=5.0, cost=1.0)]
+        value, chosen = knapsack_select_dp(options, budget=0.0, resolution=1.0)
+        assert value == 0.0 and chosen == []
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ApOption("x", value=-1.0, cost=1.0)
+        with pytest.raises(ValueError):
+            knapsack_select_dp([], budget=-1.0)
+        with pytest.raises(ValueError):
+            knapsack_select_dp([], budget=1.0, resolution=0.0)
+
+    def test_dp_solution_respects_budget(self):
+        options = [ApOption(f"o{i}", value=float(i + 1), cost=float(i + 1)) for i in range(6)]
+        _, chosen = knapsack_select_dp(options, budget=7.0, resolution=1.0)
+        assert sum(o.cost for o in chosen) <= 7.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),  # value
+                st.integers(min_value=1, max_value=8),   # cost (grid aligned)
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        budget=st.integers(min_value=0, max_value=20),
+    )
+    def test_dp_equals_brute_force_property(self, data, budget):
+        options = [
+            ApOption(f"o{i}", value=float(v), cost=float(c))
+            for i, (v, c) in enumerate(data)
+        ]
+        dp_value, dp_chosen = knapsack_select_dp(options, float(budget), resolution=1.0)
+        bf_value, _ = knapsack_select_bruteforce(options, float(budget))
+        assert dp_value == pytest.approx(bf_value)
+        assert sum(o.cost for o in dp_chosen) <= budget + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=1, max_value=8),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        budget=st.integers(min_value=0, max_value=25),
+    )
+    def test_greedy_never_beats_dp(self, data, budget):
+        options = [
+            ApOption(f"o{i}", value=float(v), cost=float(c))
+            for i, (v, c) in enumerate(data)
+        ]
+        greedy_value, greedy_chosen = knapsack_select_greedy(options, float(budget))
+        dp_value, _ = knapsack_select_dp(options, float(budget), resolution=1.0)
+        assert greedy_value <= dp_value + 1e-9
+        assert sum(o.cost for o in greedy_chosen) <= budget + 1e-9

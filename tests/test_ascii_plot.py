@@ -1,0 +1,101 @@
+"""Tests for the terminal plotting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, cdf_plot, histogram, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_rises(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_nan_rendered_as_gap(self):
+        line = sparkline([1.0, math.nan, 2.0])
+        assert line[1] == " "
+        assert len(line) == 3
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestBarChart:
+    def test_values_annotated(self):
+        chart = bar_chart(["a", "b"], [10.0, 20.0], unit="x")
+        assert "10.0x" in chart and "20.0x" in chart
+
+    def test_bars_proportional(self):
+        chart = bar_chart(["small", "large"], [1.0, 10.0], width=20)
+        lines = chart.splitlines()
+        small_bar = lines[0].count("█")
+        large_bar = lines[1].count("█")
+        assert large_bar == 20 and 1 <= small_bar <= 3
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart(["zero", "one"], [0.0, 5.0])
+        assert chart.splitlines()[0].count("█") == 0
+
+    def test_title_included(self):
+        assert bar_chart(["a"], [1.0], title="Title").startswith("Title")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_nan_value_shown(self):
+        assert "nan" in bar_chart(["a"], [math.nan])
+
+
+class TestHistogram:
+    def test_counts_sum_preserved(self):
+        values = [0.5, 1.5, 1.6, 2.5, 2.6, 2.7]
+        text = histogram(values, bins=3, width=10)
+        shown = [float(line.rsplit(" ", 1)[-1].replace(",", "")) for line in text.splitlines()]
+        assert sum(shown) == len(values)
+
+    def test_empty_data(self):
+        assert histogram([], title="empty") == "empty"
+
+    def test_bounds_filter(self):
+        text = histogram([1.0, 100.0], bins=2, bounds=(0.0, 10.0))
+        shown = [float(line.rsplit(" ", 1)[-1].replace(",", "")) for line in text.splitlines()]
+        assert sum(shown) == 1
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_constant_data_does_not_crash(self):
+        assert histogram([5.0] * 10, bins=4)
+
+
+class TestCdfPlot:
+    def test_fractions_reach_one(self):
+        text = cdf_plot([1.0, 2.0, 3.0, 4.0], points=4)
+        assert "1.0" in text.splitlines()[-1]
+
+    def test_quantile_labels_sorted(self):
+        text = cdf_plot(list(range(100)), points=5)
+        quantiles = [float(line.split("<=")[1].split("|")[0]) for line in text.splitlines()]
+        assert quantiles == sorted(quantiles)
+
+    def test_empty_data(self):
+        assert cdf_plot([], title="none") == "none"
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot([1.0], points=0)

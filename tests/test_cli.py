@@ -1,0 +1,31 @@
+"""Tests for the `python -m repro` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_experiment_is_callable(self):
+        for name, runner in EXPERIMENTS.items():
+            assert callable(runner), name
+
+    def test_fig3_runs_end_to_end(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "Fig3" in capsys.readouterr().out
+
+    def test_knapsack_runs_end_to_end(self, capsys):
+        assert main(["knapsack"]) == 0
+        assert "Appendix A" in capsys.readouterr().out

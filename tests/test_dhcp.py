@@ -1,0 +1,300 @@
+"""Unit tests for the DHCP server, client state machine, and lease cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.dhcp import (
+    DhcpClient,
+    DhcpClientState,
+    DhcpServer,
+    Lease,
+    LeaseCache,
+)
+from repro.sim.engine import Simulator
+from repro.sim.frames import DhcpMessage, DhcpType
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+@pytest.fixture
+def joined_iface(sim, world):
+    """An interface already associated with a lab AP."""
+    ap = make_lab_ap(world, channel=1, dhcp_delay=0.2)
+    nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+    iface = nic.add_interface()
+    iface.channel = 1
+    iface.bssid = ap.bssid
+    # Associate at the AP side so uplink data is accepted.
+    from repro.sim.frames import Frame, FrameKind
+
+    ap.on_frame(
+        Frame(kind=FrameKind.ASSOC_REQUEST, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+        -40.0,
+    )
+    return ap, nic, iface
+
+
+def run_client(sim, iface, ap, results, **kwargs):
+    client = DhcpClient(
+        sim,
+        iface,
+        server_bssid=ap.bssid,
+        on_success=lambda ip, gw, dt, cached: results.append(("ok", ip, gw, dt, cached)),
+        on_failure=lambda reason: results.append(("fail", reason)),
+        **kwargs,
+    )
+    client.start()
+    return client
+
+
+class TestFullExchange:
+    def test_lease_acquired(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        results = []
+        run_client(sim, iface, ap, results)
+        sim.run(until=5.0)
+        assert results and results[0][0] == "ok"
+
+    def test_lease_time_close_to_server_delay(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        results = []
+        run_client(sim, iface, ap, results)
+        sim.run(until=5.0)
+        elapsed = results[0][3]
+        assert 0.2 <= elapsed < 0.5  # server readiness 0.2 s plus handshakes
+
+    def test_iface_gets_ip_and_gateway(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        run_client(sim, iface, ap, [])
+        sim.run(until=5.0)
+        assert iface.ip is not None
+        assert iface.ip.startswith(ap.dhcp.subnet)
+        assert iface.gateway_ip == ap.dhcp.gateway_ip
+
+    def test_same_client_gets_stable_ip(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        results = []
+        run_client(sim, iface, ap, results)
+        sim.run(until=5.0)
+        first_ip = results[0][1]
+        results.clear()
+        run_client(sim, iface, ap, results)
+        sim.run(until=10.0)
+        assert results[0][1] == first_ip
+
+    def test_fresh_exchange_does_not_use_cache_flag(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        results = []
+        run_client(sim, iface, ap, results)
+        sim.run(until=5.0)
+        assert results[0][4] is False
+
+    def test_state_bound_at_end(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        client = run_client(sim, iface, ap, [])
+        sim.run(until=5.0)
+        assert client.state is DhcpClientState.BOUND
+
+    def test_double_start_rejected(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        client = run_client(sim, iface, ap, [])
+        with pytest.raises(RuntimeError):
+            client.start()
+
+
+class TestBudgetAndFailure:
+    def test_slow_server_exhausts_budget(self, sim, world):
+        ap = world.add_ap(
+            channel=1, position=(10, 0), dhcp_response_delay=lambda: 10.0
+        )
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        iface.channel = 1
+        iface.bssid = ap.bssid
+        results = []
+        run_client(sim, iface, ap, results, attempt_budget_s=1.0)
+        sim.run(until=5.0)
+        assert results and results[0][0] == "fail"
+
+    def test_failure_reports_state(self, sim, world):
+        ap = world.add_ap(channel=1, position=(10, 0), dhcp_response_delay=lambda: 10.0)
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        iface.channel = 1
+        iface.bssid = ap.bssid
+        results = []
+        run_client(sim, iface, ap, results, attempt_budget_s=0.5)
+        sim.run(until=5.0)
+        assert "selecting" in results[0][1]
+
+    def test_abort_suppresses_callbacks(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        results = []
+        client = run_client(sim, iface, ap, results)
+        client.abort()
+        sim.run(until=5.0)
+        assert results == []
+
+    def test_invalid_parameters_rejected(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        with pytest.raises(ValueError):
+            DhcpClient(sim, iface, server_bssid=ap.bssid, timeout_s=0)
+        with pytest.raises(ValueError):
+            DhcpClient(sim, iface, server_bssid=ap.bssid, attempt_budget_s=0)
+
+
+class TestReadinessSemantics:
+    """Retransmitted DISCOVERs must not re-roll the server's latency."""
+
+    def test_retransmissions_do_not_speed_up_offer(self, sim, world):
+        delays = iter([2.0, 0.05, 0.05, 0.05])  # only the first draw counts
+        ap = world.add_ap(
+            channel=1, position=(10, 0), dhcp_response_delay=lambda: next(delays)
+        )
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        iface.channel = 1
+        iface.bssid = ap.bssid
+        results = []
+        run_client(sim, iface, ap, results, timeout_s=0.1, attempt_budget_s=5.0)
+        sim.run(until=10.0)
+        assert results[0][0] == "ok"
+        assert results[0][3] >= 2.0  # bounded below by the first draw
+
+    def test_new_transaction_redraws_latency(self, sim, world):
+        draws = []
+
+        def delay():
+            value = 0.1 * (len(draws) + 1)
+            draws.append(value)
+            return value
+
+        ap = world.add_ap(channel=1, position=(10, 0), dhcp_response_delay=delay)
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        iface.channel = 1
+        iface.bssid = ap.bssid
+        run_client(sim, iface, ap, [])
+        sim.run(until=5.0)
+        iface.ip = None
+        run_client(sim, iface, ap, [])
+        sim.run(until=10.0)
+        assert len(draws) == 2
+
+
+class TestLeaseCachePath:
+    def _lease_once(self, sim, ap, iface):
+        results = []
+        run_client(sim, iface, ap, results)
+        sim.run(until=5.0)
+        return results[0]
+
+    def test_cached_request_skips_discover(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        first = self._lease_once(sim, ap, iface)
+        cached = Lease(ip=first[1], gateway_ip=first[2], expires_at=sim.now + 600)
+        results = []
+        run_client(sim, iface, ap, results, cached=cached)
+        sim.run(until=10.0)
+        ok, ip, gw, elapsed, used_cache = results[0]
+        assert ok == "ok" and used_cache and ip == first[1]
+        assert elapsed < 0.2  # no OFFER wait
+
+    def test_stale_cached_ip_falls_back_to_discover(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        # An address owned by someone else forces a NAK.
+        ap.dhcp._leases["other"] = f"{ap.dhcp.subnet}.99"
+        ap.dhcp._ips_in_use[f"{ap.dhcp.subnet}.99"] = "other"
+        cached = Lease(
+            ip=f"{ap.dhcp.subnet}.99", gateway_ip=ap.dhcp.gateway_ip, expires_at=1e9
+        )
+        results = []
+        run_client(sim, iface, ap, results, cached=cached)
+        sim.run(until=10.0)
+        ok, ip, gw, elapsed, used_cache = results[0]
+        assert ok == "ok" and not used_cache
+        assert ip != f"{ap.dhcp.subnet}.99"
+
+    def test_cached_ip_from_prior_epoch_readmitted_when_free(self, sim, joined_iface):
+        ap, nic, iface = joined_iface
+        free_ip = f"{ap.dhcp.subnet}.42"
+        cached = Lease(ip=free_ip, gateway_ip=ap.dhcp.gateway_ip, expires_at=1e9)
+        results = []
+        run_client(sim, iface, ap, results, cached=cached)
+        sim.run(until=10.0)
+        assert results[0][0] == "ok"
+        assert results[0][1] == free_ip
+
+
+class TestLeaseCacheStore:
+    def test_put_get_roundtrip(self, sim):
+        cache = LeaseCache(sim)
+        cache.put("ap1", "10.0.0.5", "10.0.0.1", lease_time_s=100)
+        lease = cache.get("ap1")
+        assert lease is not None and lease.ip == "10.0.0.5"
+        assert cache.hits == 1
+
+    def test_expired_lease_not_returned(self, sim):
+        cache = LeaseCache(sim)
+        cache.put("ap1", "10.0.0.5", "10.0.0.1", lease_time_s=10)
+        sim.schedule(20.0, lambda: None)
+        sim.run()
+        assert cache.get("ap1") is None
+        assert cache.misses == 1
+
+    def test_invalidate(self, sim):
+        cache = LeaseCache(sim)
+        cache.put("ap1", "10.0.0.5", "10.0.0.1", lease_time_s=100)
+        cache.invalidate("ap1")
+        assert cache.get("ap1") is None
+
+    def test_miss_counts(self, sim):
+        cache = LeaseCache(sim)
+        assert cache.get("never") is None
+        assert cache.misses == 1
+
+    def test_len(self, sim):
+        cache = LeaseCache(sim)
+        cache.put("a", "1", "2", 100)
+        cache.put("b", "1", "2", 100)
+        assert len(cache) == 2
+
+
+class TestServerInternals:
+    def make_server(self, sim):
+        return DhcpServer(sim, subnet="10.9.0", response_delay=lambda: 0.1)
+
+    def test_pool_exhaustion_is_silent(self, sim):
+        server = DhcpServer(
+            sim, subnet="10.9.0", response_delay=lambda: 0.1, pool_size=1
+        )
+        replies = []
+        server.handle(
+            DhcpMessage(DhcpType.DISCOVER, 1, "mac-a"), lambda m, d: replies.append(m)
+        )
+        server.handle(
+            DhcpMessage(DhcpType.DISCOVER, 2, "mac-b"), lambda m, d: replies.append(m)
+        )
+        offers = [m for m in replies if m.dhcp_type is DhcpType.OFFER]
+        assert len(offers) == 1
+
+    def test_mac_for_ip_reverse_lookup(self, sim):
+        server = self.make_server(sim)
+        server.handle(DhcpMessage(DhcpType.DISCOVER, 1, "mac-a"), lambda m, d: None)
+        ip = server.lease_for("mac-a")
+        assert server.mac_for_ip(ip) == "mac-a"
+        assert server.mac_for_ip(server.gateway_ip) is None
+        assert server.mac_for_ip("10.9.0.250") is None
+
+    def test_request_for_foreign_subnet_nacked(self, sim):
+        server = self.make_server(sim)
+        replies = []
+        server.handle(
+            DhcpMessage(DhcpType.REQUEST, 1, "mac-a", offered_ip="192.168.0.5"),
+            lambda m, d: replies.append(m),
+        )
+        assert replies[0].dhcp_type is DhcpType.NAK

@@ -1,0 +1,196 @@
+"""Unit tests for Spider's channel-scheduling driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.driver import SpiderDriver
+from repro.core.schedule import OperationMode
+from repro.sim.engine import Simulator
+from repro.sim.frames import Frame, FrameKind
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+@pytest.fixture
+def nic(sim, world):
+    return WifiNic(sim, world.medium, StaticPosition(0, 0), "drv", initial_channel=1)
+
+
+def make_driver(sim, nic, mode, jitter=0.0):
+    driver = SpiderDriver(sim, nic, mode)
+    driver.dwell_jitter = jitter
+    return driver
+
+
+class TestScheduling:
+    def test_single_channel_mode_never_switches(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.single_channel(1))
+        driver.start()
+        sim.run(until=5.0)
+        assert nic.switches == 0
+
+    def test_multi_channel_cycles_all_channels(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.equal_split((1, 6, 11), 0.3))
+        visited = set()
+        original = nic.tune
+
+        def spy(channel, cb=None):
+            visited.add(channel)
+            original(channel, cb)
+
+        nic.tune = spy
+        driver.start()
+        sim.run(until=2.0)
+        assert visited == {1, 6, 11}  # full cycle returns to channel 1
+
+    def test_dwell_proportional_to_fractions(self, sim, nic):
+        from repro.sim.engine import PeriodicProcess
+
+        mode = OperationMode(0.4, {1: 0.75, 6: 0.25})
+        driver = make_driver(sim, nic, mode)
+        samples = []
+        PeriodicProcess(sim, 0.005, lambda: samples.append(nic.tuned_channel()))
+        driver.start()
+        sim.run(until=8.0)
+        on1 = sum(1 for s in samples if s == 1)
+        on6 = sum(1 for s in samples if s == 6)
+        assert on1 / max(on6, 1) == pytest.approx(3.0, rel=0.25)
+
+    def test_stop_halts_cycling(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.equal_split((1, 6), 0.2))
+        driver.start()
+        sim.run(until=1.0)
+        driver.stop()
+        switches = nic.switches
+        sim.run(until=3.0)
+        assert nic.switches == switches
+
+    def test_double_start_rejected(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.single_channel(1))
+        driver.start()
+        with pytest.raises(RuntimeError):
+            driver.start()
+
+    def test_start_tunes_to_first_channel(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.single_channel(6))
+        driver.start()
+        sim.run(until=1.0)
+        assert nic.current_channel == 6
+
+
+class TestModeChange:
+    def test_set_mode_switches_to_new_single_channel(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.single_channel(1))
+        driver.start()
+        sim.run(until=0.5)
+        driver.set_mode(OperationMode.single_channel(11))
+        sim.run(until=1.0)
+        assert nic.current_channel == 11
+
+    def test_set_mode_from_multi_to_single_stops_switching(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.equal_split((1, 6), 0.2))
+        driver.start()
+        sim.run(until=1.0)
+        driver.set_mode(OperationMode.single_channel(1))
+        sim.run(until=1.5)
+        switches = nic.switches
+        sim.run(until=4.0)
+        assert nic.switches <= switches + 1  # at most the transition itself
+
+
+class TestSwitchSequence:
+    def test_psm_sent_to_associated_aps_on_departure(self, sim, world, nic):
+        ap = make_lab_ap(world, channel=1)
+        iface = nic.add_interface()
+        iface.channel, iface.bssid, iface.link_associated = 1, ap.bssid, True
+        received = []
+        original = ap.on_frame
+
+        def spy(frame, rssi):
+            received.append(frame.kind)
+            original(frame, rssi)
+
+        ap.on_frame = spy
+        driver = make_driver(sim, nic, OperationMode.single_channel(1))
+        driver.switch_once(11)
+        sim.run(until=0.5)
+        assert FrameKind.PSM in received
+
+    def test_ps_poll_sent_on_arrival(self, sim, world, nic):
+        ap6 = make_lab_ap(world, channel=6)
+        iface = nic.add_interface()
+        iface.channel, iface.bssid, iface.link_associated = 6, ap6.bssid, True
+        received = []
+        original = ap6.on_frame
+
+        def spy(frame, rssi):
+            received.append(frame.kind)
+            original(frame, rssi)
+
+        ap6.on_frame = spy
+        driver = make_driver(sim, nic, OperationMode.single_channel(1))
+        driver.switch_once(6)
+        sim.run(until=0.5)
+        assert FrameKind.PS_POLL in received
+
+    def test_switch_latency_recorded(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.single_channel(1))
+        driver.switch_once(11)
+        sim.run(until=0.5)
+        assert len(driver.switch_latencies_s) == 1
+        assert driver.switch_latencies_s[0] >= nic.reset_s
+
+    def test_switch_latency_grows_with_interfaces(self, sim, world, nic):
+        for index in range(3):
+            ap = make_lab_ap(world, channel=1, x=5.0 + index)
+            iface = nic.add_interface()
+            iface.channel, iface.bssid, iface.link_associated = 1, ap.bssid, True
+        driver = make_driver(sim, nic, OperationMode.single_channel(1))
+        driver.switch_once(11)
+        sim.run(until=0.5)
+        loaded = driver.switch_latencies_s[0]
+        # Compare against a bare switch on a fresh NIC.
+        sim2 = Simulator(seed=0)
+        world2 = World(sim2, loss_rate=0.0)
+        nic2 = WifiNic(sim2, world2.medium, StaticPosition(0, 0), "bare", initial_channel=1)
+        bare_driver = SpiderDriver(sim2, nic2, OperationMode.single_channel(1))
+        bare_driver.switch_once(11)
+        sim2.run(until=0.5)
+        assert loaded > bare_driver.switch_latencies_s[0]
+
+    def test_switch_once_rejected_while_running(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.equal_split((1, 6), 0.2))
+        driver.start()
+        with pytest.raises(RuntimeError):
+            driver.switch_once(11)
+
+
+class TestJitter:
+    def test_jitter_spreads_dwell_lengths(self, sim, nic):
+        driver = make_driver(sim, nic, OperationMode.equal_split((1, 6), 0.2), jitter=0.05)
+        transitions = []
+        original = nic.tune
+
+        def spy(channel, cb=None):
+            transitions.append(sim.now)
+            original(channel, cb)
+
+        nic.tune = spy
+        driver.start()
+        sim.run(until=5.0)
+        gaps = {round(b - a, 5) for a, b in zip(transitions[:-1], transitions[1:])}
+        assert len(gaps) > 2  # not a single fixed period
+
+    def test_opportunistic_probing_broadcasts(self, sim, world):
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "p", initial_channel=1)
+        driver = SpiderDriver(
+            sim, nic, OperationMode.single_channel(1), probe_interval_s=0.5
+        )
+        driver.start()
+        sim.run(until=2.1)
+        assert world.medium.frames_sent >= 4
+        driver.stop()

@@ -1,0 +1,70 @@
+"""Tests for the shared experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import OperationMode
+from repro.experiments.common import (
+    AggregatedMetrics,
+    run_town_trial,
+    run_town_trials,
+)
+from repro.experiments.town_runs import spider_factory, stock_factory
+
+
+class TestRunTownTrial:
+    def test_deterministic_for_seed(self):
+        factory = spider_factory(OperationMode.single_channel(1), 2)
+        a = run_town_trial(factory, "x", seed=3, duration_s=90.0)
+        b = run_town_trial(factory, "x", seed=3, duration_s=90.0)
+        assert a.average_throughput_kBps == b.average_throughput_kBps
+        assert a.connectivity_pct == b.connectivity_pct
+        assert a.events_processed == b.events_processed
+
+    def test_different_seeds_differ(self):
+        factory = spider_factory(OperationMode.single_channel(1), 2)
+        a = run_town_trial(factory, "x", seed=1, duration_s=90.0)
+        b = run_town_trial(factory, "x", seed=2, duration_s=90.0)
+        assert a.events_processed != b.events_processed
+
+    def test_metrics_are_consistent(self):
+        factory = spider_factory(OperationMode.single_channel(1), 2)
+        trial = run_town_trial(factory, "x", seed=0, duration_s=90.0)
+        assert 0.0 <= trial.connectivity_pct <= 100.0
+        total_time = sum(trial.connection_durations_s) + sum(
+            trial.disruption_durations_s
+        )
+        assert total_time == pytest.approx(trial.duration_s, abs=1.5)
+
+    def test_stock_factory_works_in_harness(self):
+        trial = run_town_trial(stock_factory(), "stock", seed=0, duration_s=90.0)
+        assert trial.label == "stock"
+        assert trial.average_throughput_kBps >= 0.0
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def metrics(self) -> AggregatedMetrics:
+        factory = spider_factory(OperationMode.single_channel(1), 2)
+        return run_town_trials(factory, "agg", seeds=(0, 1), duration_s=90.0)
+
+    def test_averages_over_seeds(self, metrics):
+        per_trial = [t.average_throughput_kBps for t in metrics.trials]
+        assert metrics.average_throughput_kBps == pytest.approx(
+            sum(per_trial) / len(per_trial)
+        )
+
+    def test_pooled_distributions_concatenate(self, metrics):
+        assert len(metrics.connection_durations_s) == sum(
+            len(t.connection_durations_s) for t in metrics.trials
+        )
+
+    def test_pooled_join_times_match_logs(self, metrics):
+        assert len(metrics.pooled_join_times()) == sum(
+            len(t.join_log.join_times()) for t in metrics.trials
+        )
+
+    def test_failure_rates_drop_nan(self, metrics):
+        rates = metrics.dhcp_failure_rates()
+        assert all(r == r for r in rates)

@@ -1,0 +1,155 @@
+"""Smoke tests: every experiment module runs at toy scale and returns the
+structures the benchmark harness depends on."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ap_density,
+    appendix_knapsack,
+    fig2_join_validation,
+    fig3_beta_sensitivity,
+    fig4_optimal_schedule,
+    fig5_association,
+    fig6_dhcp,
+    fig7_tcp_fraction,
+    fig8_tcp_dwell,
+    fig10_micro,
+    fig11_13_cdfs,
+    fig14_join_timeouts,
+    fig15_join_policies,
+    fig16_17_usability,
+    table1_switch_latency,
+    table2_configs,
+    table3_dhcp_failures,
+    table4_channels,
+    timeout_grid,
+)
+
+
+class TestAnalyticalExperiments:
+    def test_fig2(self):
+        result = fig2_join_validation.run(
+            beta_maxes_s=(5.0,), fractions=(0.25, 0.75), runs=4, trials_per_run=40
+        )
+        assert result.max_model_sim_gap() < 0.2
+        assert "Fig2" in result.render()
+
+    def test_fig3(self):
+        result = fig3_beta_sensitivity.run(
+            fractions=(0.25, 0.5), beta_maxes_s=(1.0, 5.0, 10.0)
+        )
+        for fraction, curve in result.curves.items():
+            assert curve == sorted(curve, reverse=True), fraction
+        assert "Fig3" in result.render()
+
+    def test_fig4(self):
+        result = fig4_optimal_schedule.run(
+            scenarios={"75/25": (0.75, 0.25)}, speeds_mps=(2.5, 20.0), grid_steps=8
+        )
+        scenario = result.scenarios[0]
+        assert scenario.ch2_bandwidth_bps[0] >= scenario.ch2_bandwidth_bps[-1]
+        assert "dividing speed" in result.render()
+
+    def test_appendix_knapsack(self):
+        result = appendix_knapsack.run(sizes=(4, 8), brute_force_limit=8)
+        assert 0.5 <= result.greedy_optimality_ratio() <= 1.0
+        assert "Appendix A" in result.render()
+
+
+class TestSimulatorExperiments:
+    def test_fig5(self):
+        result = fig5_association.run(fractions=(1.0,), seeds=(0,), duration_s=80.0)
+        curve = result.curves[1.0]
+        assert curve.attempts_on_primary >= 0
+        assert "Fig5" in result.render()
+
+    def test_fig6(self):
+        configs = (fig6_dhcp.PAPER_CONFIGS[2],)  # 100% - 100ms only
+        result = fig6_dhcp.run(configs=configs, seeds=(0,), duration_s=80.0)
+        assert "Fig6" in result.render()
+
+    def test_fig7(self):
+        result = fig7_tcp_fraction.run(fractions=(1.0,), measure_s=10.0)
+        assert result.throughput_kbps[0] > 100.0
+
+    def test_fig8(self):
+        result = fig8_tcp_dwell.run(dwells_ms=(100.0,), measure_s=10.0)
+        assert len(result.throughput_kbps) == 1
+
+    def test_table1(self):
+        result = table1_switch_latency.run(interface_counts=(0, 2), switches=6)
+        assert result.latency_is_increasing()
+        assert result.rows[0].mean_ms > 4.0
+
+    def test_fig10(self):
+        result = fig10_micro.run(
+            backhauls_mbps=(1.0,),
+            labels=("one card, stock", "Spider (100,0,0)"),
+            seeds=(0,),
+            measure_s=10.0,
+        )
+        assert set(result.throughput_kBps) == {"one card, stock", "Spider (100,0,0)"}
+
+    def test_timeout_grid_and_consumers(self):
+        grid = timeout_grid.run_grid(
+            labels=("ch1, ll=100ms, dhcp=200ms, 7if",), seeds=(0,), duration_s=60.0
+        )
+        t3 = table3_dhcp_failures.run(
+            labels=("ch1, ll=100ms, dhcp=200ms, 7if",), grid=grid
+        )
+        assert len(t3.rows) == 1
+        f14 = fig14_join_timeouts.run(
+            labels=("ch1, ll=100ms, dhcp=200ms, 7if",), grid=grid
+        )
+        assert "Fig14" in f14.render()
+        f15 = fig15_join_policies.run(
+            labels=("ch1, ll=100ms, dhcp=200ms, 7if",), grid=grid
+        )
+        assert "Fig15" in f15.render()
+
+
+class TestSuiteConsumers:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        from repro.experiments.town_runs import run_configuration_suite
+        from repro.experiments.fig11_13_cdfs import FOUR_CONFIGS
+
+        return run_configuration_suite(
+            seeds=(0,), duration_s=120.0, include_cambridge=False, labels=FOUR_CONFIGS
+        )
+
+    def test_table2_from_suite(self, suite):
+        result = table2_configs.run(suite=suite)
+        assert len(result.rows) == 4
+        assert result.multi_ap_gain() > 0
+        assert "Table 2" in result.render()
+
+    def test_fig11_13_from_suite(self, suite):
+        result = fig11_13_cdfs.run(suite=suite)
+        assert set(result.connection_durations) == set(fig11_13_cdfs.FOUR_CONFIGS)
+        assert "Fig 12" in result.render()
+
+    def test_fig16_17_from_suite(self, suite):
+        result = fig16_17_usability.run(suite=suite)
+        assert result.user_connection_durations
+        assert 0.0 <= result.supply_covers_demand_fraction() <= 1.0
+        assert "Fig 17" in result.render()
+
+
+class TestStandaloneTownExperiments:
+    def test_table4(self):
+        result = table4_channels.run(seeds=(0,), duration_s=100.0)
+        assert len(result.rows) == 3
+        assert "Table 4" in result.render()
+
+    def test_ap_density(self):
+        result = ap_density.run(towns=("amherst",), seeds=(0,), duration_s=100.0)
+        row = result.rows[0]
+        assert row.ap_count > 0
+        shares = sum(row.link_share.values())
+        assert shares == pytest.approx(1.0, abs=1e-6) or shares == 0.0
+        assert "density" in result.render()

@@ -1,0 +1,74 @@
+"""Tests for frame/packet types."""
+
+from __future__ import annotations
+
+from repro.sim.frames import (
+    BROADCAST,
+    DhcpMessage,
+    DhcpType,
+    Frame,
+    FrameKind,
+    TcpSegment,
+)
+
+
+class TestFrame:
+    def test_broadcast_detection(self):
+        frame = Frame(kind=FrameKind.BEACON, src="ap", dst=BROADCAST, size=80)
+        assert frame.is_broadcast
+        unicast = Frame(kind=FrameKind.DATA, src="a", dst="b", size=100)
+        assert not unicast.is_broadcast
+
+    def test_frame_ids_unique_and_increasing(self):
+        a = Frame(kind=FrameKind.DATA, src="a", dst="b", size=1)
+        b = Frame(kind=FrameKind.DATA, src="a", dst="b", size=1)
+        assert b.frame_id > a.frame_id
+
+    def test_repr_is_compact_and_informative(self):
+        frame = Frame(kind=FrameKind.AUTH_REQUEST, src="cli", dst="ap", size=80, channel=6)
+        text = repr(frame)
+        assert "auth_request" in text and "cli->ap" in text and "ch6" in text
+
+    def test_default_payload_none(self):
+        frame = Frame(kind=FrameKind.DATA, src="a", dst="b", size=1)
+        assert frame.payload is None and frame.bssid is None
+
+
+class TestDhcpMessage:
+    def test_round_trip_fields(self):
+        message = DhcpMessage(
+            dhcp_type=DhcpType.OFFER,
+            transaction_id=7,
+            client_mac="m",
+            offered_ip="10.0.0.2",
+            gateway_ip="10.0.0.1",
+        )
+        assert message.dhcp_type is DhcpType.OFFER
+        assert message.offered_ip == "10.0.0.2"
+        assert message.lease_time == 3600.0
+
+    def test_all_message_types_exist(self):
+        for name in ("DISCOVER", "OFFER", "REQUEST", "ACK", "NAK"):
+            assert hasattr(DhcpType, name)
+
+
+class TestTcpSegment:
+    def test_data_segment_defaults(self):
+        segment = TcpSegment("f", "s", "c", seq=100, payload_bytes=1400)
+        assert not segment.is_ack and not segment.retransmit
+        assert segment.ack == 0
+
+    def test_ack_segment(self):
+        segment = TcpSegment("f", "c", "s", ack=2800, is_ack=True)
+        assert segment.is_ack and segment.payload_bytes == 0
+
+
+class TestFrameKinds:
+    def test_all_protocol_kinds_present(self):
+        expected = {
+            "BEACON", "PROBE_REQUEST", "PROBE_RESPONSE",
+            "AUTH_REQUEST", "AUTH_RESPONSE", "ASSOC_REQUEST", "ASSOC_RESPONSE",
+            "PSM", "PS_POLL", "DISASSOC", "DHCP", "DATA",
+            "PING_REQUEST", "PING_REPLY",
+        }
+        assert expected <= {k.name for k in FrameKind}

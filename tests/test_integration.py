@@ -1,0 +1,156 @@
+"""Cross-module integration tests: whole-system behaviours on small worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.link_manager import SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.core.spider import SpiderClient
+from repro.model.join_model import JoinModelParams, join_probability
+from repro.sim.engine import Simulator
+from repro.sim.mobility import LinearMobility, StaticPosition
+from repro.sim.stock_client import StockClient
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+class TestAggregation:
+    """Fig. 10's core claim: single-channel Spider ≈ two independent cards."""
+
+    def _throughput(self, client_factory, seed=3):
+        sim = Simulator(seed=seed)
+        world = World(sim, loss_rate=0.02)
+        for x in (5.0, 8.0):
+            world.add_ap(
+                channel=1,
+                position=(x, 0.0),
+                backhaul_rate_bps=1.5e6,
+                dhcp_response_delay=lambda: 0.2,
+            )
+        client = client_factory(sim, world)
+        client.start()
+        sim.run(until=40.0)
+        return client.recorder.average_throughput_between_bps(10.0, 40.0)
+
+    def test_two_ap_aggregation_doubles_throughput(self):
+        def multi(sim, world):
+            return SpiderClient.single_channel_multi_ap(
+                sim, world, StaticPosition(0, 0), channel=1, num_interfaces=2
+            )
+
+        def single(sim, world):
+            return SpiderClient.single_channel_single_ap(
+                sim, world, StaticPosition(0, 0), channel=1
+            )
+
+        multi_rate = self._throughput(multi)
+        single_rate = self._throughput(single)
+        assert multi_rate > 1.6 * single_rate
+
+
+class TestVehicularEndToEnd:
+    def test_spider_beats_stock_on_a_road(self):
+        def run(factory):
+            sim = Simulator(seed=5)
+            world = World(sim, loss_rate=0.1)
+            for x in (120.0, 320.0, 520.0):
+                world.add_ap(
+                    channel=1,
+                    position=(x, 25.0),
+                    backhaul_rate_bps=2e6,
+                    dhcp_response_delay=lambda: 1.0,
+                )
+            client = factory(sim, world)
+            client.start()
+            sim.run(until=60.0)
+            return client.recorder.total_bytes
+
+        spider_bytes = run(
+            lambda sim, world: SpiderClient.single_channel_multi_ap(
+                sim, world, LinearMobility(speed_mps=10.0), channel=1
+            )
+        )
+        stock_bytes = run(
+            lambda sim, world: StockClient(
+                sim, world, LinearMobility(speed_mps=10.0)
+            )
+        )
+        assert spider_bytes > stock_bytes
+
+    def test_lease_cache_speeds_up_second_lap(self):
+        from repro.workloads.town import build_town
+
+        sim = Simulator(seed=2)
+        town = build_town(sim, preset="amherst")
+        config = SpiderConfig.spider_defaults(OperationMode.single_channel(1), 7)
+        client = SpiderClient(
+            sim,
+            town.world,
+            town.make_vehicle_mobility(10.0),
+            config,
+            client_id="veh",
+            enable_traffic=False,
+        )
+        client.start()
+        sim.run(until=850.0)  # > 2 laps
+        cached = [a for a in client.join_log.attempts if a.used_cache and a.leased]
+        uncached = [
+            a for a in client.join_log.attempts if not a.used_cache and a.leased
+        ]
+        assert cached, "second lap should hit the lease cache"
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean([a.dhcp_time_s for a in cached]) < mean(
+            [a.dhcp_time_s for a in uncached]
+        )
+
+    def test_connectivity_requires_coverage(self):
+        sim = Simulator(seed=0)
+        world = World(sim, loss_rate=0.1)
+        world.add_ap(channel=1, position=(5000.0, 0.0))  # far away forever
+        client = SpiderClient.single_channel_multi_ap(
+            sim, world, LinearMobility(speed_mps=10.0), channel=1
+        )
+        client.start()
+        sim.run(until=30.0)
+        assert client.recorder.total_bytes == 0
+        assert client.connectivity_percent(30.0) == 0.0
+
+
+class TestModelMatchesSystem:
+    def test_join_probability_direction_matches_full_system(self):
+        """More channel time => higher join success, in model AND system."""
+        params = JoinModelParams(beta_min_s=0.5, beta_max_s=3.0)
+        model_low = join_probability(params, 0.25, 8.0)
+        model_high = join_probability(params, 1.0, 8.0)
+        assert model_high > model_low
+
+        def success_rate(fraction):
+            sim = Simulator(seed=7)
+            world = World(sim, loss_rate=0.1)
+            # A corridor of APs on channel 6, encountered sequentially.
+            for x in (80.0, 240.0, 400.0, 560.0):
+                world.add_ap(
+                    channel=6, position=(x, 40.0),
+                    dhcp_response_delay=lambda: 1.5,
+                )
+            if fraction >= 1.0:
+                mode = OperationMode.single_channel(6)
+            else:
+                mode = OperationMode(
+                    0.4, {6: fraction, 1: (1 - fraction) / 2, 11: (1 - fraction) / 2}
+                )
+            config = SpiderConfig.spider_defaults(mode, num_interfaces=4)
+            client = SpiderClient(
+                sim, world, LinearMobility(speed_mps=10.0), config,
+                client_id="veh", enable_traffic=False,
+            )
+            client.start()
+            sim.run(until=70.0)
+            log = client.join_log
+            if not log.attempts:
+                return 0.0
+            return sum(a.leased for a in log.attempts) / len(log.attempts)
+
+        assert success_rate(1.0) >= success_rate(0.25)

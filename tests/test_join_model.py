@@ -1,0 +1,182 @@
+"""Unit and property tests for the analytical join model (Eq. 1-7)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.join_model import (
+    JoinModelParams,
+    expected_join_fraction,
+    join_probability,
+    join_probability_series,
+    q_round_pair,
+    q_segment,
+)
+from repro.model.join_sim import simulate_join_probability
+
+PAPER = JoinModelParams(
+    period_s=0.5,
+    switch_delay_s=7e-3,
+    request_spacing_s=0.1,
+    beta_min_s=0.5,
+    beta_max_s=5.0,
+    loss_rate=0.1,
+)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        JoinModelParams()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            JoinModelParams(period_s=0.0)
+        with pytest.raises(ValueError):
+            JoinModelParams(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            JoinModelParams(beta_min_s=2.0, beta_max_s=1.0)
+        with pytest.raises(ValueError):
+            JoinModelParams(switch_delay_s=-0.1)
+
+    def test_requests_per_round_formula(self):
+        params = JoinModelParams(period_s=0.5, switch_delay_s=7e-3, request_spacing_s=0.1)
+        # ceil((0.5*0.5 - 0.007)/0.1) = ceil(2.43) = 3
+        assert params.requests_per_round(0.5) == 3
+        assert params.requests_per_round(1.0) == 5
+
+    def test_no_requests_when_dwell_below_switch_delay(self):
+        params = JoinModelParams(period_s=0.5, switch_delay_s=0.06, request_spacing_s=0.1)
+        assert params.requests_per_round(0.1) == 0
+
+    def test_with_beta_max(self):
+        assert PAPER.with_beta_max(8.0).beta_max_s == 8.0
+
+
+class TestQSegment:
+    def test_probability_bounds(self):
+        for m in (1, 2):
+            for n in (m, m + 1, m + 5):
+                for k in (1, 2, 3):
+                    q = q_segment(PAPER, 0.4, m, n, k)
+                    assert 0.0 <= q <= 1.0
+
+    def test_n_before_m_is_zero(self):
+        assert q_segment(PAPER, 0.5, 3, 2, 1) == 0.0
+
+    def test_far_future_round_unreachable(self):
+        # Response latency <= k*c + beta_max; far-away rounds can't match.
+        assert q_segment(PAPER, 0.5, 1, 100, 1) == 0.0
+
+    def test_degenerate_beta_point_mass(self):
+        params = JoinModelParams(beta_min_s=1.0, beta_max_s=1.0)
+        total = sum(q_segment(params, 1.0, 1, n, 1) for n in range(1, 10))
+        assert total == pytest.approx(1.0)
+
+    def test_full_time_on_channel_covers_all_arrivals(self):
+        # With f=1 the on-window is the whole round: any response time in
+        # some round n succeeds, so summing q over n approaches 1.
+        total = sum(q_segment(PAPER, 1.0, 1, n, 1) for n in range(1, 50))
+        assert total == pytest.approx(1.0, abs=0.05)
+
+
+class TestJoinProbability:
+    def test_zero_fraction_never_joins(self):
+        assert join_probability(PAPER, 0.0, 4.0) == 0.0
+
+    def test_zero_time_never_joins(self):
+        assert join_probability(PAPER, 0.5, 0.0) == 0.0
+
+    def test_full_attention_with_short_beta_always_joins(self):
+        params = JoinModelParams(beta_min_s=0.1, beta_max_s=0.3, loss_rate=0.0)
+        assert join_probability(params, 1.0, 10.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_monotone_in_fraction(self):
+        probabilities = [join_probability(PAPER, f, 4.0) for f in (0.1, 0.3, 0.5, 0.8, 1.0)]
+        assert probabilities == sorted(probabilities)
+
+    def test_monotone_in_time(self):
+        probabilities = [join_probability(PAPER, 0.3, t) for t in (1.0, 2.0, 4.0, 8.0)]
+        assert probabilities == sorted(probabilities)
+
+    def test_decreasing_in_beta_max(self):
+        values = [
+            join_probability(PAPER.with_beta_max(bm), 0.25, 4.0)
+            for bm in (1.0, 3.0, 5.0, 10.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_decreasing_in_loss(self):
+        from dataclasses import replace
+
+        lossless = join_probability(replace(PAPER, loss_rate=0.0), 0.25, 4.0)
+        lossy = join_probability(replace(PAPER, loss_rate=0.4), 0.25, 4.0)
+        assert lossless > lossy
+
+    def test_series_is_cumulative(self):
+        series = join_probability_series(PAPER, 0.4, 4.0)
+        assert series[0] == 0.0
+        assert all(b >= a for a, b in zip(series, series[1:]))
+        assert len(series) == int(4.0 / PAPER.period_s) + 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            join_probability(PAPER, -0.1, 4.0)
+        with pytest.raises(ValueError):
+            join_probability(PAPER, 1.1, 4.0)
+        with pytest.raises(ValueError):
+            join_probability(PAPER, 0.5, -1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        rounds=st.integers(min_value=0, max_value=12),
+    )
+    def test_probability_always_in_unit_interval(self, fraction, rounds):
+        p = join_probability(PAPER, fraction, rounds * PAPER.period_s)
+        assert 0.0 <= p <= 1.0
+
+
+class TestExpectedJoinFraction:
+    def test_bounds(self):
+        value = expected_join_fraction(PAPER, 0.5, 10.0)
+        assert 0.0 <= value <= 1.0
+
+    def test_zero_horizon(self):
+        assert expected_join_fraction(PAPER, 0.5, 0.0) == 0.0
+
+    def test_increases_with_fraction(self):
+        low = expected_join_fraction(PAPER, 0.1, 10.0)
+        high = expected_join_fraction(PAPER, 0.9, 10.0)
+        assert high > low
+
+    def test_long_horizon_approaches_one(self):
+        params = JoinModelParams(beta_min_s=0.5, beta_max_s=1.0, loss_rate=0.0)
+        assert expected_join_fraction(params, 1.0, 300.0) > 0.95
+
+
+class TestModelVsSimulation:
+    """The Fig. 2 validation, at test scale."""
+
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 1.0])
+    def test_agreement_within_sampling_error(self, fraction):
+        model = join_probability(PAPER, fraction, 4.0)
+        sim = simulate_join_probability(
+            PAPER, fraction, 4.0, runs=12, trials_per_run=100, seed=3
+        )
+        assert abs(model - sim.mean) < max(4.0 * sim.std / (12 ** 0.5), 0.05)
+
+    def test_simulation_respects_bounds(self):
+        result = simulate_join_probability(PAPER, 0.4, 4.0, runs=5, trials_per_run=50)
+        assert 0.0 <= result.mean <= 1.0
+        assert result.std >= 0.0
+
+    def test_simulation_deterministic_for_seed(self):
+        a = simulate_join_probability(PAPER, 0.4, 4.0, runs=5, trials_per_run=50, seed=9)
+        b = simulate_join_probability(PAPER, 0.4, 4.0, runs=5, trials_per_run=50, seed=9)
+        assert a.mean == b.mean
+
+    def test_simulation_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_join_probability(PAPER, 0.4, 4.0, runs=0)

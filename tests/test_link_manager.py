@@ -1,0 +1,193 @@
+"""Unit/integration tests for the link-management module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.link_manager import LinkManager, SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.sim.engine import Simulator
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+def make_lmm(sim, world, num_interfaces=2, channel=1, **config_overrides):
+    from dataclasses import replace
+
+    nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "lmm", initial_channel=channel)
+    config = SpiderConfig.spider_defaults(
+        OperationMode.single_channel(channel), num_interfaces=num_interfaces
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    events = {"up": [], "down": []}
+    lmm = LinkManager(
+        sim,
+        world,
+        nic,
+        config,
+        on_link_up=lambda iface: events["up"].append(iface.bssid),
+        on_link_down=lambda iface: events["down"].append(iface.bssid),
+    )
+    return nic, lmm, events
+
+
+class TestJoinPipeline:
+    def test_full_join_establishes_link(self, sim, world):
+        ap = make_lab_ap(world)
+        nic, lmm, events = make_lmm(sim, world)
+        sim.run(until=5.0)
+        assert lmm.established_count == 1
+        assert events["up"] == [ap.bssid]
+        iface = lmm.established_ifaces()[0]
+        assert iface.routable and iface.ip is not None
+
+    def test_attempt_logged_with_all_stages(self, sim, world):
+        make_lab_ap(world)
+        nic, lmm, events = make_lmm(sim, world)
+        sim.run(until=5.0)
+        attempt = lmm.join_log.attempts[0]
+        assert attempt.associated and attempt.leased and attempt.verified
+        assert attempt.join_time_s is not None
+
+    def test_utility_rewarded_on_success(self, sim, world):
+        ap = make_lab_ap(world)
+        nic, lmm, events = make_lmm(sim, world)
+        sim.run(until=5.0)
+        assert lmm.tracker.utility(ap.bssid) == pytest.approx(1.0)
+
+    def test_no_two_interfaces_bind_same_ap(self, sim, world):
+        make_lab_ap(world)
+        nic, lmm, events = make_lmm(sim, world, num_interfaces=3)
+        sim.run(until=8.0)
+        bssids = [iface.bssid for iface in nic.interfaces if iface.bound]
+        assert len(bssids) == len(set(bssids)) == 1
+
+    def test_two_aps_joined_in_parallel(self, sim, world):
+        make_lab_ap(world, x=5.0)
+        make_lab_ap(world, x=8.0)
+        nic, lmm, events = make_lmm(sim, world, num_interfaces=3)
+        sim.run(until=8.0)
+        assert lmm.established_count == 2
+
+    def test_interfaces_created_to_config_count(self, sim, world):
+        nic, lmm, events = make_lmm(sim, world, num_interfaces=5)
+        assert len(nic.interfaces) == 5
+
+    def test_off_mode_channels_ignored(self, sim, world):
+        make_lab_ap(world, channel=6)  # not on the scheduled channel 1
+        nic, lmm, events = make_lmm(sim, world, channel=1)
+        sim.run(until=5.0)
+        assert lmm.established_count == 0
+
+
+class TestFailureHandling:
+    def test_dhcp_failure_scores_associated_and_blacklists(self, sim, world):
+        ap = world.add_ap(
+            channel=1, position=(10, 0), dhcp_response_delay=lambda: 30.0
+        )
+        nic, lmm, events = make_lmm(sim, world, dhcp_budget_s=0.5)
+        sim.run(until=4.0)
+        assert lmm.established_count == 0
+        assert lmm.tracker.utility(ap.bssid) < 1.0
+        assert ap.bssid in lmm._blacklist
+
+    def test_blacklisted_ap_retried_after_expiry(self, sim, world):
+        delays = iter([30.0] + [0.2] * 50)
+        ap = world.add_ap(
+            channel=1, position=(10, 0), dhcp_response_delay=lambda: next(delays)
+        )
+        nic, lmm, events = make_lmm(
+            sim, world, dhcp_budget_s=0.5, dhcp_idle_after_failure_s=2.0
+        )
+        sim.run(until=15.0)
+        assert lmm.established_count == 1  # second attempt succeeded
+
+    def test_dead_link_torn_down_and_reported(self, sim, world):
+        ap = make_lab_ap(world)
+        nic, lmm, events = make_lmm(sim, world)
+        sim.run(until=5.0)
+        assert lmm.established_count == 1
+        # Kill the AP entirely: pings start failing.
+        ap.stop()
+        world.medium.unregister(ap.bssid)
+        sim.run(until=20.0)
+        assert lmm.established_count == 0
+        assert events["down"] == [ap.bssid]
+        iface = nic.interfaces[0]
+        assert not iface.bound
+
+    def test_stop_cancels_everything(self, sim, world):
+        make_lab_ap(world)
+        nic, lmm, events = make_lmm(sim, world)
+        sim.run(until=5.0)
+        lmm.stop()
+        sim.run(until=10.0)
+        assert lmm.established_count == 0
+
+
+class TestLeaseCacheIntegration:
+    def test_second_join_uses_cache(self, sim, world):
+        ap = make_lab_ap(world, dhcp_delay=0.5)
+        nic, lmm, events = make_lmm(sim, world, dead_blacklist_s=0.5)
+        sim.run(until=5.0)
+        first = lmm.join_log.attempts[0]
+        assert not first.used_cache
+        # Drop the link by silencing the AP briefly, then restore.
+        world.medium.unregister(ap.bssid)
+        sim.run(until=12.0)
+        world.medium.register(ap)
+        sim.run(until=25.0)
+        cached_attempts = [a for a in lmm.join_log.attempts if a.used_cache and a.leased]
+        assert cached_attempts
+        assert cached_attempts[0].dhcp_time_s < 0.3
+
+    def test_cache_disabled_by_config(self, sim, world):
+        ap = make_lab_ap(world, dhcp_delay=0.3)
+        nic, lmm, events = make_lmm(sim, world, use_lease_cache=False, dead_blacklist_s=0.5)
+        sim.run(until=5.0)
+        world.medium.unregister(ap.bssid)
+        sim.run(until=12.0)
+        world.medium.register(ap)
+        sim.run(until=25.0)
+        assert all(not a.used_cache for a in lmm.join_log.attempts)
+
+
+class TestSelectionPolicies:
+    def test_rssi_policy_prefers_nearest(self, sim, world):
+        near = make_lab_ap(world, x=5.0)
+        make_lab_ap(world, x=80.0)
+        nic, lmm, events = make_lmm(
+            sim, world, num_interfaces=1, selection_policy="rssi"
+        )
+        sim.run(until=5.0)
+        assert events["up"] == [near.bssid]
+
+    def test_random_policy_joins_something(self, sim, world):
+        make_lab_ap(world, x=5.0)
+        make_lab_ap(world, x=8.0)
+        nic, lmm, events = make_lmm(
+            sim, world, num_interfaces=1, selection_policy="random"
+        )
+        sim.run(until=5.0)
+        assert lmm.established_count == 1
+
+    def test_unknown_policy_raises(self, sim, world):
+        make_lab_ap(world)
+        nic, lmm, events = make_lmm(sim, world, selection_policy="bogus")
+        with pytest.raises(ValueError):
+            sim.run(until=2.0)
+
+    def test_utility_policy_avoids_proven_bad_ap(self, sim, world):
+        bad = world.add_ap(channel=1, position=(5, 0), dhcp_response_delay=lambda: 30.0)
+        good = make_lab_ap(world, x=50.0)
+        nic, lmm, events = make_lmm(
+            sim, world, num_interfaces=1, dhcp_budget_s=0.5, dhcp_idle_after_failure_s=0.5
+        )
+        sim.run(until=30.0)
+        # After failing on `bad`, utility falls and `good` wins thereafter.
+        assert events["up"] and events["up"][0] == good.bssid
+        assert lmm.tracker.utility(bad.bssid) < lmm.tracker.utility(good.bssid)

@@ -1,0 +1,166 @@
+"""Unit tests for the association state machine (against a real AP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.frames import Frame, FrameKind
+from repro.sim.mac import AssociationState, Associator
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+@pytest.fixture
+def setup(sim, world):
+    ap = make_lab_ap(world, channel=1)
+    nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+    iface = nic.add_interface()
+    return ap, nic, iface
+
+
+def make_associator(sim, iface, ap, results, **kwargs):
+    return Associator(
+        sim,
+        iface,
+        bssid=ap.bssid,
+        channel=ap.channel,
+        on_success=lambda dt: results.append(("ok", dt)),
+        on_failure=lambda reason: results.append(("fail", reason)),
+        **kwargs,
+    )
+
+
+class TestHappyPath:
+    def test_association_completes(self, sim, setup):
+        ap, nic, iface = setup
+        results = []
+        make_associator(sim, iface, ap, results).start()
+        sim.run(until=2.0)
+        assert results and results[0][0] == "ok"
+        assert ap.is_associated(iface.mac)
+
+    def test_association_time_reported(self, sim, setup):
+        ap, nic, iface = setup
+        results = []
+        make_associator(sim, iface, ap, results).start()
+        sim.run(until=2.0)
+        elapsed = results[0][1]
+        assert 0.0 < elapsed < 0.1  # two handshakes of a few ms each
+
+    def test_state_transitions(self, sim, setup):
+        ap, nic, iface = setup
+        results = []
+        associator = make_associator(sim, iface, ap, results)
+        assert associator.state is AssociationState.IDLE
+        associator.start()
+        assert associator.state is AssociationState.AUTHENTICATING
+        sim.run(until=2.0)
+        assert associator.state is AssociationState.ASSOCIATED
+
+    def test_iface_bound_to_bssid_and_channel(self, sim, setup):
+        ap, nic, iface = setup
+        make_associator(sim, iface, ap, []).start()
+        assert iface.bssid == ap.bssid
+        assert iface.channel == ap.channel
+
+    def test_handlers_detached_after_success(self, sim, setup):
+        ap, nic, iface = setup
+        make_associator(sim, iface, ap, []).start()
+        sim.run(until=2.0)
+        assert FrameKind.AUTH_RESPONSE not in iface.handlers
+        assert FrameKind.ASSOC_RESPONSE not in iface.handlers
+
+    def test_double_start_rejected(self, sim, setup):
+        ap, nic, iface = setup
+        associator = make_associator(sim, iface, ap, [])
+        associator.start()
+        with pytest.raises(RuntimeError):
+            associator.start()
+
+
+class TestFailurePaths:
+    def test_unreachable_ap_times_out(self, sim, world):
+        far_ap = world.add_ap(channel=1, position=(1e4, 0.0))
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        results = []
+        make_associator(sim, iface, far_ap, results, timeout_s=0.1).start()
+        sim.run(until=5.0)
+        assert results and results[0][0] == "fail"
+
+    def test_retry_budget_respected(self, sim, world):
+        far_ap = world.add_ap(channel=1, position=(1e4, 0.0))
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        results = []
+        associator = make_associator(
+            sim, iface, far_ap, results, timeout_s=0.1, max_retries=2
+        )
+        associator.start()
+        sim.run(until=5.0)
+        assert associator.retries_used == 2
+        # fail occurs after (retries + 1) timeouts
+        assert results[0][0] == "fail"
+
+    def test_loss_recovered_by_retry(self, sim):
+        world = World(sim, loss_rate=0.4)
+        ap = make_lab_ap(world, channel=1)
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        results = []
+        make_associator(sim, iface, ap, results, timeout_s=0.1, max_retries=10).start()
+        sim.run(until=10.0)
+        assert results and results[0][0] == "ok"
+
+    def test_abort_suppresses_callbacks(self, sim, setup):
+        ap, nic, iface = setup
+        results = []
+        associator = make_associator(sim, iface, ap, results)
+        associator.start()
+        associator.abort()
+        sim.run(until=2.0)
+        assert results == []
+        assert associator.state is AssociationState.FAILED
+
+    def test_response_from_wrong_ap_ignored(self, sim, setup):
+        ap, nic, iface = setup
+        results = []
+        associator = make_associator(sim, iface, ap, results)
+        associator.start()
+        # Inject a forged auth response from another BSSID.
+        forged = Frame(
+            kind=FrameKind.AUTH_RESPONSE, src="evil", dst=iface.mac, size=80, channel=1
+        )
+        nic.on_frame(forged, -40.0)
+        assert associator.state is AssociationState.AUTHENTICATING
+
+    def test_invalid_timeout_rejected(self, sim, setup):
+        ap, nic, iface = setup
+        with pytest.raises(ValueError):
+            Associator(sim, iface, bssid=ap.bssid, channel=1, timeout_s=0.0)
+
+
+class TestTimeoutScaling:
+    def test_reduced_timeouts_fail_faster(self, sim, world):
+        far_ap = world.add_ap(channel=1, position=(1e4, 0.0))
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        results = {}
+        for label, timeout in (("fast", 0.1), ("slow", 1.0)):
+            iface = nic.add_interface()
+            bucket = []
+            results[label] = bucket
+            started = sim.now
+            Associator(
+                sim,
+                iface,
+                bssid=far_ap.bssid,
+                channel=1,
+                timeout_s=timeout,
+                on_failure=lambda r, b=bucket, s=started: b.append(sim.now - s),
+            ).start()
+        sim.run(until=30.0)
+        assert results["fast"][0] < results["slow"][0]

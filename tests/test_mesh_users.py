@@ -1,0 +1,71 @@
+"""Tests for the synthetic mesh-user demand trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import percentile
+from repro.workloads.mesh_users import MeshUserConfig, generate_mesh_trace
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = generate_mesh_trace(seed=5)
+        b = generate_mesh_trace(seed=5)
+        assert len(a) == len(b)
+        assert a.connection_durations() == b.connection_durations()
+
+    def test_different_seeds_differ(self):
+        a = generate_mesh_trace(seed=1)
+        b = generate_mesh_trace(seed=2)
+        assert a.connection_durations() != b.connection_durations()
+
+    def test_flow_count_scales_with_users(self):
+        small = generate_mesh_trace(MeshUserConfig(users=20), seed=0)
+        large = generate_mesh_trace(MeshUserConfig(users=200), seed=0)
+        assert len(large) > len(small)
+
+    def test_durations_positive_and_bounded(self):
+        trace = generate_mesh_trace(seed=0)
+        durations = trace.connection_durations()
+        assert all(0.0 < d <= trace.config.max_duration_s for d in durations)
+
+    def test_gaps_positive(self):
+        trace = generate_mesh_trace(seed=0)
+        assert all(g > 0 for g in trace.inter_connection_gaps())
+
+    def test_flows_sorted_by_start(self):
+        trace = generate_mesh_trace(seed=0)
+        starts = [f.start_s for f in trace.flows]
+        assert starts == sorted(starts)
+
+
+class TestDistributionShape:
+    def test_http_fraction_near_configured(self):
+        trace = generate_mesh_trace(MeshUserConfig(users=200), seed=0)
+        assert abs(trace.http_fraction() - 0.68) < 0.05
+
+    def test_heavy_tail_present(self):
+        trace = generate_mesh_trace(MeshUserConfig(users=200), seed=0)
+        durations = trace.connection_durations()
+        p50 = percentile(durations, 50)
+        p99 = percentile(durations, 99)
+        assert p99 > 8.0 * p50  # long tail dominates
+
+    def test_most_flows_are_short(self):
+        """The Fig. 16 property: the bulk of user flows finish quickly."""
+        trace = generate_mesh_trace(MeshUserConfig(users=200), seed=0)
+        durations = trace.connection_durations()
+        short = sum(1 for d in durations if d <= 20.0)
+        assert short / len(durations) > 0.7
+
+    def test_gap_distribution_has_minutes_scale_tail(self):
+        trace = generate_mesh_trace(MeshUserConfig(users=200), seed=0)
+        gaps = trace.inter_connection_gaps()
+        assert percentile(gaps, 90) > 30.0
+
+    def test_http_flows_shorter_than_bulk_on_average(self):
+        trace = generate_mesh_trace(MeshUserConfig(users=300), seed=1)
+        http = [f.duration_s for f in trace.flows if f.is_http]
+        bulk = [f.duration_s for f in trace.flows if not f.is_http]
+        assert sum(http) / len(http) < sum(bulk) / len(bulk)

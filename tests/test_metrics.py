@@ -1,0 +1,165 @@
+"""Unit tests for metric collection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import JoinLog, ThroughputRecorder, segment_lengths
+
+
+class TestSegmentLengths:
+    def test_alternating_runs(self):
+        connected, disrupted = segment_lengths(
+            [True, True, False, True, False, False], 1.0
+        )
+        assert connected == [2.0, 1.0]
+        assert disrupted == [1.0, 2.0]
+
+    def test_all_connected(self):
+        connected, disrupted = segment_lengths([True] * 5, 1.0)
+        assert connected == [5.0]
+        assert disrupted == []
+
+    def test_empty(self):
+        assert segment_lengths([], 1.0) == ([], [])
+
+    def test_bin_width_scales_durations(self):
+        connected, _ = segment_lengths([True, True], 0.5)
+        assert connected == [1.0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(flags=st.lists(st.booleans(), max_size=60))
+    def test_partition_property(self, flags):
+        """Connected plus disrupted segments exactly tile the timeline."""
+        connected, disrupted = segment_lengths(flags, 1.0)
+        assert sum(connected) + sum(disrupted) == pytest.approx(len(flags))
+        assert sum(connected) == pytest.approx(sum(flags))
+
+
+class TestThroughputRecorder:
+    def record_at(self, sim, recorder, t, n):
+        sim.schedule_at(t, recorder.record, n)
+
+    def test_total_bytes(self, sim):
+        recorder = ThroughputRecorder(sim)
+        self.record_at(sim, recorder, 0.5, 100)
+        self.record_at(sim, recorder, 1.5, 200)
+        sim.run()
+        assert recorder.total_bytes == 300
+
+    def test_average_throughput(self, sim):
+        recorder = ThroughputRecorder(sim)
+        self.record_at(sim, recorder, 0.5, 1000)
+        self.record_at(sim, recorder, 3.5, 1000)
+        sim.run(until=4.0)
+        assert recorder.average_throughput_bps(4.0) == pytest.approx(500.0)
+
+    def test_connectivity_fraction(self, sim):
+        recorder = ThroughputRecorder(sim)
+        self.record_at(sim, recorder, 0.5, 10)
+        self.record_at(sim, recorder, 1.5, 10)
+        sim.run(until=4.0)
+        assert recorder.connectivity_fraction(4.0) == pytest.approx(0.5)
+
+    def test_connection_and_disruption_durations(self, sim):
+        recorder = ThroughputRecorder(sim)
+        for t in (0.5, 1.5, 3.5):
+            self.record_at(sim, recorder, t, 10)
+        sim.run(until=5.0)
+        assert recorder.connection_durations(5.0) == [2.0, 1.0]
+        assert recorder.disruption_durations(5.0) == [1.0, 1.0]
+
+    def test_instantaneous_bandwidths_skip_idle_bins(self, sim):
+        recorder = ThroughputRecorder(sim)
+        self.record_at(sim, recorder, 0.5, 500)
+        self.record_at(sim, recorder, 2.5, 1500)
+        sim.run(until=4.0)
+        assert recorder.instantaneous_bandwidths_bps(4.0) == [500.0, 1500.0]
+
+    def test_window_average(self, sim):
+        recorder = ThroughputRecorder(sim)
+        self.record_at(sim, recorder, 1.5, 1000)
+        self.record_at(sim, recorder, 8.5, 9000)
+        sim.run(until=10.0)
+        assert recorder.average_throughput_between_bps(0.0, 2.0) == pytest.approx(500.0)
+        assert recorder.average_throughput_between_bps(8.0, 10.0) == pytest.approx(4500.0)
+
+    def test_zero_byte_record_ignored(self, sim):
+        recorder = ThroughputRecorder(sim)
+        recorder.record(0)
+        assert recorder.total_bytes == 0
+        assert recorder.timeline(1.0) == [0]
+
+    def test_empty_recorder_metrics(self, sim):
+        recorder = ThroughputRecorder(sim)
+        sim.run(until=3.0)
+        assert recorder.average_throughput_bps(3.0) == 0.0
+        assert recorder.connectivity_fraction(3.0) == 0.0
+        assert recorder.connection_durations(3.0) == []
+        assert recorder.disruption_durations(3.0) == [3.0]
+
+    def test_invalid_bin_width_rejected(self, sim):
+        with pytest.raises(ValueError):
+            ThroughputRecorder(sim, bin_s=0.0)
+
+    def test_invalid_window_rejected(self, sim):
+        recorder = ThroughputRecorder(sim)
+        with pytest.raises(ValueError):
+            recorder.average_throughput_between_bps(5.0, 5.0)
+
+
+class TestJoinLog:
+    def make_log(self):
+        log = JoinLog()
+        ok = log.new_attempt("ap1", 1, 0.0)
+        ok.associated = True
+        ok.association_time_s = 0.02
+        ok.leased = True
+        ok.dhcp_time_s = 1.0
+        ok.join_time_s = 1.02
+        ok.verified = True
+        half = log.new_attempt("ap2", 6, 5.0)
+        half.associated = True
+        half.association_time_s = 0.3
+        bad = log.new_attempt("ap3", 11, 9.0)
+        bad.failure_reason = "association: timeout"
+        return log
+
+    def test_counts(self):
+        log = self.make_log()
+        assert len(log) == 3
+
+    def test_association_times(self):
+        log = self.make_log()
+        assert log.association_times() == [0.02, 0.3]
+
+    def test_dhcp_times(self):
+        assert self.make_log().dhcp_times() == [1.0]
+
+    def test_join_times(self):
+        assert self.make_log().join_times() == [1.02]
+
+    def test_association_success_rate(self):
+        assert self.make_log().association_success_rate() == pytest.approx(2 / 3)
+
+    def test_dhcp_failure_rate_counts_only_attempts_that_reached_dhcp(self):
+        log = self.make_log()
+        # ap1 leased, ap2 reached DHCP and failed, ap3 never got there.
+        assert log.dhcp_failure_rate() == pytest.approx(0.5)
+
+    def test_cache_hit_rate(self):
+        log = self.make_log()
+        assert log.cache_hit_rate() == 0.0
+        log.attempts[0].used_cache = True
+        assert log.cache_hit_rate() == 1.0
+
+    def test_empty_log_rates_are_nan(self):
+        log = JoinLog()
+        assert math.isnan(log.association_success_rate())
+        assert math.isnan(log.dhcp_failure_rate())
+        assert math.isnan(log.cache_hit_rate())

@@ -1,0 +1,177 @@
+"""Unit tests for mobility models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.mobility import (
+    LinearMobility,
+    LoopMobility,
+    StaticPosition,
+    VariableSpeedLoopMobility,
+    circle_point,
+    ring_distance,
+)
+
+
+class TestStaticPosition:
+    def test_never_moves(self):
+        pos = StaticPosition(3.0, 4.0)
+        assert pos.position_at(0.0) == (3.0, 4.0)
+        assert pos.position_at(1e6) == (3.0, 4.0)
+
+
+class TestLinearMobility:
+    def test_position_advances_linearly(self):
+        mob = LinearMobility(speed_mps=10.0, start_x=5.0)
+        assert mob.position_at(0.0) == (5.0, 0.0)
+        assert mob.position_at(2.0) == (25.0, 0.0)
+
+    def test_y_offset_preserved(self):
+        mob = LinearMobility(speed_mps=1.0, y=7.0)
+        assert mob.position_at(3.0) == (3.0, 7.0)
+
+    def test_zero_speed_is_static(self):
+        mob = LinearMobility(speed_mps=0.0, start_x=1.0)
+        assert mob.position_at(100.0) == (1.0, 0.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            LinearMobility(speed_mps=-1.0)
+
+    def test_time_in_range_is_two_r_over_v(self):
+        mob = LinearMobility(speed_mps=10.0)
+        assert mob.time_in_range_of(500.0, 100.0) == pytest.approx(20.0)
+
+    def test_time_in_range_zero_speed(self):
+        inside = LinearMobility(speed_mps=0.0, start_x=0.0)
+        assert inside.time_in_range_of(50.0, 100.0) == math.inf
+        outside = LinearMobility(speed_mps=0.0, start_x=0.0)
+        assert outside.time_in_range_of(500.0, 100.0) == 0.0
+
+
+class TestCirclePoint:
+    def test_start_is_on_positive_x_axis(self):
+        x, y = circle_point(0.0, 1000.0)
+        radius = 1000.0 / (2 * math.pi)
+        assert x == pytest.approx(radius)
+        assert y == pytest.approx(0.0)
+
+    def test_full_lap_returns_to_start(self):
+        start = circle_point(0.0, 1000.0)
+        lap = circle_point(1000.0, 1000.0)
+        assert lap[0] == pytest.approx(start[0])
+        assert lap[1] == pytest.approx(start[1], abs=1e-9)
+
+    def test_nearby_arc_positions_are_nearby_in_space(self):
+        a = circle_point(100.0, 4000.0)
+        b = circle_point(110.0, 4000.0)
+        assert math.hypot(a[0] - b[0], a[1] - b[1]) == pytest.approx(10.0, rel=0.01)
+
+    @settings(max_examples=50, deadline=None)
+    @given(arc=st.floats(min_value=0, max_value=10000, allow_nan=False))
+    def test_always_on_the_circle(self, arc):
+        loop = 4000.0
+        x, y = circle_point(arc, loop)
+        assert math.hypot(x, y) == pytest.approx(loop / (2 * math.pi))
+
+
+class TestLoopMobility:
+    def test_wraps_after_full_lap(self):
+        mob = LoopMobility(speed_mps=10.0, loop_length_m=1000.0)
+        assert mob.arc_position_at(0.0) == pytest.approx(0.0)
+        assert mob.arc_position_at(100.0) == pytest.approx(0.0)
+        assert mob.arc_position_at(150.0) == pytest.approx(500.0)
+
+    def test_lap_time(self):
+        mob = LoopMobility(speed_mps=10.0, loop_length_m=4000.0)
+        assert mob.lap_time() == pytest.approx(400.0)
+
+    def test_lap_time_zero_speed(self):
+        assert LoopMobility(0.0, 1000.0).lap_time() == math.inf
+
+    def test_position_continuity_across_lap_boundary(self):
+        mob = LoopMobility(speed_mps=10.0, loop_length_m=1000.0)
+        before = mob.position_at(99.95)
+        after = mob.position_at(100.05)
+        assert math.hypot(before[0] - after[0], before[1] - after[1]) < 2.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LoopMobility(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            LoopMobility(1.0, 0.0)
+
+
+class TestVariableSpeedLoopMobility:
+    PROFILE = [(60.0, 3.0), (60.0, 15.0)]
+
+    def test_speed_follows_profile(self):
+        mob = VariableSpeedLoopMobility(self.PROFILE, 4000.0)
+        assert mob.speed_at(0.0) == 3.0
+        assert mob.speed_at(59.9) == 3.0
+        assert mob.speed_at(60.0) == 15.0
+        assert mob.speed_at(121.0) == 3.0  # profile repeats
+
+    def test_arc_integrates_profile_exactly(self):
+        mob = VariableSpeedLoopMobility(self.PROFILE, 1e6)
+        # 60 s at 3 + 60 s at 15 = 1080 m per 120 s cycle.
+        assert mob.arc_position_at(120.0) == pytest.approx(1080.0)
+        assert mob.arc_position_at(30.0) == pytest.approx(90.0)
+        assert mob.arc_position_at(90.0) == pytest.approx(180.0 + 450.0)
+
+    def test_wraps_around_loop(self):
+        mob = VariableSpeedLoopMobility([(10.0, 100.0)], 500.0)
+        assert mob.arc_position_at(10.0) == pytest.approx(500.0 % 500.0)
+        assert mob.arc_position_at(7.5) == pytest.approx(250.0)
+
+    def test_position_continuity_across_segment_boundary(self):
+        mob = VariableSpeedLoopMobility(self.PROFILE, 4000.0)
+        before = mob.position_at(59.99)
+        after = mob.position_at(60.01)
+        assert math.hypot(before[0] - after[0], before[1] - after[1]) < 1.0
+
+    def test_start_arc_offset(self):
+        mob = VariableSpeedLoopMobility(self.PROFILE, 4000.0, start_arc_m=100.0)
+        assert mob.arc_position_at(0.0) == pytest.approx(100.0)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            VariableSpeedLoopMobility([], 1000.0)
+        with pytest.raises(ValueError):
+            VariableSpeedLoopMobility([(0.0, 5.0)], 1000.0)
+        with pytest.raises(ValueError):
+            VariableSpeedLoopMobility([(10.0, -1.0)], 1000.0)
+        with pytest.raises(ValueError):
+            VariableSpeedLoopMobility([(10.0, 1.0)], 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=st.floats(min_value=0, max_value=10_000, allow_nan=False))
+    def test_arc_always_within_loop(self, t):
+        mob = VariableSpeedLoopMobility(self.PROFILE, 4000.0)
+        assert 0.0 <= mob.arc_position_at(t) < 4000.0
+
+
+class TestRingDistance:
+    def test_short_way_around(self):
+        assert ring_distance(10.0, 990.0, 1000.0) == pytest.approx(20.0)
+
+    def test_same_point(self):
+        assert ring_distance(5.0, 5.0, 100.0) == 0.0
+
+    def test_half_way_is_maximum(self):
+        assert ring_distance(0.0, 500.0, 1000.0) == pytest.approx(500.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.floats(min_value=0, max_value=1000, allow_nan=False),
+        b=st.floats(min_value=0, max_value=1000, allow_nan=False),
+    )
+    def test_symmetric_and_bounded(self, a, b):
+        d = ring_distance(a, b, 1000.0)
+        assert d == pytest.approx(ring_distance(b, a, 1000.0))
+        assert 0.0 <= d <= 500.0

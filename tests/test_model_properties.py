@@ -1,0 +1,120 @@
+"""Property-based tests on the analytical framework's invariants."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.join_model import (
+    JoinModelParams,
+    expected_join_fraction,
+    join_probability,
+    join_probability_series,
+    q_round_pair,
+    q_segment,
+)
+from repro.model.optimizer import ChannelState, optimal_schedule
+
+BASE = JoinModelParams(beta_min_s=0.5, beta_max_s=5.0)
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+small_ints = st.integers(min_value=1, max_value=8)
+
+
+class TestQFunctions:
+    @settings(max_examples=60, deadline=None)
+    @given(f=fractions, m=small_ints, n=small_ints, k=st.integers(min_value=1, max_value=6))
+    def test_q_segment_is_a_probability(self, f, m, n, k):
+        value = q_segment(BASE, f, m, n, k)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(f=fractions, m=small_ints, n=small_ints)
+    def test_q_round_pair_is_a_probability(self, f, m, n):
+        value = q_round_pair(BASE, f, m, n)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(f=st.floats(min_value=0.05, max_value=1.0, allow_nan=False), m=small_ints, n=small_ints)
+    def test_loss_only_hurts(self, f, m, n):
+        """More loss ⇒ higher probability that no request succeeds."""
+        lossless = q_round_pair(replace(BASE, loss_rate=0.0), f, m, n)
+        lossy = q_round_pair(replace(BASE, loss_rate=0.3), f, m, n)
+        assert lossy >= lossless - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(f=fractions)
+    def test_wider_on_window_never_hurts_a_segment(self, f):
+        """q_segment is non-decreasing in the channel fraction."""
+        smaller = q_segment(BASE, f * 0.5, 1, 1, 1)
+        larger = q_segment(BASE, f, 1, 1, 1)
+        assert larger >= smaller - 1e-12
+
+
+class TestJoinProbabilityProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(f=fractions, rounds=st.integers(min_value=1, max_value=10))
+    def test_series_monotone_and_bounded(self, f, rounds):
+        series = join_probability_series(BASE, f, rounds * BASE.period_s)
+        assert all(0.0 <= p <= 1.0 for p in series)
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        f=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        h1=st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
+        h2=st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
+    )
+    def test_probability_decreasing_in_loss(self, f, h1, h2):
+        lo, hi = sorted((h1, h2))
+        p_lo_loss = join_probability(replace(BASE, loss_rate=lo), f, 4.0)
+        p_hi_loss = join_probability(replace(BASE, loss_rate=hi), f, 4.0)
+        assert p_lo_loss >= p_hi_loss - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(f=st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+    def test_shorter_beta_never_hurts(self, f):
+        quick = join_probability(BASE.with_beta_max(1.0), f, 4.0)
+        slow = join_probability(BASE.with_beta_max(10.0), f, 4.0)
+        assert quick >= slow - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(f=fractions, rounds=st.integers(min_value=1, max_value=12))
+    def test_expected_fraction_bounded_by_final_probability(self, f, rounds):
+        """The time-averaged CDF cannot exceed its final value."""
+        horizon = rounds * BASE.period_s
+        series = join_probability_series(BASE, f, horizon)
+        assert expected_join_fraction(BASE, f, horizon) <= series[-1] + 1e-9
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        j1=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        a2=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        horizon=st.floats(min_value=5.0, max_value=40.0, allow_nan=False),
+    )
+    def test_solution_always_feasible(self, j1, a2, horizon):
+        channels = [
+            ChannelState(1, joined_bps=j1 * 11e6),
+            ChannelState(2, available_bps=a2 * 11e6),
+        ]
+        result = optimal_schedule(
+            channels, horizon, params=BASE, grid_steps=6, refine_rounds=1
+        )
+        total = sum(result.fractions.values())
+        assert total <= 1.0 + 1e-9
+        assert all(0.0 <= f <= 1.0 for f in result.fractions.values())
+        assert result.total_throughput_bps <= 11e6 + 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(j1=st.floats(min_value=0.1, max_value=1.0, allow_nan=False))
+    def test_more_joined_bandwidth_never_lowers_throughput(self, j1):
+        base_channels = [ChannelState(1, joined_bps=0.5 * j1 * 11e6)]
+        better_channels = [ChannelState(1, joined_bps=j1 * 11e6)]
+        base = optimal_schedule(base_channels, 20.0, params=BASE, grid_steps=8, refine_rounds=1)
+        better = optimal_schedule(better_channels, 20.0, params=BASE, grid_steps=8, refine_rounds=1)
+        assert better.total_throughput_bps >= base.total_throughput_bps - 1e-6

@@ -1,0 +1,100 @@
+"""Multiple clients sharing one world: contention and independence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spider import SpiderClient
+from repro.sim.engine import Simulator
+from repro.sim.mobility import StaticPosition
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+class TestTwoClientsOneAp:
+    def test_both_join_and_share_backhaul(self):
+        sim = Simulator(seed=12)
+        world = World(sim, loss_rate=0.02)
+        ap = make_lab_ap(world, backhaul_bps=2e6)
+        clients = [
+            SpiderClient.single_channel_multi_ap(
+                sim, world, StaticPosition(0, float(i)), channel=1,
+                num_interfaces=1, client_id=f"car{i}",
+            )
+            for i in range(2)
+        ]
+        for client in clients:
+            client.start()
+        sim.run(until=30.0)
+        assert all(c.links_established == 1 for c in clients)
+        total_rate = sum(c.recorder.total_bytes for c in clients) / 30.0
+        # Shared 2 Mb/s backhaul = 250 kB/s ceiling for the pair.
+        assert total_rate < 2e6 / 8.0 * 1.1
+        # Both clients get a share — neither starves.
+        for client in clients:
+            assert client.recorder.total_bytes > 100_000
+
+    def test_clients_get_distinct_ips(self):
+        sim = Simulator(seed=13)
+        world = World(sim, loss_rate=0.0)
+        make_lab_ap(world)
+        clients = [
+            SpiderClient.single_channel_multi_ap(
+                sim, world, StaticPosition(0, float(i)), channel=1,
+                num_interfaces=1, client_id=f"car{i}",
+            )
+            for i in range(3)
+        ]
+        for client in clients:
+            client.start()
+        sim.run(until=15.0)
+        ips = {c.nic.interfaces[0].ip for c in clients}
+        assert len(ips) == 3 and None not in ips
+
+
+class TestTwoClientsTwoAps:
+    def test_airtime_shared_on_common_channel(self):
+        sim = Simulator(seed=14)
+        world = World(sim, loss_rate=0.02)
+        make_lab_ap(world, backhaul_bps=8e6, x=5.0)
+        make_lab_ap(world, backhaul_bps=8e6, x=8.0)
+        clients = []
+        for i in range(2):
+            client = SpiderClient.single_channel_multi_ap(
+                sim, world, StaticPosition(0, float(i)), channel=1,
+                num_interfaces=2, client_id=f"car{i}",
+            )
+            client.start()
+            clients.append(client)
+        sim.run(until=30.0)
+        total_bps = sum(c.recorder.total_bytes for c in clients) * 8.0 / 30.0
+        # Both clients' aggregate cannot exceed the 11 Mb/s channel.
+        assert total_bps < 11e6
+
+    def test_independent_channels_do_not_interfere(self):
+        sim = Simulator(seed=15)
+        world = World(sim, loss_rate=0.02)
+        make_lab_ap(world, channel=1, backhaul_bps=2e6, x=5.0)
+        make_lab_ap(world, channel=11, backhaul_bps=2e6, x=8.0)
+        alone_rates = []
+        for pair in (False, True):
+            sim2 = Simulator(seed=16)
+            world2 = World(sim2, loss_rate=0.02)
+            make_lab_ap(world2, channel=1, backhaul_bps=2e6, x=5.0)
+            make_lab_ap(world2, channel=11, backhaul_bps=2e6, x=8.0)
+            a = SpiderClient.single_channel_multi_ap(
+                sim2, world2, StaticPosition(0, 0), channel=1,
+                num_interfaces=1, client_id="a",
+            )
+            a.start()
+            if pair:
+                b = SpiderClient.single_channel_multi_ap(
+                    sim2, world2, StaticPosition(0, 1), channel=11,
+                    num_interfaces=1, client_id="b",
+                )
+                b.start()
+            sim2.run(until=30.0)
+            alone_rates.append(a.recorder.total_bytes)
+        solo, with_neighbour = alone_rates
+        assert with_neighbour == pytest.approx(solo, rel=0.05)

@@ -1,0 +1,228 @@
+"""Unit tests for the client NIC, virtual interfaces, and scan table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.frames import BROADCAST, Frame, FrameKind
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import ScanTable, WifiNic
+from repro.sim.radio import Medium
+
+
+@pytest.fixture
+def medium(sim):
+    return Medium(sim, loss_rate=0.0)
+
+
+@pytest.fixture
+def nic(sim, medium):
+    return WifiNic(sim, medium, StaticPosition(0, 0), nic_id="nic1", initial_channel=1)
+
+
+def beacon(bssid, channel, ssid="net"):
+    return Frame(
+        kind=FrameKind.BEACON,
+        src=bssid,
+        dst=BROADCAST,
+        size=80,
+        channel=channel,
+        bssid=bssid,
+        payload={"ssid": ssid},
+    )
+
+
+class TestInterfaces:
+    def test_interfaces_get_unique_macs(self, nic):
+        macs = {nic.add_interface().mac for _ in range(4)}
+        assert len(macs) == 4
+
+    def test_accepts_interface_macs_and_own_id(self, nic):
+        iface = nic.add_interface()
+        assert nic.accepts(iface.mac)
+        assert nic.accepts("nic1")
+        assert not nic.accepts("stranger")
+
+    def test_unicast_dispatch_to_interface_handler(self, sim, medium, nic):
+        iface = nic.add_interface()
+        got = []
+        iface.handlers[FrameKind.AUTH_RESPONSE] = lambda f, rssi: got.append(f)
+        nic.on_frame(
+            Frame(kind=FrameKind.AUTH_RESPONSE, src="ap", dst=iface.mac, size=80, channel=1),
+            -50.0,
+        )
+        assert len(got) == 1
+
+    def test_frame_for_unknown_mac_ignored(self, nic):
+        nic.add_interface()
+        nic.on_frame(
+            Frame(kind=FrameKind.DATA, src="ap", dst="nobody:if9", size=80, channel=1),
+            -50.0,
+        )  # must not raise
+
+    def test_send_requires_bound_channel(self, nic):
+        iface = nic.add_interface()
+        with pytest.raises(RuntimeError):
+            iface.send(Frame(kind=FrameKind.DATA, src=iface.mac, dst="x", size=10))
+
+    def test_reset_binding_clears_state(self, nic):
+        iface = nic.add_interface()
+        iface.channel = 1
+        iface.bssid = "ap"
+        iface.ip = "10.0.0.2"
+        iface.link_associated = True
+        iface.routable = True
+        iface.handlers[FrameKind.DATA] = lambda f, r: None
+        iface.reset_binding()
+        assert not iface.bound
+        assert iface.ip is None
+        assert not iface.link_associated
+        assert not iface.routable
+        assert iface.handlers == {}
+
+    def test_sniffer_sees_all_frames(self, nic):
+        seen = []
+        nic.sniffers.append(lambda f, rssi: seen.append(f.kind))
+        nic.on_frame(beacon("ap1", 1), -40.0)
+        assert seen == [FrameKind.BEACON]
+
+
+class TestQueueing:
+    def test_on_channel_frame_transmits_immediately(self, sim, medium, nic):
+        iface = nic.add_interface()
+        iface.channel = 1
+        iface.send_mgmt(FrameKind.AUTH_REQUEST, "ap")
+        assert medium.frames_sent == 1
+        assert nic.queued_frames(1) == 0
+
+    def test_off_channel_frame_is_queued(self, sim, medium, nic):
+        iface = nic.add_interface()
+        iface.channel = 6
+        iface.send_mgmt(FrameKind.AUTH_REQUEST, "ap")
+        assert medium.frames_sent == 0
+        assert nic.queued_frames(6) == 1
+
+    def test_queue_flushes_on_tune(self, sim, medium, nic):
+        iface = nic.add_interface()
+        iface.channel = 6
+        iface.send_mgmt(FrameKind.AUTH_REQUEST, "ap")
+        nic.tune(6)
+        sim.run()
+        assert medium.frames_sent == 1
+        assert nic.queued_frames(6) == 0
+
+    def test_queue_overflow_drops_oldest(self, sim, medium):
+        nic = WifiNic(
+            sim, medium, StaticPosition(0, 0), nic_id="q", initial_channel=1, queue_depth=3
+        )
+        iface = nic.add_interface()
+        iface.channel = 6
+        for _ in range(5):
+            iface.send_mgmt(FrameKind.AUTH_REQUEST, "ap")
+        assert nic.queued_frames(6) == 3
+        assert nic.frames_dropped_queue_full == 2
+
+    def test_frames_sent_during_reset_are_queued(self, sim, medium, nic):
+        iface = nic.add_interface()
+        iface.channel = 6
+        nic.tune(6)  # reset in progress
+        iface.send_mgmt(FrameKind.AUTH_REQUEST, "ap")
+        assert medium.frames_sent == 0
+        sim.run()
+        assert medium.frames_sent == 1
+
+
+class TestTuning:
+    def test_tune_changes_channel_after_reset(self, sim, nic):
+        nic.tune(11)
+        assert nic.tuned_channel() is None  # resetting
+        sim.run()
+        assert nic.current_channel == 11
+        assert nic.tuned_channel() == 11
+
+    def test_tune_to_same_channel_is_instant(self, sim, nic):
+        fired = []
+        nic.tune(1, lambda: fired.append(sim.now))
+        assert fired == [0.0]
+        assert nic.switches == 0
+
+    def test_tune_completion_callback_runs_after_reset(self, sim, nic):
+        fired = []
+        nic.tune(6, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(nic.reset_s)]
+
+    def test_tune_during_reset_rejected(self, sim, nic):
+        nic.tune(6)
+        with pytest.raises(RuntimeError):
+            nic.tune(11)
+
+    def test_switch_counter_increments(self, sim, nic):
+        nic.tune(6)
+        sim.run()
+        nic.tune(11)
+        sim.run()
+        assert nic.switches == 2
+
+    def test_probe_request_broadcasts_on_current_channel(self, sim, medium, nic):
+        nic.send_probe_request()
+        assert medium.frames_sent == 1
+
+
+class TestScanTable:
+    def test_observe_creates_entry(self, sim, nic):
+        nic.on_frame(beacon("ap1", 1, ssid="coffee"), -50.0)
+        entry = nic.scan_table.get("ap1")
+        assert entry is not None
+        assert entry.ssid == "coffee"
+        assert entry.channel == 1
+
+    def test_rssi_smoothing_uses_ewma(self):
+        table = ScanTable()
+        table.observe(beacon("ap1", 1), -40.0, now=0.0)
+        table.observe(beacon("ap1", 1), -80.0, now=1.0)
+        entry = table.get("ap1")
+        assert -80.0 < entry.rssi < -40.0
+        assert entry.sightings == 2
+
+    def test_fresh_entries_sorted_by_rssi(self):
+        table = ScanTable()
+        table.observe(beacon("weak", 1), -80.0, now=0.0)
+        table.observe(beacon("strong", 1), -40.0, now=0.0)
+        entries = table.fresh_entries(now=1.0)
+        assert [e.bssid for e in entries] == ["strong", "weak"]
+
+    def test_stale_entries_pruned(self):
+        table = ScanTable(max_age_s=5.0)
+        table.observe(beacon("old", 1), -50.0, now=0.0)
+        table.observe(beacon("new", 1), -50.0, now=8.0)
+        entries = table.fresh_entries(now=9.0)
+        assert [e.bssid for e in entries] == ["new"]
+        assert table.get("old") is None  # pruned as a side effect
+
+    def test_channel_filter(self):
+        table = ScanTable()
+        table.observe(beacon("a1", 1), -50.0, now=0.0)
+        table.observe(beacon("a6", 6), -50.0, now=0.0)
+        entries = table.fresh_entries(now=0.5, channels=[6])
+        assert [e.bssid for e in entries] == ["a6"]
+
+    def test_len_counts_entries(self):
+        table = ScanTable()
+        table.observe(beacon("a", 1), -50.0, now=0.0)
+        table.observe(beacon("b", 1), -50.0, now=0.0)
+        assert len(table) == 2
+
+    def test_probe_responses_feed_the_table(self, nic):
+        frame = Frame(
+            kind=FrameKind.PROBE_RESPONSE,
+            src="ap9",
+            dst="nic1",
+            size=80,
+            channel=1,
+            bssid="ap9",
+            payload={"ssid": "s"},
+        )
+        nic.on_frame(frame, -55.0)
+        assert nic.scan_table.get("ap9") is not None

@@ -1,0 +1,284 @@
+"""Unit tests for the wireless medium."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.frames import BROADCAST, Frame, FrameKind
+from repro.sim.radio import (
+    DATA_RETRY_LIMIT,
+    FRAME_OVERHEAD_S,
+    Medium,
+    rssi_from_distance,
+)
+
+
+class FakeStation:
+    """Minimal Station implementation for medium tests."""
+
+    def __init__(self, station_id, x=0.0, y=0.0, channel=1):
+        self.station_id = station_id
+        self.x, self.y = x, y
+        self.channel = channel
+        self.received = []
+        self.failed = []
+
+    def position(self):
+        return (self.x, self.y)
+
+    def tuned_channel(self):
+        return self.channel
+
+    def accepts(self, dst):
+        return dst == self.station_id
+
+    def on_frame(self, frame, rssi):
+        self.received.append((frame, rssi))
+
+    def on_delivery_failed(self, frame):
+        self.failed.append(frame)
+
+
+def mgmt_frame(src, dst, channel=1, kind=FrameKind.BEACON, size=80):
+    return Frame(kind=kind, src=src, dst=dst, size=size, channel=channel)
+
+
+def data_frame(src, dst, channel=1, size=1452):
+    return Frame(kind=FrameKind.DATA, src=src, dst=dst, size=size, channel=channel)
+
+
+@pytest.fixture
+def medium(sim):
+    return Medium(sim, loss_rate=0.0)
+
+
+class TestDelivery:
+    def test_unicast_reaches_addressee(self, sim, medium):
+        a = FakeStation("a")
+        b = FakeStation("b", x=50.0)
+        medium.register(a)
+        medium.register(b)
+        medium.transmit(a, mgmt_frame("a", "b"))
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_unicast_skips_other_stations(self, sim, medium):
+        a, b, c = FakeStation("a"), FakeStation("b", x=10), FakeStation("c", x=20)
+        for s in (a, b, c):
+            medium.register(s)
+        medium.transmit(a, mgmt_frame("a", "b"))
+        sim.run()
+        assert len(b.received) == 1
+        assert c.received == []
+
+    def test_broadcast_reaches_everyone_in_range(self, sim, medium):
+        a = FakeStation("a")
+        others = [FakeStation(f"s{i}", x=10.0 * i) for i in range(1, 4)]
+        medium.register(a)
+        for s in others:
+            medium.register(s)
+        medium.transmit(a, mgmt_frame("a", BROADCAST))
+        sim.run()
+        assert all(len(s.received) == 1 for s in others)
+
+    def test_out_of_range_station_misses_frame(self, sim, medium):
+        a = FakeStation("a")
+        far = FakeStation("far", x=medium.range_m + 1.0)
+        medium.register(a)
+        medium.register(far)
+        medium.transmit(a, mgmt_frame("a", "far"))
+        sim.run()
+        assert far.received == []
+
+    def test_boundary_of_range_still_delivers(self, sim, medium):
+        a = FakeStation("a")
+        edge = FakeStation("edge", x=medium.range_m)
+        medium.register(a)
+        medium.register(edge)
+        medium.transmit(a, mgmt_frame("a", "edge"))
+        sim.run()
+        assert len(edge.received) == 1
+
+    def test_wrong_channel_is_isolated(self, sim, medium):
+        a = FakeStation("a", channel=1)
+        b = FakeStation("b", x=10, channel=6)
+        medium.register(a)
+        medium.register(b)
+        medium.transmit(a, mgmt_frame("a", "b", channel=1))
+        sim.run()
+        assert b.received == []
+
+    def test_sender_does_not_hear_itself(self, sim, medium):
+        a = FakeStation("a")
+        medium.register(a)
+        medium.transmit(a, mgmt_frame("a", BROADCAST))
+        sim.run()
+        assert a.received == []
+
+    def test_rssi_decreases_with_distance(self, sim, medium):
+        a = FakeStation("a")
+        near = FakeStation("near", x=5.0)
+        far = FakeStation("far", x=90.0)
+        for s in (a, near, far):
+            medium.register(s)
+        medium.transmit(a, mgmt_frame("a", BROADCAST))
+        sim.run()
+        assert near.received[0][1] > far.received[0][1]
+
+    def test_delivery_hook_invoked(self, sim, medium):
+        seen = []
+        medium.delivery_hooks.append(lambda f, sid: seen.append(sid))
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        medium.transmit(a, mgmt_frame("a", "b"))
+        sim.run()
+        assert seen == ["b"]
+
+    def test_duplicate_registration_rejected(self, medium):
+        medium.register(FakeStation("a"))
+        with pytest.raises(ValueError):
+            medium.register(FakeStation("a"))
+
+    def test_unregistered_sender_drops_frame_in_flight(self, sim, medium):
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        medium.transmit(a, mgmt_frame("a", "b"))
+        medium.unregister("a")
+        sim.run()
+        assert b.received == []
+
+
+class TestAirtimeAndSerialization:
+    def test_airtime_scales_with_size(self, medium):
+        small = mgmt_frame("a", "b", size=100)
+        big = mgmt_frame("a", "b", size=1000)
+        assert medium.airtime(big) > medium.airtime(small)
+
+    def test_airtime_includes_fixed_overhead(self, medium):
+        tiny = mgmt_frame("a", "b", size=1)
+        assert medium.airtime(tiny) >= FRAME_OVERHEAD_S
+
+    def test_channel_serializes_back_to_back_frames(self, sim, medium):
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        done1 = medium.transmit(a, mgmt_frame("a", "b"))
+        done2 = medium.transmit(a, mgmt_frame("a", "b"))
+        assert done2 >= done1 + medium.airtime(mgmt_frame("a", "b")) - 1e-12
+
+    def test_different_channels_do_not_serialize(self, sim, medium):
+        a = FakeStation("a", channel=1)
+        done1 = medium.transmit(a, mgmt_frame("a", "x", channel=1))
+        done2 = medium.transmit(a, mgmt_frame("a", "y", channel=6))
+        assert abs(done1 - done2) < 1e-9
+
+    def test_retried_data_airtime_inflated_under_loss(self, sim):
+        lossy = Medium(sim, loss_rate=0.2)
+        clean = Medium(Simulator(seed=0), loss_rate=0.0)
+        frame = data_frame("a", "b")
+        assert lossy.airtime(frame) > clean.airtime(frame)
+
+    def test_mgmt_airtime_not_inflated_under_loss(self, sim):
+        lossy = Medium(sim, loss_rate=0.2)
+        frame = mgmt_frame("a", "b")
+        expected = frame.size * 8.0 / lossy.data_rate_bps + FRAME_OVERHEAD_S
+        assert lossy.airtime(frame) == pytest.approx(expected)
+
+
+class TestLossModel:
+    def test_zero_loss_delivers_everything(self, sim):
+        medium = Medium(sim, loss_rate=0.0)
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        for _ in range(50):
+            medium.transmit(a, mgmt_frame("a", "b"))
+        sim.run()
+        assert len(b.received) == 50
+
+    def test_mgmt_frames_lose_at_raw_rate(self, sim):
+        medium = Medium(sim, loss_rate=0.5)
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        n = 400
+        for _ in range(n):
+            medium.transmit(a, mgmt_frame("a", "b"))
+        sim.run()
+        assert 0.35 * n < len(b.received) < 0.65 * n
+
+    def test_data_frames_survive_thanks_to_link_layer_retries(self, sim):
+        medium = Medium(sim, loss_rate=0.2)
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        n = 200
+        for _ in range(n):
+            medium.transmit(a, data_frame("a", "b"))
+        sim.run()
+        # Residual loss is 0.2^(1+retries) ~ 0.16%, so near-total delivery.
+        assert len(b.received) >= n - 4
+
+    def test_residual_loss_probability_formula(self, sim):
+        medium = Medium(sim, loss_rate=0.1)
+        assert medium.delivery_loss_probability(data_frame("a", "b")) == pytest.approx(
+            0.1 ** (1 + DATA_RETRY_LIMIT)
+        )
+        assert medium.delivery_loss_probability(mgmt_frame("a", "b")) == pytest.approx(0.1)
+
+    def test_invalid_loss_rate_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Medium(sim, loss_rate=1.0)
+
+
+class TestDeliveryFailureFeedback:
+    def test_sender_notified_when_receiver_unreachable(self, sim, medium):
+        a = FakeStation("a")
+        gone = FakeStation("gone", x=500.0)  # out of range
+        medium.register(a)
+        medium.register(gone)
+        medium.transmit(a, data_frame("a", "gone"))
+        sim.run()
+        assert len(a.failed) == 1
+
+    def test_no_notification_when_delivered(self, sim, medium):
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        medium.transmit(a, data_frame("a", "b"))
+        sim.run()
+        assert a.failed == []
+
+    def test_no_notification_for_broadcast(self, sim, medium):
+        a = FakeStation("a")
+        medium.register(a)
+        medium.transmit(a, mgmt_frame("a", BROADCAST))
+        sim.run()
+        assert a.failed == []
+
+    def test_random_loss_does_not_trigger_failure_feedback(self, sim):
+        # Residual random loss is a lost frame *after* retries; the medium
+        # only reports "no reachable receiver" (asleep/out of range).
+        medium = Medium(sim, loss_rate=0.9)
+        a, b = FakeStation("a"), FakeStation("b", x=10)
+        medium.register(a)
+        medium.register(b)
+        for _ in range(30):
+            medium.transmit(a, mgmt_frame("a", "b", kind=FrameKind.AUTH_REQUEST))
+        sim.run()
+        assert a.failed == []
+
+
+class TestRssiModel:
+    def test_monotone_decreasing(self):
+        assert rssi_from_distance(1) > rssi_from_distance(10) > rssi_from_distance(100)
+
+    def test_clamps_below_one_metre(self):
+        assert rssi_from_distance(0.1) == rssi_from_distance(1.0)
+
+    def test_plausible_dbm_values(self):
+        assert -95.0 < rssi_from_distance(100.0) < -80.0
+        assert -45.0 < rssi_from_distance(1.0) < -35.0

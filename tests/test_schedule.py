@@ -1,0 +1,113 @@
+"""Unit tests for operation modes (channel schedules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import DEFAULT_SWITCH_OVERHEAD_S, OperationMode
+
+
+class TestConstruction:
+    def test_fractions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OperationMode(0.4, {1: 0.5, 6: 0.0})
+
+    def test_fractions_must_not_exceed_one(self):
+        with pytest.raises(ValueError):
+            OperationMode(0.4, {1: 0.7, 6: 0.6})
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OperationMode(0.0, {1: 1.0})
+
+    def test_needs_at_least_one_channel(self):
+        with pytest.raises(ValueError):
+            OperationMode(0.4, {})
+
+    def test_auto_name_generated(self):
+        mode = OperationMode(0.4, {1: 0.5, 6: 0.5})
+        assert "ch1" in mode.name and "ch6" in mode.name
+
+    def test_fractions_frozen_into_copy(self):
+        source = {1: 0.5, 6: 0.5}
+        mode = OperationMode(0.4, source)
+        source[1] = 0.9
+        assert mode.fraction(1) == 0.5
+
+
+class TestAccessors:
+    def test_channels_sorted(self):
+        mode = OperationMode(0.6, {11: 0.3, 1: 0.3, 6: 0.4})
+        assert mode.channels == [1, 6, 11]
+
+    def test_dwell_seconds(self):
+        mode = OperationMode(0.4, {1: 0.25, 6: 0.75})
+        assert mode.dwell_s(1) == pytest.approx(0.1)
+        assert mode.dwell_s(6) == pytest.approx(0.3)
+        assert mode.dwell_s(99) == 0.0
+
+    def test_cycle_lists_visits(self):
+        mode = OperationMode(0.6, {1: 0.5, 6: 0.5})
+        assert mode.cycle() == [(1, pytest.approx(0.3)), (6, pytest.approx(0.3))]
+
+    def test_single_channel_flag(self):
+        assert OperationMode.single_channel(6).is_single_channel
+        assert not OperationMode.equal_split((1, 6), 0.4).is_single_channel
+
+
+class TestFeasibility:
+    def test_single_channel_always_feasible(self):
+        assert OperationMode.single_channel(1).is_feasible()
+
+    def test_full_split_with_overhead_infeasible(self):
+        mode = OperationMode(0.02, {1: 0.5, 6: 0.5})  # 10 ms dwells, ~11 ms overhead
+        assert not mode.is_feasible(switch_overhead_s=DEFAULT_SWITCH_OVERHEAD_S)
+
+    def test_slack_makes_it_feasible(self):
+        mode = OperationMode(0.6, {1: 0.45, 6: 0.45})
+        assert mode.is_feasible()
+
+
+class TestConstructors:
+    def test_equal_split_normalizes(self):
+        mode = OperationMode.equal_split((1, 6, 11), 0.6)
+        for channel in (1, 6, 11):
+            assert mode.fraction(channel) == pytest.approx(1 / 3)
+
+    def test_equal_split_deduplicates(self):
+        mode = OperationMode.equal_split((1, 1, 6), 0.4)
+        assert mode.channels == [1, 6]
+        assert mode.fraction(1) == pytest.approx(0.5)
+
+    def test_equal_split_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMode.equal_split((), 0.4)
+
+    def test_weighted_normalizes_and_drops_zeros(self):
+        mode = OperationMode.weighted({1: 3.0, 6: 1.0, 11: 0.0}, 0.4)
+        assert mode.channels == [1, 6]
+        assert mode.fraction(1) == pytest.approx(0.75)
+
+    def test_weighted_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMode.weighted({1: 0.0}, 0.4)
+
+    def test_single_channel_constructor(self):
+        mode = OperationMode.single_channel(6, period_s=0.5)
+        assert mode.fraction(6) == 1.0
+        assert mode.period_s == 0.5
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        weights=st.dictionaries(
+            st.integers(min_value=1, max_value=11),
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_weighted_fractions_always_sum_to_one(self, weights):
+        mode = OperationMode.weighted(weights, 0.4)
+        assert sum(mode.fractions.values()) == pytest.approx(1.0)

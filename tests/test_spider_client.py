@@ -1,0 +1,130 @@
+"""Tests for the SpiderClient façade and its four configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.link_manager import SpiderConfig
+from repro.core.schedule import OperationMode
+from repro.core.spider import ORTHOGONAL_CHANNELS, SpiderClient
+from repro.sim.engine import Simulator
+from repro.sim.mobility import StaticPosition
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+class TestConstructors:
+    def test_single_channel_single_ap_config(self, sim, world):
+        client = SpiderClient.single_channel_single_ap(
+            sim, world, StaticPosition(0, 0), channel=6
+        )
+        assert client.config.mode.channels == [6]
+        assert client.config.num_interfaces == 1
+
+    def test_single_channel_multi_ap_config(self, sim, world):
+        client = SpiderClient.single_channel_multi_ap(
+            sim, world, StaticPosition(0, 0), channel=1, num_interfaces=5
+        )
+        assert client.config.mode.is_single_channel
+        assert client.config.num_interfaces == 5
+
+    def test_multi_channel_multi_ap_config(self, sim, world):
+        client = SpiderClient.multi_channel_multi_ap(sim, world, StaticPosition(0, 0))
+        assert client.config.mode.channels == sorted(ORTHOGONAL_CHANNELS)
+        assert client.config.num_interfaces == 7
+        assert not client.lock_channel_when_connected
+
+    def test_multi_channel_single_ap_locks_channel(self, sim, world):
+        client = SpiderClient.multi_channel_single_ap(sim, world, StaticPosition(0, 0))
+        assert client.config.num_interfaces == 1
+        assert client.lock_channel_when_connected
+
+
+class TestLifecycle:
+    def test_traffic_flows_after_join(self, sim, world):
+        make_lab_ap(world, channel=1, backhaul_bps=2e6)
+        client = SpiderClient.single_channel_multi_ap(
+            sim, world, StaticPosition(0, 0), channel=1, num_interfaces=2
+        )
+        client.start()
+        sim.run(until=10.0)
+        assert client.links_established == 1
+        assert client.recorder.total_bytes > 100_000
+        assert client.average_throughput_kBps(10.0) > 10.0
+        assert client.connectivity_percent(10.0) > 50.0
+
+    def test_no_traffic_when_disabled(self, sim, world):
+        make_lab_ap(world, channel=1)
+        client = SpiderClient.single_channel_multi_ap(
+            sim, world, StaticPosition(0, 0), channel=1, enable_traffic=False
+        )
+        client.start()
+        sim.run(until=10.0)
+        assert client.links_established == 1
+        assert client.recorder.total_bytes == 0
+
+    def test_flow_closed_on_link_down(self, sim, world):
+        ap = make_lab_ap(world, channel=1)
+        client = SpiderClient.single_channel_multi_ap(
+            sim, world, StaticPosition(0, 0), channel=1, num_interfaces=1
+        )
+        client.start()
+        sim.run(until=5.0)
+        assert len(client._flows) == 1
+        ap.stop()
+        world.medium.unregister(ap.bssid)
+        sim.run(until=20.0)
+        assert client._flows == {}
+
+    def test_stop_tears_everything_down(self, sim, world):
+        make_lab_ap(world, channel=1)
+        client = SpiderClient.single_channel_multi_ap(
+            sim, world, StaticPosition(0, 0), channel=1
+        )
+        client.start()
+        sim.run(until=5.0)
+        client.stop()
+        delivered = client.recorder.total_bytes
+        sim.run(until=10.0)
+        assert client.recorder.total_bytes == delivered
+
+    def test_double_start_rejected(self, sim, world):
+        client = SpiderClient.single_channel_single_ap(sim, world, StaticPosition(0, 0))
+        client.start()
+        with pytest.raises(RuntimeError):
+            client.start()
+
+
+class TestModeControl:
+    def test_set_mode_propagates_to_driver_and_lmm(self, sim, world):
+        client = SpiderClient.multi_channel_multi_ap(sim, world, StaticPosition(0, 0))
+        client.start()
+        new_mode = OperationMode.single_channel(6)
+        client.set_mode(new_mode)
+        assert client.config.mode is new_mode
+        assert client.driver.mode is new_mode
+        assert client.lmm.config.mode is new_mode
+
+    def test_roam_lock_parks_on_joined_channel(self, sim, world):
+        make_lab_ap(world, channel=6)
+        client = SpiderClient.multi_channel_single_ap(
+            sim, world, StaticPosition(0, 0), period_s=0.3
+        )
+        client.start()
+        sim.run(until=15.0)
+        assert client.links_established >= 1
+        assert client.config.mode.is_single_channel
+        assert client.config.mode.channels == [6]
+
+    def test_roam_lock_returns_to_discovery_on_loss(self, sim, world):
+        ap = make_lab_ap(world, channel=6)
+        client = SpiderClient.multi_channel_single_ap(
+            sim, world, StaticPosition(0, 0), period_s=0.3
+        )
+        client.start()
+        sim.run(until=15.0)
+        ap.stop()
+        world.medium.unregister(ap.bssid)
+        sim.run(until=40.0)
+        assert not client.config.mode.is_single_channel

@@ -1,0 +1,134 @@
+"""Tests for the statistics toolkit and report rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reporting import format_cdf, format_series, format_table, kv_block
+from repro.analysis.stats import (
+    Summary,
+    bootstrap_mean_ci,
+    cdf_at,
+    ecdf,
+    percentile,
+    summarize,
+)
+
+
+class TestEcdf:
+    def test_simple(self):
+        xs, ys = ecdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ys == [pytest.approx(1 / 3), pytest.approx(2 / 3), pytest.approx(1.0)]
+
+    def test_empty(self):
+        assert ecdf([]) == ([], [])
+
+    def test_cdf_at_points(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, [0.5, 2.0, 10.0]) == [0.0, 0.5, 1.0]
+
+    def test_cdf_at_empty_values(self):
+        result = cdf_at([], [1.0])
+        assert math.isnan(result[0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1),
+        point=st.floats(min_value=-200, max_value=200, allow_nan=False),
+    )
+    def test_cdf_matches_direct_count(self, values, point):
+        expected = sum(1 for v in values if v <= point) / len(values)
+        assert cdf_at(values, [point])[0] == pytest.approx(expected)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 30) == 7.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        summary = summarize([2.0, 4.0, 6.0, 8.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.median == pytest.approx(5.0)
+        assert summary.minimum == 2.0
+        assert summary.maximum == 8.0
+
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_std_of_constant_is_zero(self):
+        assert summarize([3.0, 3.0, 3.0]).std == 0.0
+
+
+class TestBootstrap:
+    def test_ci_brackets_the_mean(self):
+        values = [float(i) for i in range(50)]
+        lo, hi = bootstrap_mean_ci(values, resamples=300, seed=1)
+        mean = sum(values) / len(values)
+        assert lo <= mean <= hi
+
+    def test_empty_sample(self):
+        lo, hi = bootstrap_mean_ci([])
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+    def test_deterministic_for_seed(self):
+        values = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_mean_ci(values, seed=3) == bootstrap_mean_ci(values, seed=3)
+
+
+class TestReporting:
+    def test_table_contains_headers_and_cells(self):
+        text = format_table(["name", "value"], [("alpha", 1), ("beta", 2)], title="T")
+        assert "T" in text and "name" in text and "alpha" in text and "2" in text
+
+    def test_table_rows_aligned(self):
+        text = format_table(["a", "b"], [("xxxxxx", 1), ("y", 22)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:]}) <= 2  # consistent widths
+
+    def test_series_renders_pairs(self):
+        text = format_series("s", [1.0, 2.0], [10.0, 20.0])
+        assert "(1.000, 10.0)" in text
+
+    def test_cdf_renders_points(self):
+        text = format_cdf("joins", [1.0, 2.0, 3.0], [2.0])
+        assert "P(<= 2.000s)=0.667" in text
+
+    def test_kv_block(self):
+        text = kv_block("Block", [("key", 1.5), ("longer-key", "v")])
+        assert "Block" in text and "longer-key" in text
+
+    def test_nan_rendering(self):
+        text = format_series("s", [1.0], [float("nan")])
+        assert "nan" in text

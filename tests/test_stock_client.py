@@ -1,0 +1,123 @@
+"""Tests for the stock (MadWiFi-style) baseline client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.mobility import LinearMobility, StaticPosition
+from repro.sim.stock_client import StockClient
+
+from conftest import make_lab_ap
+
+
+class TestJoinFlow:
+    def test_scans_joins_and_transfers(self, sim, world):
+        make_lab_ap(world, channel=6, dhcp_delay=0.3)
+        client = StockClient(sim, world, StaticPosition(0, 0), scan_channels=(1, 6, 11))
+        client.start()
+        sim.run(until=20.0)
+        assert client.links_established == 1
+        assert client.state == "connected"
+        assert client.recorder.total_bytes > 50_000
+
+    def test_scan_sweep_takes_time(self, sim, world):
+        make_lab_ap(world, channel=11, dhcp_delay=0.1)
+        client = StockClient(sim, world, StaticPosition(0, 0), scan_channels=tuple(range(1, 12)))
+        client.start()
+        sim.run(until=30.0)
+        attempt = client.join_log.attempts[0]
+        # The full 11-channel sweep must elapse before the join can start.
+        assert attempt.started_at > 1.0
+
+    def test_picks_strongest_ap(self, sim, world):
+        near = make_lab_ap(world, channel=1, x=5.0)
+        make_lab_ap(world, channel=1, x=90.0)
+        client = StockClient(sim, world, StaticPosition(0, 0), scan_channels=(1,))
+        client.start()
+        sim.run(until=20.0)
+        assert client.join_log.attempts[0].bssid == near.bssid
+
+    def test_no_aps_keeps_rescanning(self, sim, world):
+        client = StockClient(sim, world, StaticPosition(0, 0), scan_channels=(1, 6))
+        client.start()
+        sim.run(until=10.0)
+        assert client.links_established == 0
+        assert client.state == "scanning"
+
+    def test_stop_halts_activity(self, sim, world):
+        make_lab_ap(world, channel=1)
+        client = StockClient(sim, world, StaticPosition(0, 0), scan_channels=(1,))
+        client.start()
+        sim.run(until=10.0)
+        client.stop()
+        delivered = client.recorder.total_bytes
+        sim.run(until=15.0)
+        assert client.recorder.total_bytes == delivered
+
+
+class TestLossDetection:
+    def test_beacon_silence_triggers_rescan(self, sim, world):
+        ap_a = make_lab_ap(world, channel=1, x=5.0)
+        ap_b = make_lab_ap(world, channel=6, x=8.0)
+        client = StockClient(sim, world, StaticPosition(0, 0), scan_channels=(1, 6))
+        client.start()
+        sim.run(until=10.0)
+        first_bssid = client.iface.bssid
+        dead_ap = ap_a if first_bssid == ap_a.bssid else ap_b
+        dead_ap.stop()
+        world.medium.unregister(dead_ap.bssid)
+        sim.run(until=40.0)
+        # Reconnected to the other AP after the beacon timeout.
+        assert client.links_established == 2
+        assert client.iface.bssid != first_bssid
+
+    def test_detection_takes_roughly_beacon_timeout(self, sim, world):
+        ap = make_lab_ap(world, channel=1)
+        client = StockClient(
+            sim, world, StaticPosition(0, 0), scan_channels=(1,), beacon_loss_timeout_s=3.0
+        )
+        client.start()
+        sim.run(until=10.0)
+        ap.stop()
+        world.medium.unregister(ap.bssid)
+        deaths = []
+        original = client._on_dead
+
+        def spy():
+            deaths.append(sim.now)
+            original()
+
+        client._on_dead = spy
+        sim.run(until=30.0)
+        assert deaths and 12.0 < deaths[0] < 16.0
+
+
+class TestDhcpFailureIdling:
+    def test_client_idles_after_dhcp_failure(self, sim, world):
+        world.add_ap(channel=1, position=(5, 0), dhcp_response_delay=lambda: 60.0)
+        good = make_lab_ap(world, channel=6, x=8.0, dhcp_delay=0.2)
+        client = StockClient(
+            sim,
+            world,
+            StaticPosition(0, 0),
+            scan_channels=(1, 6),
+            dhcp_idle_after_failure_s=20.0,
+        )
+        client.start()
+        # Force the slow AP to be tried first by making it the strongest.
+        sim.run(until=60.0)
+        # After the failure the client idles 20 s before reaching the good AP.
+        if client.links_established:
+            join = next(a for a in client.join_log.attempts if a.leased)
+            failed = [a for a in client.join_log.attempts if a.failure_reason]
+            if failed and failed[0].started_at < join.started_at:
+                assert join.started_at - failed[0].started_at > 20.0
+
+    def test_mobile_run_produces_metrics(self, sim, world):
+        for x in (100.0, 260.0, 420.0):
+            make_lab_ap(world, channel=6, x=x)
+        client = StockClient(sim, world, LinearMobility(speed_mps=10.0), scan_channels=(1, 6, 11))
+        client.start()
+        sim.run(until=50.0)
+        assert client.average_throughput_kBps(50.0) >= 0.0
+        assert 0.0 <= client.connectivity_percent(50.0) <= 100.0

@@ -1,0 +1,153 @@
+"""Tests for the striped-download extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.striping import StripedDownload
+from repro.sim.engine import Simulator
+from repro.sim.frames import Frame, FrameKind
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+def joined_iface(sim, world, ap, nic):
+    iface = nic.add_interface()
+    iface.channel, iface.bssid = ap.channel, ap.bssid
+    ap.on_frame(
+        Frame(kind=FrameKind.ASSOC_REQUEST, src=iface.mac, dst=ap.bssid, size=80, channel=ap.channel),
+        -40.0,
+    )
+    iface.link_associated = True
+    from repro.sim.frames import DhcpMessage, DhcpType
+
+    ap.dhcp.handle(
+        DhcpMessage(DhcpType.DISCOVER, hash(iface.mac) % 10_000, iface.mac),
+        lambda m, d: None,
+    )
+    iface.ip = ap.dhcp.lease_for(iface.mac)
+    iface.gateway_ip = ap.dhcp.gateway_ip
+    iface.routable = True
+    return iface
+
+
+@pytest.fixture
+def two_links(sim, world):
+    ap_a = make_lab_ap(world, channel=1, backhaul_bps=2e6, x=5.0)
+    ap_b = make_lab_ap(world, channel=1, backhaul_bps=2e6, x=8.0)
+    nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "str", initial_channel=1)
+    return (
+        joined_iface(sim, world, ap_a, nic),
+        joined_iface(sim, world, ap_b, nic),
+    )
+
+
+class TestChunking:
+    def test_chunks_partition_object(self, sim, world):
+        stripe = StripedDownload(sim, world, total_bytes=1_000_000, chunk_bytes=300_000)
+        assert [c.size for c in stripe.chunks] == [300_000, 300_000, 300_000, 100_000]
+
+    def test_invalid_sizes_rejected(self, sim, world):
+        with pytest.raises(ValueError):
+            StripedDownload(sim, world, total_bytes=0)
+        with pytest.raises(ValueError):
+            StripedDownload(sim, world, total_bytes=100, chunk_bytes=0)
+
+
+class TestTransfer:
+    def test_single_link_completes_object(self, sim, world, two_links):
+        iface, _ = two_links
+        done = []
+        stripe = StripedDownload(
+            sim, world, total_bytes=500_000, chunk_bytes=125_000,
+            on_complete=lambda dt: done.append(dt),
+        )
+        stripe.attach_link(iface)
+        sim.run(until=30.0)
+        assert stripe.done
+        assert stripe.bytes_completed == 500_000
+        assert done and done[0] > 0
+
+    def test_two_links_finish_faster_than_one(self, sim, world, two_links):
+        iface_a, iface_b = two_links
+
+        def run(links):
+            local_sim = sim  # noqa: F841 - clarity only
+            stripe = StripedDownload(sim, world, total_bytes=800_000, chunk_bytes=100_000)
+            for link in links:
+                stripe.attach_link(link)
+            sim.run(until=sim.now + 60.0)
+            return stripe.elapsed_s()
+
+        both = run([iface_a, iface_b])
+        single = run([iface_a])
+        assert both is not None and single is not None
+        assert both < single
+
+    def test_progress_reporting(self, sim, world, two_links):
+        iface, _ = two_links
+        stripe = StripedDownload(sim, world, total_bytes=400_000, chunk_bytes=100_000)
+        stripe.attach_link(iface)
+        sim.run(until=1.0)
+        midway = stripe.progress()
+        sim.run(until=30.0)
+        assert 0.0 <= midway <= 1.0
+        assert stripe.progress() == 1.0
+
+    def test_bytes_callback_counts_everything(self, sim, world, two_links):
+        iface_a, iface_b = two_links
+        counted = []
+        stripe = StripedDownload(
+            sim, world, total_bytes=400_000, chunk_bytes=100_000,
+            on_bytes=counted.append,
+        )
+        stripe.attach_link(iface_a)
+        stripe.attach_link(iface_b)
+        sim.run(until=30.0)
+        assert sum(counted) == 400_000
+
+
+class TestLinkChurn:
+    def test_dead_link_requeues_chunk(self, sim, world, two_links):
+        iface_a, iface_b = two_links
+        stripe = StripedDownload(sim, world, total_bytes=600_000, chunk_bytes=100_000)
+        stripe.attach_link(iface_a)
+        stripe.attach_link(iface_b)
+        sim.schedule(0.5, stripe.detach_link, iface_b)
+        sim.run(until=60.0)
+        assert stripe.done
+        assert stripe.bytes_completed == 600_000
+        assert stripe.chunk_retries >= 1
+
+    def test_late_attach_joins_the_work(self, sim, world, two_links):
+        iface_a, iface_b = two_links
+        stripe = StripedDownload(sim, world, total_bytes=800_000, chunk_bytes=100_000)
+        stripe.attach_link(iface_a)
+        sim.schedule(1.0, stripe.attach_link, iface_b)
+        sim.run(until=60.0)
+        assert stripe.done
+        fetched_by_b = sum(
+            1 for c in stripe.chunks if c.assigned_iface == iface_b.index
+        )
+        assert fetched_by_b >= 1
+
+    def test_cancel_stops_flows(self, sim, world, two_links):
+        iface_a, _ = two_links
+        stripe = StripedDownload(sim, world, total_bytes=2_000_000, chunk_bytes=100_000)
+        stripe.attach_link(iface_a)
+        sim.run(until=1.0)
+        stripe.cancel()
+        assert not stripe.done
+        assert world.server.flows == {}
+
+    def test_unroutable_iface_ignored(self, sim, world, two_links):
+        iface_a, _ = two_links
+        iface_a.routable = False
+        stripe = StripedDownload(sim, world, total_bytes=100_000)
+        stripe.attach_link(iface_a)
+        sim.run(until=5.0)
+        assert not stripe.done
+        assert stripe.bytes_completed == 0

@@ -1,0 +1,111 @@
+"""Tests for the frame tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spider import SpiderClient
+from repro.sim.frames import FrameKind
+from repro.sim.mobility import StaticPosition
+from repro.sim.tracing import FrameTrace
+
+from conftest import make_lab_ap
+
+
+def run_joined_client(sim, world, trace_kwargs=None, duration=5.0):
+    ap = make_lab_ap(world)
+    trace = FrameTrace(world.medium, **(trace_kwargs or {}))
+    client = SpiderClient.single_channel_multi_ap(
+        sim, world, StaticPosition(0, 0), channel=1, num_interfaces=1
+    )
+    client.start()
+    sim.run(until=duration)
+    return ap, trace, client
+
+
+class TestRecording:
+    def test_captures_the_join_handshake(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        kinds = trace.counts_by_kind()
+        for kind in (
+            FrameKind.BEACON,
+            FrameKind.AUTH_REQUEST,
+            FrameKind.AUTH_RESPONSE,
+            FrameKind.ASSOC_REQUEST,
+            FrameKind.ASSOC_RESPONSE,
+            FrameKind.DHCP,
+            FrameKind.DATA,
+        ):
+            assert kinds.get(kind, 0) >= 1, kind
+
+    def test_kind_filter(self, sim, world):
+        ap, trace, client = run_joined_client(
+            sim, world, trace_kwargs={"kinds": [FrameKind.BEACON]}
+        )
+        assert set(trace.counts_by_kind()) == {FrameKind.BEACON}
+
+    def test_station_filter(self, sim, world):
+        ap, trace, client = run_joined_client(
+            sim, world, trace_kwargs={"stations": ["nonexistent"]}
+        )
+        assert len(trace) == 0
+
+    def test_records_are_time_ordered(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        times = [r.time for r in trace.records]
+        assert times == sorted(times)
+
+    def test_stop_halts_recording(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world, duration=2.0)
+        trace.stop()
+        count = len(trace)
+        sim.run(until=4.0)
+        assert len(trace) == count
+
+    def test_ring_buffer_caps_memory(self, sim, world):
+        ap, trace, client = run_joined_client(
+            sim, world, trace_kwargs={"max_records": 10}, duration=5.0
+        )
+        assert len(trace) == 10
+        assert trace.dropped_records > 0
+
+    def test_invalid_cap_rejected(self, sim, world):
+        with pytest.raises(ValueError):
+            FrameTrace(world.medium, max_records=0)
+
+
+class TestAnalysis:
+    def test_conversation_extraction(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        iface_mac = client.nic.interfaces[0].mac
+        convo = trace.conversation(iface_mac, ap.bssid)
+        assert convo
+        assert all(
+            {r.src, r.dst} <= {iface_mac, ap.bssid} for r in convo
+        )
+
+    def test_between_window(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        window = trace.between(1.0, 2.0)
+        assert all(1.0 <= r.time < 2.0 for r in window)
+
+    def test_bytes_by_channel(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        totals = trace.bytes_by_channel()
+        assert set(totals) == {1}
+        assert totals[1] > 0
+
+    def test_counts_by_station_includes_ap(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        assert trace.counts_by_station().get(ap.bssid, 0) > 0
+
+    def test_render_is_textual(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        text = trace.render(limit=5)
+        assert "frame trace" in text
+        assert len(text.splitlines()) <= 6
+
+    def test_clear_resets(self, sim, world):
+        ap, trace, client = run_joined_client(sim, world)
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,212 @@
+"""Unit tests for client applications: ping service, liveness, flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.frames import Frame, FrameKind
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.traffic import ClientFlow, LivenessMonitor, PingService
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+@pytest.fixture
+def joined(sim, world):
+    """A fully joined interface (associated + leased) on a lab AP."""
+    ap = make_lab_ap(world, channel=1, dhcp_delay=0.1)
+    nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+    iface = nic.add_interface()
+    iface.channel = 1
+    iface.bssid = ap.bssid
+    ap.on_frame(
+        Frame(kind=FrameKind.ASSOC_REQUEST, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+        -40.0,
+    )
+    iface.link_associated = True
+    from repro.sim.frames import DhcpMessage, DhcpType
+
+    ap.dhcp.handle(DhcpMessage(DhcpType.DISCOVER, 99, iface.mac), lambda m, d: None)
+    iface.ip = ap.dhcp.lease_for(iface.mac)
+    iface.gateway_ip = ap.dhcp.gateway_ip
+    return ap, nic, iface
+
+
+class TestPingService:
+    def test_end_to_end_ping_round_trip(self, sim, world, joined):
+        ap, nic, iface = joined
+        service = PingService(sim, iface, target_ip=world.server.ip)
+        replies = []
+        service.send(lambda: replies.append(sim.now))
+        sim.run(until=2.0)
+        assert len(replies) == 1
+        assert world.server.pings_echoed == 1
+
+    def test_gateway_ping_round_trip(self, sim, world, joined):
+        ap, nic, iface = joined
+        service = PingService(sim, iface, target_ip=None)
+        replies = []
+        service.send(lambda: replies.append(sim.now))
+        sim.run(until=2.0)
+        assert len(replies) == 1
+        assert world.server.pings_echoed == 0  # answered locally
+
+    def test_gateway_ping_faster_than_end_to_end(self, sim, world, joined):
+        ap, nic, iface = joined
+        gw_service = PingService(sim, iface, target_ip=None)
+        gw_rtt, e2e_rtt = [], []
+        start = sim.now
+        gw_service.send(lambda: gw_rtt.append(sim.now - start))
+        sim.run(until=2.0)
+        gw_service.close()
+        e2e_service = PingService(sim, iface, target_ip=world.server.ip)
+        start2 = sim.now
+        e2e_service.send(lambda: e2e_rtt.append(sim.now - start2))
+        sim.run(until=4.0)
+        assert gw_rtt and e2e_rtt
+        assert gw_rtt[0] < e2e_rtt[0]  # no wired round trip for the gateway
+
+    def test_probe_reports_success(self, sim, world, joined):
+        ap, nic, iface = joined
+        outcomes = []
+        PingService(sim, iface, target_ip=world.server.ip).probe(1.0, outcomes.append)
+        sim.run(until=2.0)
+        assert outcomes == [True]
+
+    def test_probe_reports_timeout_when_unreachable(self, sim, world, joined):
+        ap, nic, iface = joined
+        nic.tune(11)  # walk away from the AP's channel
+        sim.run(until=0.1)
+        outcomes = []
+        PingService(sim, iface, target_ip=world.server.ip).probe(0.5, outcomes.append)
+        sim.run(until=2.0)
+        assert outcomes == [False]
+
+    def test_requires_joined_interface(self, sim, world):
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "x", initial_channel=1)
+        iface = nic.add_interface()
+        with pytest.raises(RuntimeError):
+            PingService(sim, iface)
+
+    def test_close_detaches_handler(self, sim, world, joined):
+        ap, nic, iface = joined
+        service = PingService(sim, iface, target_ip=None)
+        service.close()
+        assert FrameKind.PING_REPLY not in iface.handlers
+
+
+class TestLivenessMonitor:
+    def test_healthy_link_stays_alive(self, sim, world, joined):
+        ap, nic, iface = joined
+        service = PingService(sim, iface, target_ip=None)
+        deaths = []
+        LivenessMonitor(sim, service, on_dead=lambda: deaths.append(sim.now))
+        sim.run(until=10.0)
+        assert deaths == []
+
+    def test_dead_link_detected_after_miss_threshold(self, sim, world, joined):
+        ap, nic, iface = joined
+        service = PingService(sim, iface, target_ip=None)
+        deaths = []
+        LivenessMonitor(sim, service, on_dead=lambda: deaths.append(sim.now))
+        sim.schedule(2.0, ap.stop)
+        sim.schedule(2.0, lambda: world.medium.unregister(ap.bssid))
+        sim.run(until=20.0)
+        assert len(deaths) == 1
+        # 30 misses at 10 Hz is ~3 s of silence.
+        assert 2.0 + 2.5 < deaths[0] < 2.0 + 5.0
+
+    def test_recovery_resets_miss_counter(self, sim, world, joined):
+        ap, nic, iface = joined
+        service = PingService(sim, iface, target_ip=None)
+        deaths = []
+        monitor = LivenessMonitor(sim, service, on_dead=lambda: deaths.append(sim.now))
+        # Interrupt for 1 s (10 misses), then restore: must not die.
+        sim.schedule(2.0, nic.tune, 11)
+        sim.schedule(3.0, nic.tune, 1)
+        sim.run(until=15.0)
+        assert deaths == []
+        assert monitor.consecutive_misses == 0
+
+    def test_stop_prevents_death_callback(self, sim, world, joined):
+        ap, nic, iface = joined
+        service = PingService(sim, iface, target_ip=None)
+        deaths = []
+        monitor = LivenessMonitor(sim, service, on_dead=lambda: deaths.append(1))
+        sim.schedule(0.5, ap.stop)
+        sim.schedule(0.5, lambda: world.medium.unregister(ap.bssid))
+        sim.schedule(1.0, monitor.stop)
+        sim.run(until=20.0)
+        assert deaths == []
+
+
+class TestClientFlow:
+    def test_download_delivers_bytes(self, sim, world, joined):
+        ap, nic, iface = joined
+        counted = []
+        flow = ClientFlow(sim, world, iface, on_bytes=counted.append)
+        sim.run(until=10.0)
+        assert sum(counted) > 100_000
+        assert flow.bytes_delivered == sum(counted)
+
+    def test_throughput_limited_by_backhaul(self, sim, world):
+        ap = make_lab_ap(world, channel=1, backhaul_bps=8e5, dhcp_delay=0.1)  # 100 kB/s
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli2", initial_channel=1)
+        iface = nic.add_interface()
+        iface.channel, iface.bssid = 1, ap.bssid
+        ap.on_frame(
+            Frame(kind=FrameKind.ASSOC_REQUEST, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )
+        from repro.sim.frames import DhcpMessage, DhcpType
+
+        ap.dhcp.handle(DhcpMessage(DhcpType.DISCOVER, 5, iface.mac), lambda m, d: None)
+        iface.ip = ap.dhcp.lease_for(iface.mac)
+        flow = ClientFlow(sim, world, iface)
+        sim.run(until=20.0)
+        rate = flow.bytes_delivered / 20.0
+        assert rate < 110_000  # cannot beat the shaped backhaul
+
+    def test_finite_download_completes(self, sim, world, joined):
+        ap, nic, iface = joined
+        flow = ClientFlow(sim, world, iface, total_bytes=40_000)
+        sim.run(until=20.0)
+        assert flow.bytes_delivered == 40_000
+
+    def test_close_stops_flow_and_detaches(self, sim, world, joined):
+        ap, nic, iface = joined
+        flow = ClientFlow(sim, world, iface)
+        sim.run(until=2.0)
+        flow.close()
+        delivered = flow.bytes_delivered
+        sim.run(until=4.0)
+        assert flow.bytes_delivered == delivered
+        assert FrameKind.DATA not in iface.handlers
+        assert flow.flow_id not in world.server.flows
+
+    def test_requires_joined_interface(self, sim, world):
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "x", initial_channel=1)
+        iface = nic.add_interface()
+        with pytest.raises(RuntimeError):
+            ClientFlow(sim, world, iface)
+
+    def test_two_flows_share_one_ap_backhaul(self, sim, world, joined):
+        ap, nic, iface = joined
+        iface2 = nic.add_interface()
+        iface2.channel, iface2.bssid = 1, ap.bssid
+        ap.on_frame(
+            Frame(kind=FrameKind.ASSOC_REQUEST, src=iface2.mac, dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )
+        from repro.sim.frames import DhcpMessage, DhcpType
+
+        ap.dhcp.handle(DhcpMessage(DhcpType.DISCOVER, 7, iface2.mac), lambda m, d: None)
+        iface2.ip = ap.dhcp.lease_for(iface2.mac)
+        flow1 = ClientFlow(sim, world, iface)
+        flow2 = ClientFlow(sim, world, iface2)
+        sim.run(until=20.0)
+        total_rate = (flow1.bytes_delivered + flow2.bytes_delivered) / 20.0
+        assert total_rate < ap.backhaul_rate_bps / 8.0 * 1.1

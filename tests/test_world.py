@@ -1,0 +1,111 @@
+"""Unit tests for topology assembly and wired routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.frames import Frame, FrameKind, TcpSegment
+from repro.sim.mobility import StaticPosition
+from repro.sim.nic import WifiNic
+from repro.sim.world import World
+
+from conftest import make_lab_ap
+
+
+class TestApConstruction:
+    def test_auto_bssids_unique(self, world):
+        a = world.add_ap(channel=1, position=(0, 0))
+        b = world.add_ap(channel=6, position=(10, 0))
+        assert a.bssid != b.bssid
+
+    def test_auto_subnets_unique(self, world):
+        a = world.add_ap(channel=1, position=(0, 0))
+        b = world.add_ap(channel=6, position=(10, 0))
+        assert a.dhcp.subnet != b.dhcp.subnet
+
+    def test_explicit_bssid_and_subnet(self, world):
+        ap = world.add_ap(channel=1, position=(0, 0), bssid="myap", subnet="10.99.0")
+        assert ap.bssid == "myap"
+        assert ap.dhcp.gateway_ip == "10.99.0.1"
+
+    def test_uplink_handler_installed(self, world):
+        ap = world.add_ap(channel=1, position=(0, 0))
+        assert ap.uplink_handler is not None
+
+
+class TestRouting:
+    def test_ap_for_ip_matches_subnet(self, world):
+        a = world.add_ap(channel=1, position=(0, 0))
+        b = world.add_ap(channel=6, position=(10, 0))
+        assert world.ap_for_ip(f"{a.dhcp.subnet}.10") is a
+        assert world.ap_for_ip(f"{b.dhcp.subnet}.10") is b
+
+    def test_unknown_subnet_routes_nowhere(self, world):
+        world.add_ap(channel=1, position=(0, 0))
+        assert world.ap_for_ip("172.16.0.1") is None
+        world.send_to_ip("172.16.0.1", FrameKind.DATA, None, 100)  # no crash
+
+    def test_subnet_collision_prefers_most_recent_ap(self, world):
+        world.add_ap(channel=1, position=(0, 0), subnet="10.50.0")
+        newer = world.add_ap(channel=6, position=(10, 0), subnet="10.50.0")
+        assert world.ap_for_ip("10.50.0.10") is newer
+
+
+class TestServerFlows:
+    def test_duplicate_flow_id_rejected(self, world):
+        world.add_ap(channel=1, position=(5, 0))
+        world.server.open_download("flowX", "10.1.0.10")
+        with pytest.raises(ValueError):
+            world.server.open_download("flowX", "10.1.0.10")
+
+    def test_close_flow_is_idempotent(self, world):
+        world.add_ap(channel=1, position=(5, 0))
+        world.server.open_download("flowY", "10.1.0.10")
+        world.server.close_flow("flowY")
+        world.server.close_flow("flowY")
+        assert "flowY" not in world.server.flows
+
+    def test_ack_for_unknown_flow_ignored(self, world):
+        world.server.on_segment(
+            TcpSegment("ghost", "c", "s", ack=100, is_ack=True)
+        )  # no crash
+
+
+class TestEndToEndPath:
+    def test_segment_travels_server_to_client(self, sim, world):
+        ap = make_lab_ap(world, channel=1, dhcp_delay=0.1)
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        iface.channel, iface.bssid = 1, ap.bssid
+        ap.on_frame(
+            Frame(kind=FrameKind.ASSOC_REQUEST, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )
+        from repro.sim.frames import DhcpMessage, DhcpType
+
+        ap.dhcp.handle(DhcpMessage(DhcpType.DISCOVER, 3, iface.mac), lambda m, d: None)
+        ip = ap.dhcp.lease_for(iface.mac)
+        got = []
+        iface.handlers[FrameKind.DATA] = lambda f, r: got.append(f.payload)
+        world.send_to_ip(ip, FrameKind.DATA, TcpSegment("f", "s", ip, seq=0, payload_bytes=100), 152)
+        sim.run(until=2.0)
+        assert len(got) == 1
+        assert got[0].payload_bytes == 100
+
+    def test_uplink_ack_reaches_server_flow(self, sim, world):
+        ap = make_lab_ap(world, channel=1)
+        nic = WifiNic(sim, world.medium, StaticPosition(0, 0), "cli", initial_channel=1)
+        iface = nic.add_interface()
+        iface.channel, iface.bssid = 1, ap.bssid
+        ap.on_frame(
+            Frame(kind=FrameKind.ASSOC_REQUEST, src=iface.mac, dst=ap.bssid, size=80, channel=1),
+            -40.0,
+        )
+        sender = world.server.open_download("up1", "10.1.0.10")
+        segment = TcpSegment("up1", "c", "s", ack=sender.p.mss, is_ack=True)
+        iface.send(
+            Frame(kind=FrameKind.DATA, src=iface.mac, dst=ap.bssid, size=90, channel=1,
+                  payload=segment)
+        )
+        sim.run(until=2.0)
+        assert sender.snd_una == sender.p.mss
