@@ -9,6 +9,10 @@ Scale knobs (environment variables):
 
 ``REPRO_BENCH_SEEDS``      number of seeds for town runs (default 2)
 ``REPRO_BENCH_DURATION``   seconds of simulated driving per trial (default 600)
+``REPRO_BENCH_WORKERS``    worker processes for trial fan-out (default 1 =
+                           serial; 0 = one per core).  Results are merged
+                           deterministically, so any worker count produces
+                           the same tables.
 """
 
 from __future__ import annotations
@@ -31,13 +35,18 @@ def bench_duration() -> float:
     return float(os.environ.get("REPRO_BENCH_DURATION", "600"))
 
 
+def bench_workers() -> int:
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return workers if workers > 0 else (os.cpu_count() or 1)
+
+
 @pytest.fixture
 def report():
     """Register a rendered experiment output under a label."""
 
     def _register(label: str, text: str) -> None:
         _REPORTS[label] = text
-        _OUTPUT_DIR.mkdir(exist_ok=True)
+        _OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
         safe = label.replace("/", "_").replace(" ", "_").lower()
         (_OUTPUT_DIR / f"{safe}.txt").write_text(text + "\n")
 
@@ -64,7 +73,10 @@ def town_suite():
     from repro.experiments.town_runs import run_configuration_suite
 
     return run_configuration_suite(
-        seeds=bench_seeds(), duration_s=bench_duration(), include_cambridge=True
+        seeds=bench_seeds(),
+        duration_s=bench_duration(),
+        include_cambridge=True,
+        workers=bench_workers(),
     )
 
 
@@ -73,4 +85,8 @@ def timeout_grid_results():
     """The join-timeout grid shared by Table 3 and Figs 14/15."""
     from repro.experiments.timeout_grid import run_grid
 
-    return run_grid(seeds=bench_seeds(), duration_s=min(bench_duration(), 420.0))
+    return run_grid(
+        seeds=bench_seeds(),
+        duration_s=min(bench_duration(), 420.0),
+        workers=bench_workers(),
+    )

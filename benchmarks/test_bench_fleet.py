@@ -5,14 +5,15 @@ throughput degrades gracefully (staggered vehicles mostly use different
 APs; collisions cost backhaul shares, not collapse).
 """
 
-from conftest import bench_seeds
+from conftest import bench_seeds, bench_workers
 
 from repro.experiments import fleet
 
 
 def test_bench_fleet(benchmark, report):
     result = benchmark.pedantic(
-        lambda: fleet.run(fleet_sizes=(1, 2, 5), seeds=bench_seeds(), duration_s=300.0),
+        lambda: fleet.run(fleet_sizes=(1, 2, 5), seeds=bench_seeds(), duration_s=300.0,
+                     workers=bench_workers()),
         rounds=1,
         iterations=1,
     )

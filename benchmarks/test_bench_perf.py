@@ -1,0 +1,209 @@
+"""Performance harness: events/sec and wall-time per representative run.
+
+Unlike the artifact benchmarks (which check the paper's *claims*), this
+module measures the *simulator itself* and persists the numbers to
+``BENCH_perf.json`` at the repository root, so the perf trajectory is
+visible across PRs (the CI workflow uploads the file as an artifact).
+
+Measured workloads:
+
+* ``engine_micro``     — raw scheduler throughput (schedule/fire/cancel churn)
+* ``town_trial``       — one multi-channel Spider drive (the common unit of
+                         every experiment), with events/sec
+* ``table2_suite``     — the Table 2 configuration suite, serial *and*
+                         parallel, recording the wall-clock speedup
+* ``timeout_grid``     — two cells of the join-timeout grid
+* ``fleet``            — a two-vehicle shared-town drive
+
+Scale knobs are the bench-suite ones (``REPRO_BENCH_SEEDS``,
+``REPRO_BENCH_DURATION``, ``REPRO_BENCH_WORKERS``); the perf harness
+deliberately trims durations so it stays cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict
+
+from conftest import bench_duration, bench_seeds, bench_workers
+
+from repro.core.schedule import OperationMode
+from repro.experiments.common import run_town_trial
+from repro.experiments.town_runs import spider_factory
+from repro.sim.engine import Simulator
+
+_RESULTS_PATH = Path(__file__).parent.parent / "BENCH_perf.json"
+_PERF: Dict[str, dict] = {}
+
+#: Perf runs are trimmed relative to the artifact benches; fidelity of the
+#: *measurement* does not need hour-long drives.
+_PERF_DURATION_CAP_S = 300.0
+
+
+def _duration() -> float:
+    return min(bench_duration(), _PERF_DURATION_CAP_S)
+
+
+def _record(name: str, **fields) -> None:
+    _PERF[name] = {k: round(v, 4) if isinstance(v, float) else v
+                   for k, v in fields.items()}
+
+
+def _persist() -> None:
+    payload = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "bench_seeds": len(bench_seeds()),
+        "bench_duration_s": _duration(),
+        "bench_workers": bench_workers(),
+        "results": {k: _PERF[k] for k in sorted(_PERF)},
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+def test_perf_engine_micro(report):
+    """Scheduler churn: schedule + fire + a realistic cancel fraction."""
+    sim = Simulator(seed=0)
+    fired = 0
+
+    def tick():
+        nonlocal fired
+        fired += 1
+        keep = sim.schedule(1.0, tick)
+        # Mirror the link-layer pattern: most armed timers are cancelled.
+        for _ in range(4):
+            sim.schedule(2.0, _noop).cancel()
+        if fired >= 200_000:
+            keep.cancel()
+
+    for i in range(100):
+        sim.schedule(0.001 * i, tick)
+    t0 = time.perf_counter()
+    sim.run(until=5_000.0)
+    wall = time.perf_counter() - t0
+    _record(
+        "engine_micro",
+        wall_s=wall,
+        events=sim.events_processed,
+        events_per_sec=sim.events_processed / wall,
+        compactions=sim.compactions,
+    )
+    report("perf/engine_micro", json.dumps(_PERF["engine_micro"], indent=2))
+    assert sim.events_processed >= 200_000
+
+
+def _noop():
+    pass
+
+
+def test_perf_town_trial(report):
+    """One multi-channel Spider drive — the unit every experiment repeats."""
+    factory = spider_factory(OperationMode.equal_split((1, 6, 11), 0.6), 7)
+    t0 = time.perf_counter()
+    metrics = run_town_trial(factory, "perf", seed=0, duration_s=_duration())
+    wall = time.perf_counter() - t0
+    _record(
+        "town_trial",
+        wall_s=wall,
+        events=metrics.events_processed,
+        events_per_sec=metrics.events_processed / wall,
+        sim_seconds_per_wall_second=_duration() / wall,
+    )
+    report("perf/town_trial", json.dumps(_PERF["town_trial"], indent=2))
+    assert metrics.events_processed > 0
+
+
+def test_perf_table2_suite_serial_vs_parallel(report):
+    """The Table 2 suite, serial vs parallel: identical rows, less wall."""
+    from repro.experiments.town_runs import run_configuration_suite
+
+    seeds = bench_seeds()
+    duration = _duration()
+    t0 = time.perf_counter()
+    serial = run_configuration_suite(
+        seeds=seeds, duration_s=duration, include_cambridge=False, workers=1
+    )
+    serial_wall = time.perf_counter() - t0
+    workers = max(bench_workers(), 2)
+    t0 = time.perf_counter()
+    parallel = run_configuration_suite(
+        seeds=seeds, duration_s=duration, include_cambridge=False, workers=workers
+    )
+    parallel_wall = time.perf_counter() - t0
+    for label in serial.labels():
+        for s_trial, p_trial in zip(serial[label].trials, parallel[label].trials):
+            assert s_trial.average_throughput_kBps == p_trial.average_throughput_kBps
+            assert s_trial.connectivity_pct == p_trial.connectivity_pct
+            assert s_trial.events_processed == p_trial.events_processed
+    total_events = sum(
+        t.events_processed for label in serial.labels() for t in serial[label].trials
+    )
+    _record(
+        "table2_suite",
+        serial_wall_s=serial_wall,
+        parallel_wall_s=parallel_wall,
+        parallel_workers=workers,
+        speedup=serial_wall / parallel_wall,
+        trials=len(seeds) * len(serial.labels()),
+        events=total_events,
+        serial_events_per_sec=total_events / serial_wall,
+    )
+    report("perf/table2_suite", json.dumps(_PERF["table2_suite"], indent=2))
+
+
+def test_perf_timeout_grid(report):
+    """Two representative cells of the join-timeout grid."""
+    from repro.experiments.timeout_grid import run_grid
+
+    labels = ["ch1, ll=100ms, dhcp=200ms, 7if", "3ch, ll=100ms, dhcp=200ms, 7if"]
+    t0 = time.perf_counter()
+    results = run_grid(
+        labels=labels,
+        seeds=bench_seeds(),
+        duration_s=_duration(),
+        workers=bench_workers(),
+    )
+    wall = time.perf_counter() - t0
+    events = sum(t.events_processed for agg in results.values() for t in agg.trials)
+    _record(
+        "timeout_grid",
+        wall_s=wall,
+        cells=len(labels),
+        events=events,
+        events_per_sec=events / wall,
+    )
+    report("perf/timeout_grid", json.dumps(_PERF["timeout_grid"], indent=2))
+    assert set(results) == set(labels)
+
+
+def test_perf_fleet(report):
+    """A two-vehicle shared-town drive (multi-client hot path)."""
+    from repro.experiments.fleet import run as run_fleet
+
+    t0 = time.perf_counter()
+    result = run_fleet(
+        fleet_sizes=(2,),
+        seeds=bench_seeds(),
+        duration_s=_duration(),
+        workers=bench_workers(),
+    )
+    wall = time.perf_counter() - t0
+    _record(
+        "fleet",
+        wall_s=wall,
+        vehicles=2,
+        aggregate_kBps=result.rows[0].aggregate_kBps,
+    )
+    report("perf/fleet", json.dumps(_PERF["fleet"], indent=2))
+    assert result.rows[0].vehicles == 2
+
+
+def test_perf_persist_results():
+    """Write BENCH_perf.json last (pytest runs this file in order)."""
+    assert _PERF, "perf tests did not record anything"
+    _persist()
+    assert _RESULTS_PATH.exists()

@@ -6,7 +6,7 @@ check that single-channel dominance grows with speed while multi-channel's
 connectivity advantage persists at crawl speed.
 """
 
-from conftest import bench_seeds
+from conftest import bench_seeds, bench_workers
 
 from repro.experiments import speed_sweep
 
@@ -14,7 +14,8 @@ from repro.experiments import speed_sweep
 def test_bench_speed_sweep(benchmark, report):
     result = benchmark.pedantic(
         lambda: speed_sweep.run(
-            speeds_mps=(3.0, 10.0, 15.0), seeds=bench_seeds(), duration_s=400.0
+            speeds_mps=(3.0, 10.0, 15.0), seeds=bench_seeds(), duration_s=400.0,
+            workers=bench_workers()
         ),
         rounds=1,
         iterations=1,

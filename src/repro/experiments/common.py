@@ -5,13 +5,23 @@ the four metrics".  :func:`run_town_trial` executes one such run for any
 client (Spider in any configuration, or the stock baseline);
 :func:`run_town_trials` averages over seeds.  Experiment modules supply a
 client factory and post-process the returned :class:`TownRunMetrics`.
+
+Trials are independent — each builds its own :class:`Simulator` from its
+seed — so :func:`run_town_trials` and the suite-level helpers fan them out
+across worker processes via :mod:`repro.runner`.  A trial's outcome is a
+pure function of its :class:`TownTrialSpec`, which is what makes the
+parallel path bit-identical to the serial one.  Factories passed to the
+parallel path must be picklable (module-level functions or dataclass
+callables, as in :mod:`repro.experiments.town_runs`); unpicklable ad-hoc
+factories silently fall back to serial execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
+from ..runner import TrialJob, run_jobs
 from ..sim.engine import Simulator
 from ..sim.metrics import JoinLog
 from ..sim.mobility import MobilityModel
@@ -22,8 +32,11 @@ __all__ = [
     "ClientFactory",
     "TownRunMetrics",
     "AggregatedMetrics",
+    "TownTrialSpec",
     "run_town_trial",
+    "run_town_trial_spec",
     "run_town_trials",
+    "run_town_trial_specs",
     "DEFAULT_TRIAL_DURATION_S",
     "DEFAULT_VEHICLE_SPEED_MPS",
 ]
@@ -141,6 +154,51 @@ class AggregatedMetrics:
         return [r for r in rates if r == r]  # drop NaN
 
 
+@dataclass(frozen=True)
+class TownTrialSpec:
+    """A picklable description of one town trial.
+
+    Running a spec (in any process) yields the same :class:`TownRunMetrics`
+    because the simulator is rebuilt from scratch from these fields alone.
+    """
+
+    factory: ClientFactory
+    label: str
+    seed: int = 0
+    duration_s: float = DEFAULT_TRIAL_DURATION_S
+    town: Union[str, TownConfig, None] = "amherst"
+    speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS
+
+
+def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
+    """Execute one :class:`TownTrialSpec` (the worker-side entry point)."""
+    return run_town_trial(
+        spec.factory,
+        spec.label,
+        seed=spec.seed,
+        duration_s=spec.duration_s,
+        town=spec.town,
+        speed_mps=spec.speed_mps,
+    )
+
+
+def run_town_trial_specs(
+    specs: Sequence[TownTrialSpec],
+    workers: Optional[int] = None,
+) -> List[TownRunMetrics]:
+    """Fan a batch of trial specs across workers; results in spec order.
+
+    This is the shared fan-out for every multi-trial experiment: callers
+    flatten their whole ``config x seed`` grid into one batch so the pool
+    balances across all of it, then regroup the ordered results.
+    """
+    jobs = [
+        TrialJob(run_town_trial_spec, (spec,), tag=(spec.label, spec.seed))
+        for spec in specs
+    ]
+    return run_jobs(jobs, workers=workers)
+
+
 def run_town_trials(
     factory: ClientFactory,
     label: str,
@@ -148,12 +206,19 @@ def run_town_trials(
     duration_s: float = DEFAULT_TRIAL_DURATION_S,
     town: Union[str, TownConfig, None] = "amherst",
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
+    workers: Optional[int] = None,
 ) -> AggregatedMetrics:
-    """Repeat :func:`run_town_trial` over seeds and aggregate."""
-    trials = [
-        run_town_trial(
-            factory,
-            label,
+    """Repeat :func:`run_town_trial` over seeds and aggregate.
+
+    ``workers`` > 1 runs the seeds in parallel processes; results are
+    merged in seed order, so the aggregate is bit-identical to a serial
+    run.  ``None`` defers to the ``REPRO_WORKERS`` environment variable
+    (default: serial).
+    """
+    specs = [
+        TownTrialSpec(
+            factory=factory,
+            label=label,
             seed=seed,
             duration_s=duration_s,
             town=town,
@@ -161,6 +226,7 @@ def run_town_trials(
         )
         for seed in seeds
     ]
+    trials = run_town_trial_specs(specs, workers=workers)
     return AggregatedMetrics(label=label, trials=trials)
 
 

@@ -14,10 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from typing import Optional
+
 from ..analysis.reporting import format_table
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
+from ..runner import TrialJob, run_jobs
 from ..sim.engine import Simulator
 from ..workloads.town import build_town
 
@@ -96,13 +99,30 @@ def run(
     seeds: Sequence[int] = (0,),
     duration_s: float = 300.0,
     town_preset: str = "amherst",
+    workers: Optional[int] = None,
 ) -> FleetResult:
-    """Execute the experiment and return its structured result."""
+    """Execute the experiment and return its structured result.
+
+    Every ``(fleet size, seed)`` drive is an independent simulation, so the
+    whole grid fans out through :mod:`repro.runner`; per-size aggregation
+    happens on the deterministically ordered results.
+    """
+    jobs = [
+        TrialJob(
+            _run_fleet,
+            (size, seed, duration_s, town_preset),
+            tag=(size, seed),
+        )
+        for size in fleet_sizes
+        for seed in seeds
+    ]
+    fleet_rows = run_jobs(jobs, workers=workers)
+    by_size: dict = {}
+    for job, row in zip(jobs, fleet_rows):
+        by_size.setdefault(job.tag[0], []).append(row)
     rows = []
     for size in fleet_sizes:
-        per_seed = [
-            _run_fleet(size, seed, duration_s, town_preset) for seed in seeds
-        ]
+        per_seed = by_size[size]
         n = len(per_seed)
         rows.append(
             FleetRow(

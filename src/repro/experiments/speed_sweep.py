@@ -17,10 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from typing import Optional
+
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS
-from .common import run_town_trials
+from .common import AggregatedMetrics, TownTrialSpec, run_town_trial_specs
 from .town_runs import spider_factory
 
 __all__ = ["SpeedSweepResult", "run", "main"]
@@ -70,22 +72,43 @@ def run(
     seeds: Sequence[int] = (0, 1),
     duration_s: float = 400.0,
     town: str = "amherst",
+    workers: Optional[int] = None,
 ) -> SpeedSweepResult:
-    """Execute the experiment and return its structured result."""
+    """Execute the experiment and return its structured result.
+
+    The full ``speed x policy x seed`` grid fans out as one batch through
+    :mod:`repro.runner`, then regroups into per-policy series in sweep
+    order.
+    """
+    grid = [
+        (speed, name, mode)
+        for speed in speeds_mps
+        for name, mode in POLICIES.items()
+    ]
+    specs = [
+        TownTrialSpec(
+            factory=spider_factory(mode, 7),
+            label=f"{name}@{speed}",
+            seed=seed,
+            duration_s=duration_s,
+            town=town,
+            speed_mps=speed,
+        )
+        for speed, name, mode in grid
+        for seed in seeds
+    ]
+    trials = run_town_trial_specs(specs, workers=workers)
+    per_label: Dict[str, AggregatedMetrics] = {}
+    for spec, trial in zip(specs, trials):
+        per_label.setdefault(
+            spec.label, AggregatedMetrics(label=spec.label, trials=[])
+        ).trials.append(trial)
     series: Dict[str, List[Tuple[float, float]]] = {name: [] for name in POLICIES}
-    for speed in speeds_mps:
-        for name, mode in POLICIES.items():
-            metrics = run_town_trials(
-                spider_factory(mode, 7),
-                f"{name}@{speed}",
-                seeds=seeds,
-                duration_s=duration_s,
-                town=town,
-                speed_mps=speed,
-            )
-            series[name].append(
-                (metrics.average_throughput_kBps, metrics.connectivity_pct)
-            )
+    for speed, name, _mode in grid:
+        metrics = per_label[f"{name}@{speed}"]
+        series[name].append(
+            (metrics.average_throughput_kBps, metrics.connectivity_pct)
+        )
     return SpeedSweepResult(speeds_mps=list(speeds_mps), series=series)
 
 

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS, SpiderClient
-from .common import AggregatedMetrics, run_town_trials
+from .common import AggregatedMetrics, TownTrialSpec, run_town_trial_specs
 
 __all__ = ["TimeoutConfig", "run_grid", "STANDARD_GRID"]
 
@@ -75,18 +75,25 @@ STANDARD_GRID: Dict[str, TimeoutConfig] = {
 }
 
 
-def _factory(config: TimeoutConfig):
-    def make(sim, world, mobility):
+@dataclass(frozen=True)
+class _GridFactory:
+    """Picklable factory for one timeout-grid cell."""
+
+    config: TimeoutConfig
+
+    def __call__(self, sim, world, mobility):
         return SpiderClient(
             sim,
             world,
             mobility,
-            config.spider_config(),
+            self.config.spider_config(),
             client_id="grid",
             enable_traffic=False,
         )
 
-    return make
+
+def _factory(config: TimeoutConfig):
+    return _GridFactory(config)
 
 
 def run_grid(
@@ -94,13 +101,30 @@ def run_grid(
     seeds: Sequence[int] = (0, 1),
     duration_s: float = 300.0,
     town: str = "amherst",
+    workers: Optional[int] = None,
 ) -> Dict[str, AggregatedMetrics]:
-    """Run the selected grid cells and return join-log aggregates."""
+    """Run the selected grid cells and return join-log aggregates.
+
+    All ``cell x seed`` drives are fanned out as one batch (see
+    :mod:`repro.runner`); results regroup per cell in seed order, so the
+    parallel grid is bit-identical to the serial one.
+    """
     selected = labels if labels is not None else list(STANDARD_GRID)
-    results: Dict[str, AggregatedMetrics] = {}
-    for label in selected:
-        config = STANDARD_GRID[label]
-        results[label] = run_town_trials(
-            _factory(config), label, seeds=seeds, duration_s=duration_s, town=town
+    specs = [
+        TownTrialSpec(
+            factory=_GridFactory(STANDARD_GRID[label]),
+            label=label,
+            seed=seed,
+            duration_s=duration_s,
+            town=town,
         )
+        for label in selected
+        for seed in seeds
+    ]
+    trials = run_town_trial_specs(specs, workers=workers)
+    results: Dict[str, AggregatedMetrics] = {}
+    for spec, trial in zip(specs, trials):
+        results.setdefault(
+            spec.label, AggregatedMetrics(label=spec.label, trials=[])
+        ).trials.append(trial)
     return results

@@ -19,7 +19,12 @@ from ..sim.engine import Simulator
 from ..sim.mobility import MobilityModel
 from ..sim.stock_client import StockClient
 from ..sim.world import World
-from .common import AggregatedMetrics, ClientFactory, run_town_trials
+from .common import (
+    AggregatedMetrics,
+    ClientFactory,
+    TownTrialSpec,
+    run_town_trial_specs,
+)
 
 __all__ = [
     "CONFIG_CH1_MULTI_AP",
@@ -29,6 +34,8 @@ __all__ = [
     "CONFIG_STOCK",
     "CONFIG_CH6_SINGLE_AP_CAMBRIDGE",
     "CONFIG_STOCK_CAMBRIDGE",
+    "SpiderFactory",
+    "StockFactory",
     "spider_factory",
     "stock_factory",
     "standard_factories",
@@ -47,35 +54,64 @@ CONFIG_STOCK_CAMBRIDGE = "MadWiFi driver (cambridge)"
 MULTI_CHANNEL_PERIOD_S = 0.6
 
 
-def spider_factory(
-    mode: OperationMode,
-    num_interfaces: int,
-    enable_traffic: bool = True,
-    lock_channel_when_connected: bool = False,
-) -> ClientFactory:
-    """A factory closing over a Spider configuration."""
+@dataclass(frozen=True)
+class SpiderFactory:
+    """A picklable factory carrying a Spider configuration.
 
-    def make(sim: Simulator, world: World, mobility: MobilityModel) -> SpiderClient:
-        config = SpiderConfig.spider_defaults(mode, num_interfaces=num_interfaces)
+    A dataclass callable rather than a closure so trial specs built from it
+    can cross process boundaries (see :mod:`repro.runner`).
+    """
+
+    mode: OperationMode
+    num_interfaces: int
+    enable_traffic: bool = True
+    lock_channel_when_connected: bool = False
+
+    def __call__(
+        self, sim: Simulator, world: World, mobility: MobilityModel
+    ) -> SpiderClient:
+        config = SpiderConfig.spider_defaults(
+            self.mode, num_interfaces=self.num_interfaces
+        )
         return SpiderClient(
             sim,
             world,
             mobility,
             config,
             client_id="veh",
-            enable_traffic=enable_traffic,
-            lock_channel_when_connected=lock_channel_when_connected,
+            enable_traffic=self.enable_traffic,
+            lock_channel_when_connected=self.lock_channel_when_connected,
         )
 
-    return make
+
+@dataclass(frozen=True)
+class StockFactory:
+    """A picklable factory building the stock-client baseline."""
+
+    def __call__(
+        self, sim: Simulator, world: World, mobility: MobilityModel
+    ) -> StockClient:
+        return StockClient(sim, world, mobility, client_id="veh")
+
+
+def spider_factory(
+    mode: OperationMode,
+    num_interfaces: int,
+    enable_traffic: bool = True,
+    lock_channel_when_connected: bool = False,
+) -> ClientFactory:
+    """A factory for a Spider configuration (picklable)."""
+    return SpiderFactory(
+        mode=mode,
+        num_interfaces=num_interfaces,
+        enable_traffic=enable_traffic,
+        lock_channel_when_connected=lock_channel_when_connected,
+    )
 
 
 def stock_factory() -> ClientFactory:
-    """A factory building the stock-client baseline."""
-    def make(sim: Simulator, world: World, mobility: MobilityModel) -> StockClient:
-        return StockClient(sim, world, mobility, client_id="veh")
-
-    return make
+    """A factory building the stock-client baseline (picklable)."""
+    return StockFactory()
 
 
 def standard_factories() -> Dict[str, ClientFactory]:
@@ -125,8 +161,15 @@ def run_configuration_suite(
     duration_s: float = 300.0,
     include_cambridge: bool = True,
     labels: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
 ) -> ConfigurationSuite:
-    """Run the whole configuration grid (the expensive shared step)."""
+    """Run the whole configuration grid (the expensive shared step).
+
+    The full ``configuration x seed`` grid is flattened into one batch so
+    the worker pool balances across all of it; results are regrouped per
+    label in seed order, making the parallel suite bit-identical to the
+    serial one.
+    """
     factories: Dict[str, tuple] = {
         label: (factory, "amherst")
         for label, factory in standard_factories().items()
@@ -140,9 +183,21 @@ def run_configuration_suite(
         )
     if labels is not None:
         factories = {k: v for k, v in factories.items() if k in set(labels)}
-    results: Dict[str, AggregatedMetrics] = {}
-    for label, (factory, town) in factories.items():
-        results[label] = run_town_trials(
-            factory, label, seeds=seeds, duration_s=duration_s, town=town
+    specs = [
+        TownTrialSpec(
+            factory=factory,
+            label=label,
+            seed=seed,
+            duration_s=duration_s,
+            town=town,
         )
+        for label, (factory, town) in factories.items()
+        for seed in seeds
+    ]
+    trials = run_town_trial_specs(specs, workers=workers)
+    results: Dict[str, AggregatedMetrics] = {}
+    for spec, trial in zip(specs, trials):
+        results.setdefault(
+            spec.label, AggregatedMetrics(label=spec.label, trials=[])
+        ).trials.append(trial)
     return ConfigurationSuite(results=results, duration_s=duration_s, seeds=seeds)

@@ -1,0 +1,12 @@
+"""Parallel execution of independent simulation trials.
+
+:mod:`repro.runner` fans independent ``(factory, seed, duration, town)``
+jobs out across worker processes and merges the results deterministically
+(submission order, never completion order).  See :mod:`repro.runner.pool`
+for the execution model and :mod:`repro.experiments.common` for the
+town-trial specs built on top of it.
+"""
+
+from .pool import WORKERS_ENV, TrialJob, resolve_workers, run_jobs
+
+__all__ = ["TrialJob", "resolve_workers", "run_jobs", "WORKERS_ENV"]

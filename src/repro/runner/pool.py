@@ -1,0 +1,140 @@
+"""Process-pool execution of independent trial jobs.
+
+Every paper artifact repeats independent ``(config, seed)`` drives, so the
+natural unit of parallelism is *one whole trial*: each job rebuilds its own
+:class:`~repro.sim.engine.Simulator` from a seed, runs it to completion, and
+returns a picklable metrics object.  Nothing is shared between jobs, which
+is what makes the fan-out embarrassingly parallel *and* deterministic — a
+trial's outcome is a pure function of its job spec.
+
+The architecture follows PATHspider's worker/merger split: jobs are fanned
+out to a pool of worker processes and the results are merged back in
+**submission order**, never completion order, so a parallel run is
+bit-identical to the serial one.
+
+Worker-count resolution (first match wins):
+
+1. an explicit ``workers=`` argument (``0`` means "all cores"),
+2. the ``REPRO_WORKERS`` environment variable (``0`` means "all cores"),
+3. serial execution (``1``).
+
+Serial execution short-circuits the pool entirely — no processes, no
+pickling — so ``workers=1`` (or an unset environment) behaves exactly like
+the historical in-process loop.  Jobs that cannot be pickled (e.g. ad-hoc
+lambda factories from a notebook) also degrade to the serial path rather
+than failing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+
+import multiprocessing
+
+__all__ = ["TrialJob", "resolve_workers", "run_jobs", "WORKERS_ENV"]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class TrialJob:
+    """One picklable unit of work: ``fn(*args, **kwargs)``.
+
+    ``fn`` must be importable from a worker process — a module-level
+    function or a picklable callable object (the experiment factories are
+    dataclass callables for exactly this reason).  ``tag`` is an opaque
+    caller-side key (e.g. ``(label, seed)``) carried along for regrouping;
+    the pool itself never inspects it.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    tag: Any = None
+
+    def run(self) -> Any:
+        """Execute the job in the current process."""
+        return self.fn(*self.args, **dict(self.kwargs))
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Turn an explicit/env worker request into a concrete count (>= 1).
+
+    ``None`` defers to ``REPRO_WORKERS``; ``0`` (explicit or in the
+    environment) means "one worker per core".
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            warnings.warn(f"ignoring non-integer {WORKERS_ENV}={env!r}")
+            return 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0: {workers!r}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _execute(payload: bytes) -> bytes:
+    """Worker-side entry point: unpickle a job, run it, pickle the result.
+
+    Shipping pre-pickled payloads keeps the executor's own serialization
+    trivially cheap and makes pickling errors surface in the parent (where
+    they can trigger the serial fallback) instead of killing a worker.
+    """
+    job: TrialJob = pickle.loads(payload)
+    return pickle.dumps(job.run(), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares the warmed-up interpreter) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_jobs(
+    jobs: Sequence[TrialJob],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Run jobs, returning their results in **submission order**.
+
+    The deterministic merge is the contract callers rely on: submit jobs
+    sorted by ``(config, seed)`` and the result list lines up regardless of
+    which worker finished first.  With one worker (or one job) the pool is
+    bypassed entirely.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    count = resolve_workers(workers)
+    count = min(count, len(jobs))
+    if count <= 1:
+        return [job.run() for job in jobs]
+
+    try:
+        payloads = [
+            pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL) for job in jobs
+        ]
+    except Exception as exc:  # unpicklable ad-hoc factory: degrade gracefully
+        warnings.warn(
+            f"trial jobs are not picklable ({exc!r}); running serially"
+        )
+        return [job.run() for job in jobs]
+
+    with ProcessPoolExecutor(
+        max_workers=count, mp_context=_pool_context()
+    ) as pool:
+        futures = [pool.submit(_execute, payload) for payload in payloads]
+        return [pickle.loads(future.result()) for future in futures]

@@ -88,6 +88,10 @@ class AccessPoint:
     ``handler(ap, kind, payload, src_mac)``.
     """
 
+    #: APs never move or retune, so the medium may index them spatially and
+    #: per-channel instead of probing them on every delivery.
+    is_static = True
+
     def __init__(
         self,
         sim: Simulator,

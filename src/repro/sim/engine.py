@@ -22,23 +22,18 @@ import heapq
 import itertools
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = ["EventHandle", "Simulator", "PeriodicProcess"]
 
+# The heap stores plain ``(time, seq, handle)`` tuples.  Tuple comparison is
+# implemented in C and ``seq`` is unique, so ordering never falls through to
+# the handle — measurably cheaper than a dataclass with ``order=True`` on
+# the schedule/pop hot path.
+_QueueEntry = Tuple[float, int, "EventHandle"]
 
-@dataclass(order=True)
-class _QueueEntry:
-    """Internal heap entry.
-
-    Ordering is by ``(time, seq)``; ``seq`` is a monotonically increasing
-    counter so ties are broken by scheduling order.
-    """
-
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+#: Heaps smaller than this are never compacted (not worth the churn).
+_COMPACT_MIN_QUEUE = 64
 
 
 class EventHandle:
@@ -50,21 +45,32 @@ class EventHandle:
     harmless no-op.
     """
 
-    __slots__ = ("fn", "args", "cancelled", "fired", "time")
+    __slots__ = ("fn", "args", "cancelled", "fired", "time", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.fn: Optional[Callable[..., None]] = fn
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled timers do not pin objects.
         self.fn = None
         self.args = ()
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -90,6 +96,12 @@ class Simulator:
         self._streams: Dict[str, random.Random] = {}
         self._running = False
         self.events_processed = 0
+        # Live = scheduled, neither fired nor cancelled.  Tracking the two
+        # counts makes pending_events() O(1) and tells us when the heap is
+        # mostly dead weight and worth compacting.
+        self._live = 0
+        self._cancelled_in_queue = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Random streams
@@ -121,9 +133,32 @@ class Simulator:
             raise ValueError("event time is NaN")
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        handle = EventHandle(time, fn, args)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        handle = EventHandle(time, fn, args, self)
+        heapq.heappush(self._queue, (time, next(self._seq), handle))
+        self._live += 1
         return handle
+
+    # ------------------------------------------------------------------
+    # Cancelled-event accounting (called by EventHandle.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled_in_queue += 1
+        # Long drives cancel far more timers (link-layer retries, DHCP
+        # budgets) than ever fire; compact once most of the heap is dead so
+        # cancelled entries stop pinning memory and inflating pops.
+        if (
+            self._cancelled_in_queue * 2 > len(self._queue)
+            and len(self._queue) >= _COMPACT_MIN_QUEUE
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (heapify is O(n))."""
+        self._queue = [e for e in self._queue if not e[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -140,18 +175,19 @@ class Simulator:
         budget = math.inf if max_events is None else max_events
         try:
             while self._queue:
-                entry = self._queue[0]
-                if entry.time > until:
+                time, _seq, handle = self._queue[0]
+                if time > until:
                     break
                 heapq.heappop(self._queue)
-                handle = entry.handle
                 if handle.cancelled:
+                    self._cancelled_in_queue -= 1
                     continue
                 if budget <= 0:
                     raise RuntimeError("event budget exhausted; possible event storm")
                 budget -= 1
-                self.now = entry.time
+                self.now = time
                 handle.fired = True
+                self._live -= 1
                 fn, args = handle.fn, handle.args
                 handle.fn, handle.args = None, ()
                 self.events_processed += 1
@@ -162,8 +198,8 @@ class Simulator:
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.handle.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
 
 class PeriodicProcess:

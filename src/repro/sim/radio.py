@@ -60,7 +60,13 @@ def rssi_from_distance(distance_m: float) -> float:
 
 
 class Station(Protocol):
-    """What the medium requires of a registered radio endpoint."""
+    """What the medium requires of a registered radio endpoint.
+
+    Stations may additionally expose ``is_static = True`` to promise that
+    their position *and* tuned channel never change after registration
+    (true of access points).  The medium indexes static stations by channel
+    and coarse spatial bin so delivery never iterates the whole town.
+    """
 
     station_id: str
 
@@ -118,6 +124,20 @@ class Medium:
         self._stations: Dict[str, Station] = {}
         self._busy_until: Dict[int, float] = {}
         self._rng = sim.rng("medium.loss")
+        # Delivery-path index.  Static stations (APs: fixed position, fixed
+        # channel) are binned by (channel, cell) with cell edge = range_m,
+        # so any in-range static receiver is in the 3x3 neighbourhood of
+        # the sender's cell.  Mobile stations (a handful of vehicles vs.
+        # hundreds of APs) are kept in a flat dict and always probed.
+        # ``_reg_seq`` preserves registration order: candidates are visited
+        # in that order so loss draws and callbacks consume randomness
+        # exactly as the un-indexed implementation did.
+        self._bin_m = max(range_m, 1.0)
+        self._static_bins: Dict[Tuple[int, int, int], List[Station]] = {}
+        self._static_where: Dict[str, Tuple[int, int, int]] = {}
+        self._mobile: Dict[str, Station] = {}
+        self._reg_seq: Dict[str, int] = {}
+        self._reg_counter = 0
         #: Optional observers called as fn(frame, receiver_id) on delivery.
         self.delivery_hooks: List[Callable[[Frame, str], None]] = []
         self.frames_sent = 0
@@ -125,15 +145,36 @@ class Medium:
         self.frames_lost = 0
 
     # ------------------------------------------------------------------
+    def _cell_of(self, channel: int, x: float, y: float) -> Tuple[int, int, int]:
+        return (channel, int(x // self._bin_m), int(y // self._bin_m))
+
     def register(self, station: Station) -> None:
         """Add a station; id collisions are programming errors."""
         if station.station_id in self._stations:
             raise ValueError(f"duplicate station id {station.station_id!r}")
         self._stations[station.station_id] = station
+        self._reg_seq[station.station_id] = self._reg_counter
+        self._reg_counter += 1
+        channel = station.tuned_channel()
+        if getattr(station, "is_static", False) and channel is not None:
+            x, y = station.position()
+            cell = self._cell_of(channel, x, y)
+            self._static_bins.setdefault(cell, []).append(station)
+            self._static_where[station.station_id] = cell
+        else:
+            self._mobile[station.station_id] = station
 
     def unregister(self, station_id: str) -> None:
         """Remove a station from the medium."""
         self._stations.pop(station_id, None)
+        self._reg_seq.pop(station_id, None)
+        self._mobile.pop(station_id, None)
+        cell = self._static_where.pop(station_id, None)
+        if cell is not None:
+            bucket = self._static_bins.get(cell, [])
+            self._static_bins[cell] = [
+                s for s in bucket if s.station_id != station_id
+            ]
 
     def stations(self) -> List[Station]:
         """All registered stations."""
@@ -184,13 +225,32 @@ class Medium:
         return done
 
     # ------------------------------------------------------------------
+    def _candidates(self, frame_channel: int, sx: float, sy: float) -> List[Station]:
+        """Receiver candidates: all mobiles + static stations near (sx, sy).
+
+        Sorted by registration order so the delivery loop is byte-for-byte
+        deterministic with the historical scan over every station.
+        """
+        candidates = list(self._mobile.values())
+        bx, by = int(sx // self._bin_m), int(sy // self._bin_m)
+        bins = self._static_bins
+        for cx in (bx - 1, bx, bx + 1):
+            for cy in (by - 1, by, by + 1):
+                bucket = bins.get((frame_channel, cx, cy))
+                if bucket:
+                    candidates.extend(bucket)
+        if len(candidates) > 1:
+            seq = self._reg_seq
+            candidates.sort(key=lambda s: seq[s.station_id])
+        return candidates
+
     def _deliver(self, sender_id: str, frame: Frame) -> None:
         sender = self._stations.get(sender_id)
         if sender is None:
             return  # sender vanished mid-flight (e.g., torn down)
         sx, sy = sender.position()
         receiver_reachable = False
-        for station in list(self._stations.values()):
+        for station in self._candidates(frame.channel, sx, sy):
             if station.station_id == sender_id:
                 continue
             if station.tuned_channel() != frame.channel:

@@ -213,3 +213,128 @@ class TestDeterminismProperty:
         sim.run()
         assert fired == sorted(fired)
         assert len(fired) == len(delays)
+
+
+class TestTupleHeapProperties:
+    """Properties the tuple-heap rewrite must preserve."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        times=st.lists(
+            st.sampled_from([0.5, 1.0, 1.5, 2.0]), min_size=1, max_size=40
+        )
+    )
+    def test_fifo_among_simultaneous_events(self, times):
+        """Events at equal times fire in scheduling order (stable ties)."""
+        sim = Simulator(seed=0)
+        fired = []
+        for index, time in enumerate(times):
+            sim.schedule(time, lambda t=time, i=index: fired.append((t, i)))
+        sim.run()
+        expected = sorted(
+            ((t, i) for i, t in enumerate(times)), key=lambda pair: pair
+        )
+        assert fired == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        plan=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_pending_count_matches_naive_scan(self, plan):
+        """The O(1) live counter agrees with a full queue scan."""
+        sim = Simulator(seed=0)
+        handles = []
+        for delay, cancel in plan:
+            handle = sim.schedule(delay, lambda: None)
+            handles.append(handle)
+            if cancel:
+                handle.cancel()
+        live = sum(1 for h in handles if h.pending)
+        assert sim.pending_events() == live
+        sim.run(until=25.0)
+        still_live = sum(1 for h in handles if h.pending)
+        assert sim.pending_events() == still_live
+
+    def test_compaction_drops_cancelled_entries_and_preserves_order(self):
+        sim = Simulator(seed=0)
+        fired = []
+        keepers = [
+            sim.schedule(10.0 + i, lambda i=i: fired.append(i)) for i in range(10)
+        ]
+        cancelled = [sim.schedule(5.0, lambda: fired.append("bad"))
+                     for _ in range(200)]
+        for handle in cancelled:
+            handle.cancel()
+        # Most of the heap was dead weight, so compaction must have run and
+        # physically removed cancelled entries; below the 64-entry floor the
+        # remainder is left for run() to skip.
+        assert sim.compactions >= 1
+        assert len(sim._queue) < 64
+        assert sim.pending_events() == len(keepers)
+        sim.run()
+        assert fired == list(range(10))
+        del keepers
+
+    def test_cancel_is_idempotent_and_counted_once(self):
+        sim = Simulator(seed=0)
+        handle = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events() == 1
+        sim.run()
+        assert other.fired
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator(seed=0)
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending_events() == 0
+        handle.cancel()
+        assert sim.pending_events() == 0
+
+    def test_cancel_inside_callback_respected(self):
+        """A callback cancelling a same-time event prevents its firing."""
+        sim = Simulator(seed=0)
+        fired = []
+        victim = sim.schedule(1.0, lambda: fired.append("victim"))
+
+        def killer():
+            fired.append("killer")
+            victim.cancel()
+
+        # killer scheduled after victim at the same time: victim fires first.
+        sim.schedule(1.0, killer)
+        later = sim.schedule(2.0, lambda: fired.append("late"))
+        early_killer = sim.schedule(1.5, lambda: later.cancel())
+        sim.run()
+        assert fired == ["victim", "killer"]
+        assert early_killer.fired and not later.fired
+
+    def test_compaction_during_run_keeps_schedule_intact(self):
+        """Mass cancellation from inside a callback (compaction mid-run)."""
+        sim = Simulator(seed=0)
+        fired = []
+        doomed = [sim.schedule(50.0, lambda: fired.append("doomed"))
+                  for _ in range(300)]
+        survivors = [
+            sim.schedule(10.0 + i, lambda i=i: fired.append(i)) for i in range(5)
+        ]
+
+        def purge():
+            for handle in doomed:
+                handle.cancel()
+
+        sim.schedule(1.0, purge)
+        sim.run()
+        assert fired == list(range(5))
+        assert sim.compactions >= 1
+        assert all(h.fired for h in survivors)

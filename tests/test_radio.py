@@ -282,3 +282,82 @@ class TestRssiModel:
     def test_plausible_dbm_values(self):
         assert -95.0 < rssi_from_distance(100.0) < -80.0
         assert -45.0 < rssi_from_distance(1.0) < -35.0
+
+
+class StaticStation(FakeStation):
+    """A FakeStation that opts into the static (AP-style) index."""
+
+    is_static = True
+
+
+class TestStaticStationIndex:
+    def test_static_receiver_in_neighbouring_bin_gets_frame(self, sim, medium):
+        sender = FakeStation("veh", x=99.0)
+        # Exactly at the range edge, one spatial bin over.
+        ap = StaticStation("ap", x=199.0)
+        medium.register(sender)
+        medium.register(ap)
+        medium.transmit(sender, mgmt_frame("veh", BROADCAST))
+        sim.run()
+        assert len(ap.received) == 1
+
+    def test_far_static_station_not_probed(self, sim, medium):
+        sender = FakeStation("veh")
+        far = StaticStation("ap-far", x=1000.0)
+        medium.register(sender)
+        medium.register(far)
+        medium.transmit(sender, mgmt_frame("veh", BROADCAST))
+        sim.run()
+        assert far.received == []
+
+    def test_static_station_on_other_channel_skipped(self, sim, medium):
+        sender = FakeStation("veh", channel=1)
+        other = StaticStation("ap6", x=10.0, channel=6)
+        near = StaticStation("ap1", x=10.0, channel=1)
+        medium.register(sender)
+        medium.register(other)
+        medium.register(near)
+        medium.transmit(sender, mgmt_frame("veh", BROADCAST, channel=1))
+        sim.run()
+        assert len(near.received) == 1
+        assert other.received == []
+
+    def test_unregistered_static_station_stops_receiving(self, sim, medium):
+        sender = FakeStation("veh")
+        ap = StaticStation("ap", x=10.0)
+        medium.register(sender)
+        medium.register(ap)
+        medium.unregister("ap")
+        medium.transmit(sender, mgmt_frame("veh", BROADCAST))
+        sim.run()
+        assert ap.received == []
+
+    def test_delivery_order_follows_registration_order(self, sim, medium):
+        """Mixed mobile/static receivers hear a broadcast in registration
+        order — the invariant that keeps indexed delivery bit-identical."""
+        order = []
+        sender = FakeStation("veh", x=5.0)
+        stations = [
+            StaticStation("ap-a", x=10.0),
+            FakeStation("mob-b", x=20.0),
+            StaticStation("ap-c", x=30.0),
+            FakeStation("mob-d", x=40.0),
+        ]
+        medium.register(sender)
+        for station in stations:
+            station.on_frame = (
+                lambda frame, rssi, sid=station.station_id: order.append(sid)
+            )
+            medium.register(station)
+        medium.transmit(sender, mgmt_frame("veh", BROADCAST))
+        sim.run()
+        assert order == ["ap-a", "mob-b", "ap-c", "mob-d"]
+
+    def test_negative_coordinates_bin_correctly(self, sim, medium):
+        sender = FakeStation("veh", x=-5.0, y=-5.0)
+        ap = StaticStation("ap", x=-80.0, y=-40.0)
+        medium.register(sender)
+        medium.register(ap)
+        medium.transmit(sender, mgmt_frame("veh", BROADCAST))
+        sim.run()
+        assert len(ap.received) == 1

@@ -1,0 +1,226 @@
+"""The parallel trial runner: pool mechanics and determinism guarantees.
+
+The load-bearing property is at the bottom: a parallel ``run_town_trials``
+(workers=4) must produce **bit-identical** metrics to the serial path for
+the same seeds, because every trial rebuilds its simulator from its spec
+alone and results merge in submission order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from unittest import mock
+
+import pytest
+
+from repro.core.schedule import OperationMode
+from repro.experiments.common import (
+    TownTrialSpec,
+    run_town_trial_specs,
+    run_town_trials,
+)
+from repro.experiments.town_runs import spider_factory, stock_factory
+from repro.runner import TrialJob, resolve_workers, run_jobs
+from repro.runner.pool import WORKERS_ENV
+
+# Trials in this module are deliberately short; determinism does not need
+# long drives, only identical event sequences.
+SHORT_TRIAL_S = 45.0
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fail(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestResolveWorkers:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_used_when_unspecified(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_env_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_garbage_env_falls_back_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.warns(UserWarning):
+            assert resolve_workers(None) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestRunJobs:
+    def test_empty(self):
+        assert run_jobs([], workers=4) == []
+
+    def test_results_in_submission_order(self):
+        jobs = [TrialJob(_double, (i,)) for i in range(20)]
+        assert run_jobs(jobs, workers=4) == [2 * i for i in range(20)]
+
+    def test_serial_matches_parallel(self):
+        jobs = [TrialJob(_double, (i,)) for i in range(8)]
+        assert run_jobs(jobs, workers=1) == run_jobs(jobs, workers=4)
+
+    def test_unpicklable_jobs_fall_back_to_serial(self):
+        jobs = [TrialJob(lambda x: x + 1, (i,)) for i in range(3)]
+        with pytest.warns(UserWarning, match="running serially"):
+            assert run_jobs(jobs, workers=2) == [1, 2, 3]
+
+    def test_serial_path_never_spawns_processes(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        with mock.patch("repro.runner.pool.ProcessPoolExecutor") as executor:
+            run_jobs([TrialJob(_double, (3,))], workers=1)
+            run_jobs([TrialJob(_double, (3,))], workers=None)
+        executor.assert_not_called()
+
+    def test_single_job_bypasses_pool(self):
+        with mock.patch("repro.runner.pool.ProcessPoolExecutor") as executor:
+            assert run_jobs([TrialJob(_double, (4,))], workers=8) == [8]
+        executor.assert_not_called()
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            run_jobs([TrialJob(_fail, (1,))], workers=2)
+
+    def test_kwargs_and_tag(self):
+        job = TrialJob(_double, kwargs={"x": 5}, tag=("label", 0))
+        assert job.run() == 10
+        assert pickle.loads(pickle.dumps(job)).tag == ("label", 0)
+
+
+class TestSpecPicklability:
+    def test_factories_and_specs_pickle(self):
+        for factory in (
+            spider_factory(OperationMode.single_channel(1), 7),
+            spider_factory(
+                OperationMode.equal_split((1, 6, 11), 0.6),
+                1,
+                lock_channel_when_connected=True,
+            ),
+            stock_factory(),
+        ):
+            spec = TownTrialSpec(factory=factory, label="x", seed=1)
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+
+
+def _assert_trials_identical(a, b):
+    assert a.label == b.label
+    assert a.seed == b.seed
+    assert a.duration_s == b.duration_s
+    assert a.average_throughput_kBps == b.average_throughput_kBps
+    assert a.connectivity_pct == b.connectivity_pct
+    assert a.connection_durations_s == b.connection_durations_s
+    assert a.disruption_durations_s == b.disruption_durations_s
+    assert a.instantaneous_kBps == b.instantaneous_kBps
+    assert a.join_log.attempts == b.join_log.attempts
+    assert a.links_established == b.links_established
+    assert a.events_processed == b.events_processed
+
+
+class TestParallelDeterminism:
+    def test_parallel_town_trials_bit_identical_to_serial(self):
+        factory = spider_factory(OperationMode.equal_split((1, 6), 0.4), 7)
+        serial = run_town_trials(
+            factory, "det", seeds=(0, 1, 2, 3), duration_s=SHORT_TRIAL_S, workers=1
+        )
+        parallel = run_town_trials(
+            factory, "det", seeds=(0, 1, 2, 3), duration_s=SHORT_TRIAL_S, workers=4
+        )
+        assert len(serial.trials) == len(parallel.trials) == 4
+        for s_trial, p_trial in zip(serial.trials, parallel.trials):
+            _assert_trials_identical(s_trial, p_trial)
+
+    def test_spec_batch_preserves_order(self):
+        specs = [
+            TownTrialSpec(factory=stock_factory(), label=f"l{i}", seed=i,
+                          duration_s=20.0)
+            for i in (3, 1, 2)
+        ]
+        trials = run_town_trial_specs(specs, workers=3)
+        assert [(t.label, t.seed) for t in trials] == [
+            ("l3", 3), ("l1", 1), ("l2", 2)
+        ]
+
+    def test_configuration_suite_parallel_matches_serial(self):
+        from repro.experiments.town_runs import (
+            CONFIG_CH1_SINGLE_AP,
+            CONFIG_STOCK,
+            run_configuration_suite,
+        )
+
+        labels = [CONFIG_CH1_SINGLE_AP, CONFIG_STOCK]
+        kwargs = dict(
+            seeds=(0, 1),
+            duration_s=SHORT_TRIAL_S,
+            include_cambridge=False,
+            labels=labels,
+        )
+        serial = run_configuration_suite(workers=1, **kwargs)
+        parallel = run_configuration_suite(workers=4, **kwargs)
+        assert serial.labels() == parallel.labels() == labels
+        for label in labels:
+            for s_trial, p_trial in zip(
+                serial[label].trials, parallel[label].trials
+            ):
+                _assert_trials_identical(s_trial, p_trial)
+
+    def test_timeout_grid_parallel_matches_serial(self):
+        from repro.experiments.timeout_grid import run_grid
+
+        labels = ["ch1, ll=100ms, dhcp=200ms, 7if"]
+        serial = run_grid(
+            labels=labels, seeds=(0, 1), duration_s=SHORT_TRIAL_S, workers=1
+        )
+        parallel = run_grid(
+            labels=labels, seeds=(0, 1), duration_s=SHORT_TRIAL_S, workers=4
+        )
+        for label in labels:
+            for s_trial, p_trial in zip(
+                serial[label].trials, parallel[label].trials
+            ):
+                _assert_trials_identical(s_trial, p_trial)
+
+    def test_fleet_parallel_matches_serial(self):
+        from repro.experiments.fleet import run as run_fleet
+
+        kwargs = dict(fleet_sizes=(1, 2), seeds=(0,), duration_s=SHORT_TRIAL_S)
+        serial = run_fleet(workers=1, **kwargs)
+        parallel = run_fleet(workers=4, **kwargs)
+        assert [
+            (r.vehicles, r.per_vehicle_kBps, r.aggregate_kBps,
+             r.mean_connectivity_pct)
+            for r in serial.rows
+        ] == [
+            (r.vehicles, r.per_vehicle_kBps, r.aggregate_kBps,
+             r.mean_connectivity_pct)
+            for r in parallel.rows
+        ]
+
+    def test_speed_sweep_parallel_matches_serial(self):
+        from repro.experiments.speed_sweep import run as run_sweep
+
+        kwargs = dict(speeds_mps=(6.0, 12.0), seeds=(0,), duration_s=SHORT_TRIAL_S)
+        serial = run_sweep(workers=1, **kwargs)
+        parallel = run_sweep(workers=4, **kwargs)
+        assert serial.series == parallel.series
+        assert serial.speeds_mps == parallel.speeds_mps
