@@ -17,6 +17,7 @@ Scale knobs (environment variables):
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict
@@ -25,6 +26,7 @@ import pytest
 
 _REPORTS: Dict[str, str] = {}
 _OUTPUT_DIR = Path(__file__).parent / "output"
+_BENCH_PERF_PATH = Path(__file__).parent.parent / "BENCH_perf.json"
 
 
 def bench_seeds() -> tuple:
@@ -38,6 +40,27 @@ def bench_duration() -> float:
 def bench_workers() -> int:
     workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
     return workers if workers > 0 else (os.cpu_count() or 1)
+
+
+def merge_perf_results(results: Dict[str, dict], **meta) -> None:
+    """Merge entries into ``BENCH_perf.json`` without clobbering others.
+
+    Several bench modules contribute to the same file (the perf harness,
+    the fault sweep); each merges its own keys so partial runs — e.g. CI
+    jobs running a single module — still leave every other module's
+    numbers in place.
+    """
+    payload: dict = {"schema": 1, "cpu_count": os.cpu_count()}
+    if _BENCH_PERF_PATH.exists():
+        try:
+            payload = json.loads(_BENCH_PERF_PATH.read_text())
+        except ValueError:
+            pass
+    payload.update(meta)
+    merged = dict(payload.get("results", {}))
+    merged.update(results)
+    payload["results"] = {key: merged[key] for key in sorted(merged)}
+    _BENCH_PERF_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture

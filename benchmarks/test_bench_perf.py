@@ -28,7 +28,7 @@ import time
 from pathlib import Path
 from typing import Dict
 
-from conftest import bench_duration, bench_seeds, bench_workers
+from conftest import bench_duration, bench_seeds, bench_workers, merge_perf_results
 
 from repro.core.schedule import OperationMode
 from repro.experiments.common import run_town_trial
@@ -53,15 +53,12 @@ def _record(name: str, **fields) -> None:
 
 
 def _persist() -> None:
-    payload = {
-        "schema": 1,
-        "cpu_count": os.cpu_count(),
-        "bench_seeds": len(bench_seeds()),
-        "bench_duration_s": _duration(),
-        "bench_workers": bench_workers(),
-        "results": {k: _PERF[k] for k in sorted(_PERF)},
-    }
-    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    merge_perf_results(
+        _PERF,
+        bench_seeds=len(bench_seeds()),
+        bench_duration_s=_duration(),
+        bench_workers=bench_workers(),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,7 @@ from .experiments import (
     fig14_join_timeouts,
     fig15_join_policies,
     fig16_17_usability,
+    fault_sweep,
     fleet,
     speed_sweep,
     table1_switch_latency,
@@ -58,6 +59,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "table4": table4_channels.main,
     "density": ap_density.main,
     "speed-sweep": speed_sweep.main,
+    "fault-sweep": fault_sweep.main,
     "fleet": fleet.main,
     "knapsack": appendix_knapsack.main,
 }

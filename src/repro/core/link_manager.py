@@ -13,7 +13,12 @@ The LMM (§3.2.2) owns connection policy:
   after 30 consecutive misses, notifying the application layer through
   ``on_link_down`` (the paper's RAM-disk shared flag), and
 * it enforces the IP-collision rule: if two interfaces end up with the same
-  address, only the most recently assigned one is kept.
+  address, only the most recently assigned one is kept, and
+* it hardens against misbehaving infrastructure: repeated failures against
+  one AP earn exponentially longer blacklist terms (decaying after a quiet
+  period), a DHCP NAK invalidates the cached lease immediately, and a fully
+  disconnected client paroles the least-recently-failed AP rather than
+  sitting out an inflated term with zero links.
 
 Timeout handling follows §2.2.1: with *default* timers a failed DHCP
 attempt idles the AP for 60 s; Spider's reduced-timer configurations retry
@@ -24,7 +29,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..sim import dhcp as dhcp_mod
 from ..sim import mac as mac_mod
@@ -68,6 +73,18 @@ class SpiderConfig:
     join_blacklist_s: float = 3.0
     #: Back-off after a liveness death (AP departed).
     dead_blacklist_s: float = 2.0
+    #: Consecutive failures against one AP inflate its blacklist term by
+    #: this factor per failure (1.0 disables exponential backoff).
+    blacklist_backoff: float = 2.0
+    #: Ceiling on a backoff-inflated blacklist term.  Never applied below
+    #: the base duration, so a long deliberate idle (stock 60 s) survives.
+    blacklist_cap_s: float = 30.0
+    #: A failure streak is forgotten after this long without a new failure.
+    blacklist_decay_s: float = 60.0
+    #: When fully disconnected and every visible AP is blacklisted, parole
+    #: the entry that has served its base term — backoff inflation should
+    #: never strand a client with zero links.
+    parole_when_disconnected: bool = True
     lmm_tick_s: float = 0.25
     #: 'utility' (Spider), 'rssi', or 'random' — the ablation axis.
     selection_policy: str = "utility"
@@ -166,8 +183,17 @@ class _JoinPipeline:
             cached=cached,
             on_success=self._on_leased,
             on_failure=self._on_dhcp_failed,
+            on_nak=self._on_nak,
         )
         self._dhcp.start()
+
+    def _on_nak(self) -> None:
+        if self.cancelled:
+            return
+        self.attempt.nak_received = True
+        # The server refused the binding we asked for; whatever we remembered
+        # for this AP is stale regardless of how the attempt ends.
+        self.manager.lease_cache.invalidate(self.bssid)
 
     def _on_dhcp_failed(self, reason: str) -> None:
         if self.cancelled:
@@ -265,6 +291,11 @@ class LinkManager:
         self.lease_cache = dhcp_mod.LeaseCache(sim)
         self.join_log = JoinLog()
         self._blacklist: Dict[str, float] = {}
+        #: When each blacklisted AP finishes its *base* (un-inflated) term —
+        #: the point at which a disconnected client may parole it.
+        self._blacklist_base_end: Dict[str, float] = {}
+        #: bssid -> (consecutive failures, time of the last one).
+        self._fail_streak: Dict[str, Tuple[int, float]] = {}
         self._in_use: Set[str] = set()
         self._pipelines: Dict[int, _JoinPipeline] = {}
         self._links: Dict[int, _EstablishedLink] = {}
@@ -305,6 +336,7 @@ class LinkManager:
         stale = [b for b, until in self._blacklist.items() if until <= now]
         for bssid in stale:
             del self._blacklist[bssid]
+            self._blacklist_base_end.pop(bssid, None)
         idle = [
             iface
             for iface in self.nic.interfaces
@@ -318,12 +350,43 @@ class LinkManager:
         if not candidates:
             return
         exclude = self._in_use | set(self._blacklist)
+        started = False
         for iface in idle:
             chosen = self._choose(candidates, exclude)
             if chosen is None:
                 break
             exclude.add(chosen.bssid)
             self._start_join(iface, chosen)
+            started = True
+        if started or self._links or self._pipelines:
+            return
+        self._maybe_parole(idle[0], candidates, now)
+
+    def _maybe_parole(
+        self, iface: VirtualInterface, candidates: List[ScanEntry], now: float
+    ) -> None:
+        """Fully disconnected with every candidate blacklisted: retry early.
+
+        Exponential backoff must not strand a client — once a blacklisted
+        AP has served its base (un-inflated) term, the inflation is waived
+        and a join is attempted.  The failure streak is kept, so another
+        failure re-blacklists with a longer term again.
+        """
+        if not self.config.parole_when_disconnected:
+            return
+        eligible = [
+            e
+            for e in candidates
+            if e.bssid in self._blacklist
+            and now >= self._blacklist_base_end.get(e.bssid, 0.0)
+        ]
+        if not eligible:
+            return
+        entry = min(eligible, key=lambda e: (self._blacklist[e.bssid], e.bssid))
+        del self._blacklist[entry.bssid]
+        self._blacklist_base_end.pop(entry.bssid, None)
+        logger.debug("paroling blacklisted %s at t=%.1f", entry.bssid, now)
+        self._start_join(iface, entry)
 
     def _choose(self, candidates: List[ScanEntry], exclude: Set[str]) -> Optional[ScanEntry]:
         policy = self.config.selection_policy
@@ -346,18 +409,47 @@ class LinkManager:
         pipeline.start()
 
     # ------------------------------------------------------------------
+    # Blacklisting with exponential backoff
+    # ------------------------------------------------------------------
+    def _current_streak(self, bssid: str) -> int:
+        record = self._fail_streak.get(bssid)
+        if record is None:
+            return 0
+        count, last_fail = record
+        if self.sim.now - last_fail >= self.config.blacklist_decay_s:
+            del self._fail_streak[bssid]
+            return 0
+        return count
+
+    def _next_blacklist_s(self, bssid: str, base_s: float) -> float:
+        """Blacklist term the next failure against ``bssid`` would earn."""
+        cfg = self.config
+        duration = base_s * (cfg.blacklist_backoff ** self._current_streak(bssid))
+        return min(duration, max(cfg.blacklist_cap_s, base_s))
+
+    def _blacklist_ap(self, bssid: str, base_s: float) -> None:
+        """Record a failure and blacklist with a backoff-inflated term."""
+        now = self.sim.now
+        duration = self._next_blacklist_s(bssid, base_s)
+        self._fail_streak[bssid] = (self._current_streak(bssid) + 1, now)
+        if base_s > 0:
+            self._blacklist[bssid] = now + duration
+            self._blacklist_base_end[bssid] = now + base_s
+
+    # ------------------------------------------------------------------
     # Pipeline callbacks
     # ------------------------------------------------------------------
     def _join_finished(self, pipeline: _JoinPipeline, outcome: str, blacklist_s: float) -> None:
         """A pipeline ended short of full success."""
         self.tracker.record(pipeline.bssid, outcome)
-        self._blacklist[pipeline.bssid] = self.sim.now + blacklist_s
+        self._blacklist_ap(pipeline.bssid, blacklist_s)
         self._in_use.discard(pipeline.bssid)
         self._pipelines.pop(pipeline.iface.index, None)
         pipeline.iface.reset_binding()
 
     def _join_succeeded(self, pipeline: _JoinPipeline) -> None:
         self.tracker.record(pipeline.bssid, JoinOutcome.VERIFIED)
+        self._fail_streak.pop(pipeline.bssid, None)
         self._pipelines.pop(pipeline.iface.index, None)
         iface = pipeline.iface
         iface.routable = True
@@ -402,6 +494,6 @@ class LinkManager:
         if iface.bssid is not None:
             iface.send_mgmt(FrameKind.DISASSOC, iface.bssid)
             if blacklist_s > 0:
-                self._blacklist[iface.bssid] = self.sim.now + blacklist_s
+                self._blacklist_ap(iface.bssid, blacklist_s)
             self._in_use.discard(iface.bssid)
         iface.reset_binding()

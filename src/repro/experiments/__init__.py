@@ -23,6 +23,7 @@ from . import (
     fig14_join_timeouts,
     fig15_join_policies,
     fig16_17_usability,
+    fault_sweep,
     fleet,
     speed_sweep,
     table1_switch_latency,
@@ -49,6 +50,7 @@ __all__ = [
     "fig14_join_timeouts",
     "fig15_join_policies",
     "fig16_17_usability",
+    "fault_sweep",
     "fleet",
     "speed_sweep",
     "table1_switch_latency",

@@ -18,11 +18,13 @@ factories silently fall back to serial execution.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from ..runner import TrialJob, run_jobs
+from ..runner import TrialJob, TrialResult, run_jobs, unwrap_all
 from ..sim.engine import Simulator
+from ..sim.faults import FaultPlan, install_faults
 from ..sim.metrics import JoinLog
 from ..sim.mobility import MobilityModel
 from ..sim.world import World
@@ -37,6 +39,8 @@ __all__ = [
     "run_town_trial_spec",
     "run_town_trials",
     "run_town_trial_specs",
+    "run_town_trial_envelopes",
+    "salvage_town_trials",
     "DEFAULT_TRIAL_DURATION_S",
     "DEFAULT_VEHICLE_SPEED_MPS",
 ]
@@ -75,14 +79,22 @@ def run_town_trial(
     duration_s: float = DEFAULT_TRIAL_DURATION_S,
     town: Union[str, TownConfig, None] = "amherst",
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
+    faults: Optional[FaultPlan] = None,
 ) -> TownRunMetrics:
-    """Build a town, drive one client around it, and collect metrics."""
+    """Build a town, drive one client around it, and collect metrics.
+
+    ``faults`` installs a :class:`~repro.sim.faults.FaultPlan` against the
+    town's infrastructure before the client starts; ``None`` (or an empty
+    plan) leaves the run untouched — and consumes zero extra randomness, so
+    fault-free metrics are unchanged by the subsystem's existence.
+    """
     sim = Simulator(seed=seed)
     if isinstance(town, TownConfig):
         instance = build_town(sim, config=town)
     else:
         instance = build_town(sim, preset=town or "amherst")
     mobility = instance.make_vehicle_mobility(speed_mps)
+    install_faults(sim, instance.world, faults)
     client = factory(sim, instance.world, mobility)
     client.start()
     sim.run(until=duration_s)
@@ -168,6 +180,7 @@ class TownTrialSpec:
     duration_s: float = DEFAULT_TRIAL_DURATION_S
     town: Union[str, TownConfig, None] = "amherst"
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS
+    faults: Optional[FaultPlan] = None
 
 
 def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
@@ -179,24 +192,62 @@ def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
         duration_s=spec.duration_s,
         town=spec.town,
         speed_mps=spec.speed_mps,
+        faults=spec.faults,
     )
+
+
+def run_town_trial_envelopes(
+    specs: Sequence[TownTrialSpec],
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> List[TrialResult]:
+    """Fan trial specs across workers; envelopes in spec order.
+
+    This is the shared fan-out for every multi-trial experiment: callers
+    flatten their whole ``config x seed`` grid into one batch so the pool
+    balances across all of it, then regroup the ordered results.  Each
+    envelope's ``tag`` is ``(label, seed)``; failed trials come back as
+    ``ok=False`` without disturbing their siblings.
+    """
+    jobs = [
+        TrialJob(run_town_trial_spec, (spec,), tag=(spec.label, spec.seed))
+        for spec in specs
+    ]
+    return run_jobs(jobs, workers=workers, timeout_s=timeout_s, retries=retries)
 
 
 def run_town_trial_specs(
     specs: Sequence[TownTrialSpec],
     workers: Optional[int] = None,
 ) -> List[TownRunMetrics]:
-    """Fan a batch of trial specs across workers; results in spec order.
+    """Strict fan-out: metrics in spec order, or :class:`TrialError`.
 
-    This is the shared fan-out for every multi-trial experiment: callers
-    flatten their whole ``config x seed`` grid into one batch so the pool
-    balances across all of it, then regroup the ordered results.
+    Use :func:`run_town_trial_envelopes` plus :func:`salvage_town_trials`
+    when partial results are worth keeping.
     """
-    jobs = [
-        TrialJob(run_town_trial_spec, (spec,), tag=(spec.label, spec.seed))
-        for spec in specs
-    ]
-    return run_jobs(jobs, workers=workers)
+    return unwrap_all(run_town_trial_envelopes(specs, workers=workers))
+
+
+def salvage_town_trials(
+    specs: Sequence[TownTrialSpec],
+    envelopes: Sequence[TrialResult],
+) -> List[Tuple[TownTrialSpec, TownRunMetrics]]:
+    """Pair each successful envelope with its spec, warning per failure.
+
+    Suites aggregate whatever completed instead of losing an overnight run
+    to one bad trial; the warning keeps the loss visible in logs.
+    """
+    kept: List[Tuple[TownTrialSpec, TownRunMetrics]] = []
+    for spec, result in zip(specs, envelopes):
+        if result.ok:
+            kept.append((spec, result.value))
+        else:
+            warnings.warn(
+                f"dropping trial {result.tag!r} after {result.attempts} "
+                f"attempt(s): {result.error}"
+            )
+    return kept
 
 
 def run_town_trials(

@@ -116,10 +116,10 @@ def run(
         for size in fleet_sizes
         for seed in seeds
     ]
-    fleet_rows = run_jobs(jobs, workers=workers)
+    envelopes = run_jobs(jobs, workers=workers)
     by_size: dict = {}
-    for job, row in zip(jobs, fleet_rows):
-        by_size.setdefault(job.tag[0], []).append(row)
+    for job, result in zip(jobs, envelopes):
+        by_size.setdefault(job.tag[0], []).append(result.unwrap())
     rows = []
     for size in fleet_sizes:
         per_seed = by_size[size]

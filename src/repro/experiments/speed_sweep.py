@@ -22,7 +22,12 @@ from typing import Optional
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS
-from .common import AggregatedMetrics, TownTrialSpec, run_town_trial_specs
+from .common import (
+    AggregatedMetrics,
+    TownTrialSpec,
+    run_town_trial_envelopes,
+    salvage_town_trials,
+)
 from .town_runs import spider_factory
 
 __all__ = ["SpeedSweepResult", "run", "main"]
@@ -97,15 +102,16 @@ def run(
         for speed, name, mode in grid
         for seed in seeds
     ]
-    trials = run_town_trial_specs(specs, workers=workers)
+    envelopes = run_town_trial_envelopes(specs, workers=workers)
     per_label: Dict[str, AggregatedMetrics] = {}
-    for spec, trial in zip(specs, trials):
+    for spec, trial in salvage_town_trials(specs, envelopes):
         per_label.setdefault(
             spec.label, AggregatedMetrics(label=spec.label, trials=[])
         ).trials.append(trial)
     series: Dict[str, List[Tuple[float, float]]] = {name: [] for name in POLICIES}
     for speed, name, _mode in grid:
-        metrics = per_label[f"{name}@{speed}"]
+        label = f"{name}@{speed}"
+        metrics = per_label.get(label, AggregatedMetrics(label=label, trials=[]))
         series[name].append(
             (metrics.average_throughput_kBps, metrics.connectivity_pct)
         )

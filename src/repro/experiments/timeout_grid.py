@@ -15,7 +15,12 @@ from typing import Dict, Optional, Sequence
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS, SpiderClient
-from .common import AggregatedMetrics, TownTrialSpec, run_town_trial_specs
+from .common import (
+    AggregatedMetrics,
+    TownTrialSpec,
+    run_town_trial_envelopes,
+    salvage_town_trials,
+)
 
 __all__ = ["TimeoutConfig", "run_grid", "STANDARD_GRID"]
 
@@ -121,9 +126,9 @@ def run_grid(
         for label in selected
         for seed in seeds
     ]
-    trials = run_town_trial_specs(specs, workers=workers)
+    envelopes = run_town_trial_envelopes(specs, workers=workers)
     results: Dict[str, AggregatedMetrics] = {}
-    for spec, trial in zip(specs, trials):
+    for spec, trial in salvage_town_trials(specs, envelopes):
         results.setdefault(
             spec.label, AggregatedMetrics(label=spec.label, trials=[])
         ).trials.append(trial)

@@ -23,7 +23,8 @@ from .common import (
     AggregatedMetrics,
     ClientFactory,
     TownTrialSpec,
-    run_town_trial_specs,
+    run_town_trial_envelopes,
+    salvage_town_trials,
 )
 
 __all__ = [
@@ -194,9 +195,9 @@ def run_configuration_suite(
         for label, (factory, town) in factories.items()
         for seed in seeds
     ]
-    trials = run_town_trial_specs(specs, workers=workers)
+    envelopes = run_town_trial_envelopes(specs, workers=workers)
     results: Dict[str, AggregatedMetrics] = {}
-    for spec, trial in zip(specs, trials):
+    for spec, trial in salvage_town_trials(specs, envelopes):
         results.setdefault(
             spec.label, AggregatedMetrics(label=spec.label, trials=[])
         ).trials.append(trial)

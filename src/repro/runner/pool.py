@@ -12,6 +12,15 @@ out to a pool of worker processes and the results are merged back in
 **submission order**, never completion order, so a parallel run is
 bit-identical to the serial one.
 
+Every job comes back wrapped in a :class:`TrialResult` envelope: one trial
+raising, crashing its worker, or hanging past the per-trial timeout no
+longer aborts the whole suite.  Failed trials can be retried
+(``REPRO_TRIAL_RETRIES``), hung trials are killed after
+``REPRO_TRIAL_TIMEOUT`` seconds, and a crashed worker (which breaks the
+whole pool without saying whose job did it) triggers isolation re-runs —
+each unfinished job alone in a fresh single-worker pool — so blame lands on
+exactly the trial that crashed, never on an innocent sibling.
+
 Worker-count resolution (first match wins):
 
 1. an explicit ``workers=`` argument (``0`` means "all cores"),
@@ -20,26 +29,54 @@ Worker-count resolution (first match wins):
 
 Serial execution short-circuits the pool entirely — no processes, no
 pickling — so ``workers=1`` (or an unset environment) behaves exactly like
-the historical in-process loop.  Jobs that cannot be pickled (e.g. ad-hoc
-lambda factories from a notebook) also degrade to the serial path rather
-than failing.
+the historical in-process loop; exceptions are still enveloped and retried,
+but timeouts are not enforced (there is no process to kill) and a hard
+crash takes the parent down with it.  Jobs that cannot be pickled (e.g.
+ad-hoc lambda factories from a notebook) also degrade to the serial path
+rather than failing.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import multiprocessing
 
-__all__ = ["TrialJob", "resolve_workers", "run_jobs", "WORKERS_ENV"]
+__all__ = [
+    "TrialJob",
+    "TrialResult",
+    "TrialError",
+    "resolve_workers",
+    "resolve_trial_timeout",
+    "resolve_trial_retries",
+    "run_jobs",
+    "unwrap_all",
+    "WORKERS_ENV",
+    "TIMEOUT_ENV",
+    "RETRIES_ENV",
+]
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
+#: Per-trial wall-clock timeout in seconds (unset/0 disables).
+TIMEOUT_ENV = "REPRO_TRIAL_TIMEOUT"
+#: How many times a failed/crashed/hung trial is re-run before giving up.
+RETRIES_ENV = "REPRO_TRIAL_RETRIES"
+
+#: Poll interval while waiting for a future to start running (seconds).
+_RUNNING_POLL_S = 0.005
+
+
+class TrialError(RuntimeError):
+    """A trial (or a suite of trials) failed and the caller demanded values."""
 
 
 @dataclass(frozen=True)
@@ -63,11 +100,50 @@ class TrialJob:
         return self.fn(*self.args, **dict(self.kwargs))
 
 
+@dataclass(frozen=True)
+class TrialResult:
+    """The envelope one job comes back in: value or diagnosis, never both.
+
+    ``attempts`` counts every execution charged to this job, including the
+    final one.  A job that was merely rescheduled because a *sibling* hung
+    or crashed is not charged — innocent reruns are free.
+    """
+
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    tag: Any = None
+
+    def unwrap(self) -> Any:
+        """The trial's value, or :class:`TrialError` if it failed."""
+        if not self.ok:
+            raise TrialError(
+                f"trial {self.tag!r} failed after {self.attempts} attempt(s): "
+                f"{self.error}"
+            )
+        return self.value
+
+
+def unwrap_all(results: Sequence[TrialResult]) -> List[Any]:
+    """Values of all trials, or one :class:`TrialError` naming every failure."""
+    failures = [r for r in results if not r.ok]
+    if failures:
+        shown = "; ".join(f"{r.tag!r}: {r.error}" for r in failures[:5])
+        more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+        raise TrialError(
+            f"{len(failures)}/{len(results)} trials failed: {shown}{more}"
+        )
+    return [r.value for r in results]
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Turn an explicit/env worker request into a concrete count (>= 1).
 
     ``None`` defers to ``REPRO_WORKERS``; ``0`` (explicit or in the
-    environment) means "one worker per core".
+    environment) means "one worker per core".  Out-of-range requests are
+    clamped with a warning rather than raising — a bad environment variable
+    should never kill an overnight suite.
     """
     if workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
@@ -79,10 +155,63 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             warnings.warn(f"ignoring non-integer {WORKERS_ENV}={env!r}")
             return 1
     if workers < 0:
-        raise ValueError(f"workers must be >= 0: {workers!r}")
+        warnings.warn(f"clamping negative worker count {workers!r} to 1")
+        return 1
     if workers == 0:
         workers = os.cpu_count() or 1
-    return max(1, workers)
+    ceiling = max(32, 4 * (os.cpu_count() or 1))
+    if workers > ceiling:
+        warnings.warn(f"clamping worker count {workers!r} to {ceiling}")
+        return ceiling
+    return workers
+
+
+def resolve_trial_timeout(timeout_s: Optional[float] = None) -> Optional[float]:
+    """Per-trial timeout in seconds, or ``None`` when disabled.
+
+    ``None`` defers to ``REPRO_TRIAL_TIMEOUT``; ``0`` (explicit or in the
+    environment) disables the timeout.  Garbage values warn and disable.
+    """
+    if timeout_s is None:
+        env = os.environ.get(TIMEOUT_ENV, "").strip()
+        if not env:
+            return None
+        try:
+            timeout_s = float(env)
+        except ValueError:
+            warnings.warn(f"ignoring non-numeric {TIMEOUT_ENV}={env!r}")
+            return None
+    if timeout_s < 0:
+        warnings.warn(f"ignoring negative trial timeout {timeout_s!r}")
+        return None
+    if timeout_s == 0:
+        return None
+    return float(timeout_s)
+
+
+def resolve_trial_retries(retries: Optional[int] = None) -> int:
+    """How many re-runs a failed trial gets (>= 0).
+
+    ``None`` defers to ``REPRO_TRIAL_RETRIES`` (default 0).  Garbage or
+    negative values warn and fall back to 0.
+    """
+    if retries is None:
+        env = os.environ.get(RETRIES_ENV, "").strip()
+        if not env:
+            return 0
+        try:
+            retries = int(env)
+        except ValueError:
+            warnings.warn(f"ignoring non-integer {RETRIES_ENV}={env!r}")
+            return 0
+    if retries < 0:
+        warnings.warn(f"clamping negative retry count {retries!r} to 0")
+        return 0
+    return retries
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
 
 
 def _execute(payload: bytes) -> bytes:
@@ -104,24 +233,261 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def _wait_until_running(future) -> None:
+    """Block until a future is actually executing (or already settled).
+
+    ``Future.result(timeout=...)`` measures from *now*, so waiting for the
+    running state first makes the timeout bound a job's execution rather
+    than its time in the queue behind slow siblings.
+    """
+    while not (future.running() or future.done()):
+        time.sleep(_RUNNING_POLL_S)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool whose worker is stuck mid-job (no graceful path)."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _run_serial(jobs: Sequence[TrialJob], retries: int) -> List[TrialResult]:
+    results = []
+    for job in jobs:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                value = job.run()
+            except Exception as exc:
+                if attempts <= retries:
+                    continue
+                results.append(
+                    TrialResult(
+                        ok=False, error=_describe(exc), attempts=attempts, tag=job.tag
+                    )
+                )
+                break
+            results.append(
+                TrialResult(ok=True, value=value, attempts=attempts, tag=job.tag)
+            )
+            break
+    return results
+
+
+def _run_isolated(
+    job: TrialJob, payload: bytes, timeout_s: Optional[float]
+) -> TrialResult:
+    """Run one job alone in a fresh single-worker pool.
+
+    With the job isolated, a broken pool is an unambiguous diagnosis: *this*
+    trial crashed its worker.  The returned envelope carries ``attempts=1``;
+    the caller folds it into the job's running total.
+    """
+    pool = ProcessPoolExecutor(max_workers=1, mp_context=_pool_context())
+    try:
+        future = pool.submit(_execute, payload)
+        try:
+            if timeout_s is not None:
+                _wait_until_running(future)
+                raw = future.result(timeout=timeout_s)
+            else:
+                raw = future.result()
+        except FuturesTimeoutError as exc:
+            if timeout_s is None:  # the job itself raised a TimeoutError
+                return TrialResult(ok=False, error=_describe(exc), tag=job.tag)
+            _kill_pool(pool)
+            return TrialResult(
+                ok=False, error=f"timed out after {timeout_s:.6g}s", tag=job.tag
+            )
+        except BrokenProcessPool:
+            return TrialResult(
+                ok=False, error="worker process died (crash/OOM)", tag=job.tag
+            )
+        except Exception as exc:
+            return TrialResult(ok=False, error=_describe(exc), tag=job.tag)
+        return TrialResult(ok=True, value=pickle.loads(raw), tag=job.tag)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_round(
+    jobs: Sequence[TrialJob],
+    payloads: Sequence[bytes],
+    count: int,
+    timeout_s: Optional[float],
+    retries: int,
+    results: List[Optional[TrialResult]],
+    attempts: List[int],
+    pending: Sequence[int],
+) -> Tuple[List[int], Set[int]]:
+    """One pool pass over ``pending`` job indices.
+
+    Harvests futures in submission order; under the executor's FIFO
+    scheduling the future being waited on is always running, so
+    ``result(timeout=...)`` bounds that job's own execution.  Returns the
+    indices still unfinished plus the subset that must re-run in isolation
+    (a broken pool hides which job crashed it).
+    """
+    retry: List[int] = []
+    isolate: Set[int] = set()
+    pool = ProcessPoolExecutor(
+        max_workers=min(count, len(pending)), mp_context=_pool_context()
+    )
+    try:
+        futures = {i: pool.submit(_execute, payloads[i]) for i in pending}
+        aborted = False
+        pool_broken = False
+        for i in pending:
+            future = futures[i]
+            if aborted:
+                # The pool is gone: salvage buffered successes, requeue the
+                # rest free of charge (they were never proven guilty).
+                if future.done():
+                    try:
+                        raw = future.result()
+                    except Exception:
+                        retry.append(i)
+                        if pool_broken:
+                            isolate.add(i)
+                        continue
+                    attempts[i] += 1
+                    results[i] = TrialResult(
+                        ok=True,
+                        value=pickle.loads(raw),
+                        attempts=attempts[i],
+                        tag=jobs[i].tag,
+                    )
+                else:
+                    retry.append(i)
+                    if pool_broken:
+                        isolate.add(i)
+                continue
+            try:
+                if timeout_s is not None and not future.done():
+                    _wait_until_running(future)
+                    raw = future.result(timeout=timeout_s)
+                else:
+                    raw = future.result()
+            except FuturesTimeoutError as exc:
+                attempts[i] += 1
+                if timeout_s is None:  # the job itself raised a TimeoutError
+                    message = _describe(exc)
+                else:
+                    message = f"timed out after {timeout_s:.6g}s"
+                    _kill_pool(pool)
+                    aborted = True
+                if attempts[i] <= retries:
+                    retry.append(i)
+                else:
+                    results[i] = TrialResult(
+                        ok=False, error=message, attempts=attempts[i], tag=jobs[i].tag
+                    )
+                continue
+            except BrokenProcessPool:
+                # A worker died but FIFO scheduling does not say whose job
+                # killed it — charge no one; isolation runs will pinpoint
+                # the crasher without smearing blame onto siblings.
+                aborted = True
+                pool_broken = True
+                retry.append(i)
+                isolate.add(i)
+                continue
+            except Exception as exc:
+                attempts[i] += 1
+                if attempts[i] <= retries:
+                    retry.append(i)
+                else:
+                    results[i] = TrialResult(
+                        ok=False,
+                        error=_describe(exc),
+                        attempts=attempts[i],
+                        tag=jobs[i].tag,
+                    )
+                continue
+            attempts[i] += 1
+            results[i] = TrialResult(
+                ok=True, value=pickle.loads(raw), attempts=attempts[i], tag=jobs[i].tag
+            )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return retry, isolate
+
+
+def _run_parallel(
+    jobs: Sequence[TrialJob],
+    payloads: Sequence[bytes],
+    count: int,
+    timeout_s: Optional[float],
+    retries: int,
+) -> List[TrialResult]:
+    total = len(jobs)
+    results: List[Optional[TrialResult]] = [None] * total
+    attempts = [0] * total
+    pending: List[int] = list(range(total))
+    isolate: Set[int] = set()
+    while pending:
+        if isolate:
+            still_pending: List[int] = []
+            next_isolate: Set[int] = set()
+            for i in pending:
+                if i not in isolate:
+                    still_pending.append(i)
+                    continue
+                outcome = _run_isolated(jobs[i], payloads[i], timeout_s)
+                attempts[i] += 1
+                if outcome.ok or attempts[i] > retries:
+                    results[i] = TrialResult(
+                        ok=outcome.ok,
+                        value=outcome.value,
+                        error=outcome.error,
+                        attempts=attempts[i],
+                        tag=jobs[i].tag,
+                    )
+                else:
+                    # A crasher stays isolated: re-running it inside a shared
+                    # pool would break the pool again and stall siblings.
+                    still_pending.append(i)
+                    next_isolate.add(i)
+            pending, isolate = still_pending, next_isolate
+            continue
+        pending, isolate = _run_round(
+            jobs, payloads, count, timeout_s, retries, results, attempts, pending
+        )
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
 def run_jobs(
     jobs: Sequence[TrialJob],
     workers: Optional[int] = None,
-) -> List[Any]:
-    """Run jobs, returning their results in **submission order**.
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> List[TrialResult]:
+    """Run jobs, returning :class:`TrialResult` envelopes in submission order.
 
     The deterministic merge is the contract callers rely on: submit jobs
     sorted by ``(config, seed)`` and the result list lines up regardless of
     which worker finished first.  With one worker (or one job) the pool is
     bypassed entirely.
+
+    A raising, crashing, or hung trial yields ``TrialResult(ok=False, ...)``
+    for exactly that trial; siblings still complete and their values are
+    bit-identical to a fault-free run.  ``timeout_s``/``retries`` default to
+    the ``REPRO_TRIAL_TIMEOUT``/``REPRO_TRIAL_RETRIES`` environment knobs.
+    Timeouts require worker processes, so the serial path does not enforce
+    them.
     """
     jobs = list(jobs)
     if not jobs:
         return []
-    count = resolve_workers(workers)
-    count = min(count, len(jobs))
+    count = min(resolve_workers(workers), len(jobs))
+    timeout = resolve_trial_timeout(timeout_s)
+    tries = resolve_trial_retries(retries)
     if count <= 1:
-        return [job.run() for job in jobs]
+        return _run_serial(jobs, tries)
 
     try:
         payloads = [
@@ -131,10 +497,5 @@ def run_jobs(
         warnings.warn(
             f"trial jobs are not picklable ({exc!r}); running serially"
         )
-        return [job.run() for job in jobs]
-
-    with ProcessPoolExecutor(
-        max_workers=count, mp_context=_pool_context()
-    ) as pool:
-        futures = [pool.submit(_execute, payload) for payload in payloads]
-        return [pickle.loads(future.result()) for future in futures]
+        return _run_serial(jobs, tries)
+    return _run_parallel(jobs, payloads, count, timeout, tries)

@@ -25,6 +25,19 @@ from .dhcp import DhcpClient, DhcpServer, LeaseCache
 from .ap import AccessPoint, BackhaulLink
 from .tcp import TcpParams, TcpReceiver, TcpSender
 from .world import ServerHost, World
+from .faults import (
+    ApFlap,
+    ApOutage,
+    BurstyLoss,
+    DhcpNakBurst,
+    DhcpStall,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottLoss,
+    LeaseExhaustion,
+    RandomOutages,
+    install_faults,
+)
 from .traffic import ClientFlow, LivenessMonitor, PingService
 from .metrics import JoinAttempt, JoinLog, ThroughputRecorder, segment_lengths
 from .tracing import FrameTrace, TraceRecord
@@ -64,6 +77,17 @@ __all__ = [
     "TcpSender",
     "ServerHost",
     "World",
+    "ApFlap",
+    "ApOutage",
+    "BurstyLoss",
+    "DhcpNakBurst",
+    "DhcpStall",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliottLoss",
+    "LeaseExhaustion",
+    "RandomOutages",
+    "install_faults",
     "ClientFlow",
     "LivenessMonitor",
     "PingService",

@@ -124,6 +124,10 @@ class AccessPoint:
         self.clients: Dict[str, _ClientState] = {}
         self.frames_dropped_unassociated = 0
         self.frames_dropped_psm_overflow = 0
+        self.beacon_period_s = beacon_period_s
+        #: Set while the AP is powered off by fault injection.
+        self.failed = False
+        self.failures = 0
         self._beacons = PeriodicProcess(
             sim,
             beacon_period_s,
@@ -167,6 +171,40 @@ class AccessPoint:
     def stop(self) -> None:
         """Stop beaconing (teardown helper for tests)."""
         self._beacons.stop()
+
+    # ------------------------------------------------------------------
+    # Fault injection: power cycling
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Power the AP off: no beacons, no reception, association state lost.
+
+        DHCP server-side lease bindings survive (they live in the server's
+        persistent store in real deployments), which is exactly what makes
+        client-side lease caches pay off across a power cycle.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.failures += 1
+        self._beacons.stop()
+        self.medium.unregister(self.bssid)
+        self.clients.clear()
+
+    def recover(self) -> None:
+        """Power the AP back on with a fresh beacon phase."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.medium.register(self)
+        # PeriodicProcess cannot restart; a recovered AP beacons anew with a
+        # phase drawn from the shared beacon stream (a reboot re-randomizes
+        # the beacon timing in real hardware too).
+        self._beacons = PeriodicProcess(
+            self.sim,
+            self.beacon_period_s,
+            self._send_beacon,
+            phase=self.sim.rng("beacon.phase").uniform(0, self.beacon_period_s),
+        )
 
     # ------------------------------------------------------------------
     # Frame reception

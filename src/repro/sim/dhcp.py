@@ -99,6 +99,30 @@ class DhcpServer:
         self.offers_sent = 0
         self.acks_sent = 0
         self.naks_sent = 0
+        # Fault-injection windows (absolute sim times; 0 = inactive).
+        self.offline_until = 0.0
+        self.nak_until = 0.0
+        self.exhausted_until = 0.0
+        self.requests_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Fault-injection windows
+    # ------------------------------------------------------------------
+    def stall(self, until_s: float) -> None:
+        """Drop every message until ``until_s`` (upstream relay outage)."""
+        self.offline_until = max(self.offline_until, until_s)
+
+    def force_nak(self, until_s: float) -> None:
+        """NAK every REQUEST until ``until_s``, forgetting the binding.
+
+        Models a server that lost its lease database: the stale binding a
+        client re-REQUESTs (cached or just-offered) is refused and purged.
+        """
+        self.nak_until = max(self.nak_until, until_s)
+
+    def exhaust(self, until_s: float) -> None:
+        """Refuse allocations to *new* clients until ``until_s``."""
+        self.exhausted_until = max(self.exhausted_until, until_s)
 
     # ------------------------------------------------------------------
     def _allocate(self, client_mac: str) -> Optional[str]:
@@ -107,6 +131,8 @@ class DhcpServer:
             return existing
         if len(self._leases) >= self.pool_size:
             return None
+        if self.sim.now < self.exhausted_until:
+            return None  # injected exhaustion: nothing for new clients
         ip = f"{self.subnet}.{self._next_host}"
         self._next_host += 1
         self._leases[client_mac] = ip
@@ -129,6 +155,9 @@ class DhcpServer:
         The AP supplies ``reply`` so that the server stays transport-
         agnostic (answers go back over the air through the AP).
         """
+        if self.sim.now < self.offline_until:
+            self.requests_dropped += 1
+            return  # stalled: a dead relay answers nothing at all
         if message.dhcp_type is DhcpType.DISCOVER:
             key = (message.client_mac, message.transaction_id)
             ready_at = self._ready_at.get(key)
@@ -153,6 +182,22 @@ class DhcpServer:
         elif message.dhcp_type is DhcpType.REQUEST:
             self._ready_at.pop((message.client_mac, message.transaction_id), None)
             requested = message.offered_ip
+            if self.sim.now < self.nak_until:
+                # Injected NAK burst: the lease database is gone.  Purge
+                # whatever binding the client thinks it has and refuse.
+                stale = self._leases.pop(message.client_mac, None)
+                if stale is not None:
+                    self._ips_in_use.pop(stale, None)
+                self.naks_sent += 1
+                reply(
+                    DhcpMessage(
+                        dhcp_type=DhcpType.NAK,
+                        transaction_id=message.transaction_id,
+                        client_mac=message.client_mac,
+                    ),
+                    self.ack_delay_s,
+                )
+                return
             valid = (
                 requested is not None
                 and self._ips_in_use.get(requested) == message.client_mac
@@ -254,6 +299,7 @@ class DhcpClient:
         cached: Optional[Lease] = None,
         on_success: Optional[Callable[[str, str, float, bool], None]] = None,
         on_failure: Optional[Callable[[str], None]] = None,
+        on_nak: Optional[Callable[[], None]] = None,
     ):
         if timeout_s <= 0 or attempt_budget_s <= 0:
             raise ValueError("timeout_s and attempt_budget_s must be positive")
@@ -265,6 +311,8 @@ class DhcpClient:
         self.cached = cached
         self.on_success = on_success
         self.on_failure = on_failure
+        self.on_nak = on_nak
+        self.naks_received = 0
         self.state = DhcpClientState.IDLE
         self.xid = next(_xids)
         self.started_at: Optional[float] = None
@@ -357,6 +405,9 @@ class DhcpClient:
             self._complete(message)
         elif message.dhcp_type is DhcpType.NAK and self.state is DhcpClientState.REQUESTING:
             # Cached address rejected: restart with a full DISCOVER.
+            self.naks_received += 1
+            if self.on_nak is not None:
+                self.on_nak()
             self.used_cache = False
             self._requested_ip = None
             self.state = DhcpClientState.SELECTING

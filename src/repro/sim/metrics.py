@@ -139,6 +139,7 @@ class JoinAttempt:
     verified: bool = False
     join_time_s: Optional[float] = None  # association + dhcp (Figs. 14/15)
     failure_reason: Optional[str] = None
+    nak_received: bool = False  # server refused a (cached) binding
 
     @property
     def dhcp_attempted(self) -> bool:
@@ -187,6 +188,41 @@ class JoinLog:
         if not reached:
             return math.nan
         return sum(not a.leased for a in reached) / len(reached)
+
+    def nak_count(self) -> int:
+        """Attempts during which the server NAKed a binding."""
+        return sum(a.nak_received for a in self.attempts)
+
+    def failure_breakdown(self) -> Dict[str, int]:
+        """Where attempts ended, Table 3-style.
+
+        Classifies by the recorded failure reason, so attempts still in
+        flight when the run ends land in ``incomplete`` rather than being
+        miscounted as failures.
+        """
+        out = {
+            "attempts": len(self.attempts),
+            "verified": 0,
+            "association_failed": 0,
+            "dhcp_failed": 0,
+            "verify_failed": 0,
+            "incomplete": 0,
+            "naks": 0,
+        }
+        for a in self.attempts:
+            if a.nak_received:
+                out["naks"] += 1
+            if a.verified:
+                out["verified"] += 1
+            elif a.failure_reason is None:
+                out["incomplete"] += 1
+            elif a.failure_reason.startswith("dhcp"):
+                out["dhcp_failed"] += 1
+            elif a.failure_reason.startswith("verify"):
+                out["verify_failed"] += 1
+            else:
+                out["association_failed"] += 1
+        return out
 
     def cache_hit_rate(self) -> float:
         """Fraction of successful leases served from cache."""

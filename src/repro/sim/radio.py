@@ -132,6 +132,9 @@ class Medium:
         # ``_reg_seq`` preserves registration order: candidates are visited
         # in that order so loss draws and callbacks consume randomness
         # exactly as the un-indexed implementation did.
+        # Optional bursty-loss override (Gilbert–Elliott chain installed by
+        # the fault injector).  None means the i.i.d. ``loss_rate`` applies.
+        self._bursty = None
         self._bin_m = max(range_m, 1.0)
         self._static_bins: Dict[Tuple[int, int, int], List[Station]] = {}
         self._static_where: Dict[str, Tuple[int, int, int]] = {}
@@ -196,10 +199,43 @@ class Medium:
         return base
 
     def delivery_loss_probability(self, frame: Frame) -> float:
-        """Residual loss probability after any link-layer retries."""
+        """Residual loss probability after any link-layer retries.
+
+        Reports the *stationary* (i.i.d. ``loss_rate``) figure; when a
+        bursty model is installed the delivery path evaluates the
+        time-varying rate via :meth:`_effective_loss` instead.
+        """
         if self._is_retried(frame):
             return self.loss_rate ** (1 + DATA_RETRY_LIMIT)
         return self.loss_rate
+
+    # ------------------------------------------------------------------
+    # Bursty-loss override (fault injection)
+    # ------------------------------------------------------------------
+    def set_bursty_loss(self, model) -> None:
+        """Route per-delivery loss through ``model.loss_rate_at(now)``.
+
+        ``airtime`` keeps using the stationary ``loss_rate`` (it models the
+        *average* retry cost); only the delivery coin-flip goes bursty.
+        """
+        self._bursty = model
+
+    def clear_bursty_loss(self) -> None:
+        """Return to the i.i.d. ``loss_rate`` model."""
+        self._bursty = None
+
+    @property
+    def bursty_loss(self):
+        """The installed bursty-loss model, if any."""
+        return self._bursty
+
+    def _effective_loss(self, frame: Frame) -> float:
+        if self._bursty is None:
+            return self.delivery_loss_probability(frame)
+        h = self._bursty.loss_rate_at(self.sim.now)
+        if self._is_retried(frame):
+            return h ** (1 + DATA_RETRY_LIMIT)
+        return h
 
     def channel_busy_until(self, channel: int) -> float:
         """Absolute time the channel's current transmissions end."""
@@ -262,7 +298,7 @@ class Medium:
             if distance > self.range_m:
                 continue
             receiver_reachable = True
-            if self._rng.random() < self.delivery_loss_probability(frame):
+            if self._rng.random() < self._effective_loss(frame):
                 self.frames_lost += 1
                 continue
             self.frames_delivered += 1

@@ -179,8 +179,13 @@ class StockClient:
             attempt_budget_s=self.dhcp_budget_s,
             on_success=lambda ip, gw, dt, cached: self._on_leased(entry, dt),
             on_failure=lambda reason: self._on_dhcp_failed(entry, reason),
+            on_nak=self._on_nak,
         )
         client.start()
+
+    def _on_nak(self) -> None:
+        if self._attempt is not None:
+            self._attempt.nak_received = True
 
     def _on_dhcp_failed(self, entry: ScanEntry, reason: str) -> None:
         """Default dhclient semantics: the *client* idles after a failure.

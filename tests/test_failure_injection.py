@@ -13,6 +13,7 @@ from repro.core.link_manager import LinkManager, SpiderConfig
 from repro.core.schedule import OperationMode
 from repro.core.spider import SpiderClient
 from repro.sim.engine import Simulator
+from repro.sim.faults import ApFlap, FaultPlan, install_faults
 from repro.sim.mobility import StaticPosition
 from repro.sim.nic import WifiNic
 from repro.sim.world import World
@@ -103,6 +104,122 @@ class TestDegradedMedium:
         for flow in client._flows.values():
             assert flow.receiver.bytes_delivered <= flow.sender.snd_nxt
             assert flow.receiver.rcv_nxt == flow.receiver.bytes_delivered
+
+
+class TestApFlapDuringJoin:
+    """A FaultPlan-driven flapping AP must not wedge the join pipeline."""
+
+    def test_flap_mid_join_recovers_cleanly(self, sim, world):
+        ap = make_lab_ap(world, dhcp_delay=0.5)
+        # First failure lands at t=0.5: mid-DHCP for the join that starts
+        # on the first LMM tick.  Three full down/up cycles, then stable.
+        install_faults(
+            sim,
+            world,
+            FaultPlan.of(
+                ApFlap(start_s=0.5, count=3, down_s=1.0, up_s=1.0, bssid=ap.bssid)
+            ),
+        )
+        client = spider_on(sim, world, num_interfaces=1)
+        sim.run(until=30.0)
+        assert ap.failures == 3 and not ap.failed
+        assert client.lmm.established_count == 1
+        assert not client.lmm._pipelines
+        assert any(a.failure_reason for a in client.join_log.attempts)
+
+    def test_flap_leaves_interfaces_consistent(self, sim, world):
+        ap = make_lab_ap(world, dhcp_delay=0.3)
+        install_faults(
+            sim,
+            world,
+            FaultPlan.of(
+                ApFlap(start_s=1.0, count=4, down_s=2.0, up_s=0.5, bssid=ap.bssid)
+            ),
+        )
+        client = spider_on(sim, world, num_interfaces=2)
+        sim.run(until=40.0)
+        bound = [iface for iface in client.nic.interfaces if iface.bound]
+        assert len(bound) == client.lmm.established_count == 1
+
+
+class TestNakInvalidatesLeaseCache:
+    def test_cached_lease_dropped_on_nak(self, sim, world):
+        ap = make_lab_ap(world)
+        client = spider_on(sim, world, num_interfaces=1)
+        sim.run(until=3.0)
+        lmm = client.lmm
+        assert lmm.established_count == 1
+        assert ap.bssid in lmm.lease_cache._cache  # lease remembered
+        # The server loses its lease database: every re-REQUEST is NAKed,
+        # so the remembered binding must be dropped, not retried forever.
+        ap.dhcp.force_nak(until_s=30.0)
+        ap.fail()
+        sim.schedule_at(4.0, ap.recover)
+        sim.run(until=12.0)
+        assert client.join_log.nak_count() > 0
+        assert ap.bssid not in lmm.lease_cache._cache
+
+
+class TestBlacklistBackoff:
+    def test_terms_inflate_geometrically_then_cap(self, sim, world):
+        lmm = spider_on(sim, world, num_interfaces=1).lmm
+        bssid = "aa:bb:cc"
+        assert lmm._next_blacklist_s(bssid, 2.0) == 2.0
+        for expected in (4.0, 8.0, 16.0, 30.0, 30.0):
+            lmm._blacklist_ap(bssid, 2.0)
+            assert lmm._next_blacklist_s(bssid, 2.0) == expected
+
+    def test_cap_never_reduces_a_long_base_term(self, sim, world):
+        # A stock client's deliberate 60 s idle must survive the 30 s cap.
+        lmm = spider_on(sim, world, num_interfaces=1).lmm
+        lmm._blacklist_ap("aa:bb:cc", 60.0)
+        assert lmm._next_blacklist_s("aa:bb:cc", 60.0) == 60.0
+
+    def test_streak_decays_after_quiet_period(self, sim, world):
+        client = spider_on(sim, world, num_interfaces=1)
+        lmm = client.lmm
+        lmm._blacklist_ap("aa:bb:cc", 2.0)
+        lmm._blacklist_ap("aa:bb:cc", 2.0)
+        assert lmm._next_blacklist_s("aa:bb:cc", 2.0) == 8.0
+        sim.run(until=lmm.config.blacklist_decay_s + 1.0)
+        assert lmm._next_blacklist_s("aa:bb:cc", 2.0) == 2.0
+
+    def test_success_clears_the_streak(self, sim, world):
+        ap = make_lab_ap(world)
+        client = spider_on(sim, world, num_interfaces=1)
+        client.lmm._fail_streak[ap.bssid] = (3, 0.0)
+        sim.run(until=3.0)
+        assert client.lmm.established_count == 1
+        assert ap.bssid not in client.lmm._fail_streak
+
+
+class TestParoleWhenDisconnected:
+    def _strand(self, sim, world, ap, client):
+        """Blacklist the only AP with an inflated 16 s term (2 s base)."""
+        lmm = client.lmm
+        lmm._fail_streak[ap.bssid] = (3, sim.now)
+        lmm._blacklist_ap(ap.bssid, 2.0)
+        assert lmm._blacklist[ap.bssid] == pytest.approx(sim.now + 16.0)
+
+    def test_parole_rejoins_after_base_term(self, sim, world):
+        ap = make_lab_ap(world)
+        client = spider_on(sim, world, num_interfaces=1)
+        self._strand(sim, world, ap, client)
+        sim.run(until=1.9)
+        assert client.lmm.established_count == 0  # base term still running
+        sim.run(until=6.0)
+        assert client.lmm.established_count == 1  # paroled at ~2 s, not 16
+
+    def test_parole_disabled_waits_out_inflated_term(self, sim, world):
+        ap = make_lab_ap(world)
+        client = spider_on(
+            sim, world, num_interfaces=1, parole_when_disconnected=False
+        )
+        self._strand(sim, world, ap, client)
+        sim.run(until=15.9)
+        assert client.lmm.established_count == 0
+        sim.run(until=20.0)
+        assert client.lmm.established_count == 1
 
 
 class TestPoolExhaustion:

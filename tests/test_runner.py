@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
+from dataclasses import dataclass
 from unittest import mock
 
 import pytest
@@ -17,12 +19,23 @@ import pytest
 from repro.core.schedule import OperationMode
 from repro.experiments.common import (
     TownTrialSpec,
+    run_town_trial_envelopes,
     run_town_trial_specs,
     run_town_trials,
+    salvage_town_trials,
 )
 from repro.experiments.town_runs import spider_factory, stock_factory
-from repro.runner import TrialJob, resolve_workers, run_jobs
-from repro.runner.pool import WORKERS_ENV
+from repro.runner import (
+    TrialError,
+    TrialJob,
+    TrialResult,
+    resolve_trial_retries,
+    resolve_trial_timeout,
+    resolve_workers,
+    run_jobs,
+    unwrap_all,
+)
+from repro.runner.pool import RETRIES_ENV, TIMEOUT_ENV, WORKERS_ENV
 
 # Trials in this module are deliberately short; determinism does not need
 # long drives, only identical event sequences.
@@ -35,6 +48,28 @@ def _double(x):
 
 def _fail(x):
     raise ValueError(f"boom {x}")
+
+
+def _crash(x):
+    os._exit(23)  # hard worker death: no exception crosses the pipe
+
+
+def _hang(x):
+    time.sleep(600.0)
+
+
+def _flaky(marker_path):
+    """Fails on the first call, succeeds once the marker file exists."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write("x")
+        raise RuntimeError("transient failure")
+    return "recovered"
+
+
+def _values(results):
+    assert all(isinstance(r, TrialResult) for r in results)
+    return [r.value for r in results]
 
 
 class TestResolveWorkers:
@@ -63,9 +98,62 @@ class TestResolveWorkers:
         with pytest.warns(UserWarning):
             assert resolve_workers(None) == 1
 
-    def test_negative_rejected(self):
-        with pytest.raises(ValueError):
-            resolve_workers(-2)
+    def test_negative_clamped_with_warning(self):
+        with pytest.warns(UserWarning, match="negative"):
+            assert resolve_workers(-2) == 1
+
+    def test_absurdly_large_clamped_with_warning(self):
+        ceiling = max(32, 4 * (os.cpu_count() or 1))
+        with pytest.warns(UserWarning, match="clamping"):
+            assert resolve_workers(10**6) == ceiling
+
+    def test_negative_env_clamped(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-4")
+        with pytest.warns(UserWarning, match="negative"):
+            assert resolve_workers(None) == 1
+
+
+class TestResolveTrialKnobs:
+    def test_timeout_defaults_off(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_ENV, raising=False)
+        assert resolve_trial_timeout(None) is None
+
+    def test_timeout_env(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "2.5")
+        assert resolve_trial_timeout(None) == 2.5
+
+    def test_timeout_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "99")
+        assert resolve_trial_timeout(1.5) == 1.5
+
+    def test_timeout_zero_disables(self):
+        assert resolve_trial_timeout(0) is None
+
+    def test_timeout_garbage_env_warns_and_disables(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "soon")
+        with pytest.warns(UserWarning):
+            assert resolve_trial_timeout(None) is None
+
+    def test_timeout_negative_warns_and_disables(self):
+        with pytest.warns(UserWarning, match="negative"):
+            assert resolve_trial_timeout(-3.0) is None
+
+    def test_retries_default_zero(self, monkeypatch):
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        assert resolve_trial_retries(None) == 0
+
+    def test_retries_env(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "2")
+        assert resolve_trial_retries(None) == 2
+
+    def test_retries_garbage_env_warns(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "many")
+        with pytest.warns(UserWarning):
+            assert resolve_trial_retries(None) == 0
+
+    def test_retries_negative_clamped(self):
+        with pytest.warns(UserWarning, match="negative"):
+            assert resolve_trial_retries(-1) == 0
 
 
 class TestRunJobs:
@@ -74,7 +162,7 @@ class TestRunJobs:
 
     def test_results_in_submission_order(self):
         jobs = [TrialJob(_double, (i,)) for i in range(20)]
-        assert run_jobs(jobs, workers=4) == [2 * i for i in range(20)]
+        assert _values(run_jobs(jobs, workers=4)) == [2 * i for i in range(20)]
 
     def test_serial_matches_parallel(self):
         jobs = [TrialJob(_double, (i,)) for i in range(8)]
@@ -83,7 +171,7 @@ class TestRunJobs:
     def test_unpicklable_jobs_fall_back_to_serial(self):
         jobs = [TrialJob(lambda x: x + 1, (i,)) for i in range(3)]
         with pytest.warns(UserWarning, match="running serially"):
-            assert run_jobs(jobs, workers=2) == [1, 2, 3]
+            assert _values(run_jobs(jobs, workers=2)) == [1, 2, 3]
 
     def test_serial_path_never_spawns_processes(self, monkeypatch):
         monkeypatch.delenv(WORKERS_ENV, raising=False)
@@ -94,17 +182,76 @@ class TestRunJobs:
 
     def test_single_job_bypasses_pool(self):
         with mock.patch("repro.runner.pool.ProcessPoolExecutor") as executor:
-            assert run_jobs([TrialJob(_double, (4,))], workers=8) == [8]
+            assert _values(run_jobs([TrialJob(_double, (4,))], workers=8)) == [8]
         executor.assert_not_called()
-
-    def test_worker_exception_propagates(self):
-        with pytest.raises(ValueError, match="boom"):
-            run_jobs([TrialJob(_fail, (1,))], workers=2)
 
     def test_kwargs_and_tag(self):
         job = TrialJob(_double, kwargs={"x": 5}, tag=("label", 0))
         assert job.run() == 10
         assert pickle.loads(pickle.dumps(job)).tag == ("label", 0)
+
+
+class TestFaultyJobs:
+    """One bad trial must never take the suite (or its siblings) down."""
+
+    def test_raising_job_enveloped_not_raised(self):
+        jobs = [TrialJob(_fail, (1,), tag="bad"), TrialJob(_double, (3,), tag="good")]
+        bad, good = run_jobs(jobs, workers=2)
+        assert not bad.ok and "boom 1" in bad.error and bad.tag == "bad"
+        assert good.ok and good.value == 6
+        with pytest.raises(TrialError, match="boom 1"):
+            bad.unwrap()
+        with pytest.raises(TrialError, match="1/2 trials failed"):
+            unwrap_all([bad, good])
+
+    def test_raising_job_enveloped_serially_too(self):
+        bad, good = run_jobs(
+            [TrialJob(_fail, (7,)), TrialJob(_double, (7,))], workers=1
+        )
+        assert not bad.ok and "boom 7" in bad.error
+        assert good.ok and good.value == 14
+
+    def test_crashed_worker_blamed_precisely(self):
+        # FIFO scheduling means the executor cannot say whose job killed the
+        # pool; the isolation re-runs must pin it on the crasher alone.
+        jobs = [TrialJob(_double, (i,), tag=i) for i in range(4)]
+        jobs.insert(2, TrialJob(_crash, (0,), tag="crasher"))
+        results = run_jobs(jobs, workers=2)
+        assert [r.ok for r in results] == [True, True, False, True, True]
+        crashed = results[2]
+        assert "died" in crashed.error and crashed.tag == "crasher"
+        assert [r.value for r in results if r.ok] == [0, 2, 4, 6]
+
+    def test_hung_job_times_out_siblings_survive(self):
+        jobs = [
+            TrialJob(_double, (1,), tag="a"),
+            TrialJob(_hang, (0,), tag="hung"),
+            TrialJob(_double, (2,), tag="b"),
+        ]
+        results = run_jobs(jobs, workers=2, timeout_s=3.0)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "timed out" in results[1].error
+        assert _values([results[0], results[2]]) == [2, 4]
+
+    def test_retry_recovers_flaky_job_serial(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        [result] = run_jobs([TrialJob(_flaky, (marker,))], workers=1, retries=1)
+        assert result.ok and result.value == "recovered"
+        assert result.attempts == 2
+
+    def test_retry_recovers_flaky_job_parallel(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        jobs = [TrialJob(_flaky, (marker,)), TrialJob(_double, (5,))]
+        flaky, good = run_jobs(jobs, workers=2, retries=2)
+        assert flaky.ok and flaky.value == "recovered"
+        assert flaky.attempts == 2
+        assert good.ok and good.value == 10
+
+    def test_retries_exhausted_reports_attempts(self):
+        [result] = run_jobs([TrialJob(_fail, (9,))], workers=1, retries=2)
+        assert not result.ok
+        assert result.attempts == 3
+        assert "boom 9" in result.error
 
 
 class TestSpecPicklability:
@@ -224,3 +371,55 @@ class TestParallelDeterminism:
         parallel = run_sweep(workers=4, **kwargs)
         assert serial.series == parallel.series
         assert serial.speeds_mps == parallel.speeds_mps
+
+
+@dataclass(frozen=True)
+class CrashingFactory:
+    """A picklable client factory that kills its worker process."""
+
+    def __call__(self, sim, world, mobility):
+        os._exit(29)
+
+
+@dataclass(frozen=True)
+class HangingFactory:
+    """A picklable client factory that never returns."""
+
+    def __call__(self, sim, world, mobility):
+        time.sleep(600.0)
+
+
+class TestSuiteSalvage:
+    """The PR's acceptance scenario: a suite with one crashing and one hung
+    trial completes, reports errors for exactly those trials, and every
+    sibling's metrics are bit-identical to a fault-free serial run."""
+
+    def test_crash_and_hang_salvaged_siblings_bit_identical(self):
+        good = [
+            TownTrialSpec(
+                factory=stock_factory(), label=f"good{i}", seed=i, duration_s=20.0
+            )
+            for i in range(3)
+        ]
+        specs = [
+            good[0],
+            TownTrialSpec(factory=CrashingFactory(), label="crash", seed=0,
+                          duration_s=20.0),
+            good[1],
+            TownTrialSpec(factory=HangingFactory(), label="hang", seed=0,
+                          duration_s=20.0),
+            good[2],
+        ]
+        envelopes = run_town_trial_envelopes(specs, workers=3, timeout_s=8.0)
+        assert [r.ok for r in envelopes] == [True, False, True, False, True]
+        by_label = {r.tag[0]: r for r in envelopes}
+        assert "died" in by_label["crash"].error
+        assert "timed out" in by_label["hang"].error
+
+        with pytest.warns(UserWarning, match="dropping trial"):
+            salvaged = salvage_town_trials(specs, envelopes)
+        assert [spec.label for spec, _ in salvaged] == ["good0", "good1", "good2"]
+
+        baseline = run_town_trial_specs(good, workers=1)
+        for (_spec, salvaged_trial), reference in zip(salvaged, baseline):
+            _assert_trials_identical(salvaged_trial, reference)
