@@ -1,0 +1,91 @@
+"""Fail CI when the perf harness regresses against the committed baseline.
+
+Usage::
+
+    git show HEAD:BENCH_perf.json > baseline.json
+    python benchmarks/check_perf_regression.py baseline.json BENCH_perf.json
+
+Every ``*events_per_sec`` field present in *both* files is compared; a
+drop larger than the threshold (default 10 %) on any of them fails the
+run with exit code 1.  Fields present on only one side are skipped — new
+benches appear, and scale knobs differ between CI jobs.  The compared
+fields are *rates*, so they are insensitive to the seed-count/duration
+knobs even when the baseline was produced at full scale and the check at
+CI's quick scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterator, Tuple
+
+#: Metric fields treated as throughput (higher is better).
+RATE_SUFFIX = "events_per_sec"
+
+
+def iter_rates(payload: dict) -> Iterator[Tuple[str, float]]:
+    """Yield ``(bench.field, value)`` for every events/sec field."""
+    for bench, fields in sorted(payload.get("results", {}).items()):
+        if not isinstance(fields, dict):
+            continue
+        for field, value in sorted(fields.items()):
+            if field.endswith(RATE_SUFFIX) and isinstance(value, (int, float)):
+                yield f"{bench}.{field}", float(value)
+
+
+def compare(
+    baseline: dict, current: dict, threshold: float
+) -> Tuple[Dict[str, Tuple[float, float, float]], Dict[str, Tuple[float, float, float]]]:
+    """Split shared rate metrics into (passed, regressed) mappings.
+
+    Each value is ``(baseline, current, ratio)`` with ``ratio =
+    current / baseline``.
+    """
+    base_rates = dict(iter_rates(baseline))
+    cur_rates = dict(iter_rates(current))
+    passed: Dict[str, Tuple[float, float, float]] = {}
+    regressed: Dict[str, Tuple[float, float, float]] = {}
+    for name in sorted(set(base_rates) & set(cur_rates)):
+        base, cur = base_rates[name], cur_rates[name]
+        ratio = cur / base if base > 0 else float("inf")
+        bucket = regressed if ratio < 1.0 - threshold else passed
+        bucket[name] = (base, cur, ratio)
+    return passed, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_perf.json")
+    parser.add_argument("current", help="freshly generated BENCH_perf.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="maximum tolerated fractional drop (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    passed, regressed = compare(baseline, current, args.threshold)
+    if not passed and not regressed:
+        print("no shared events/sec metrics to compare", file=sys.stderr)
+        return 2
+    for name, (base, cur, ratio) in {**passed, **regressed}.items():
+        verdict = "REGRESSED" if name in regressed else "ok"
+        print(f"{name:45s} {base:12.1f} -> {cur:12.1f}  ({ratio:5.2f}x)  {verdict}")
+    if regressed:
+        print(
+            f"{len(regressed)} metric(s) dropped more than "
+            f"{100 * args.threshold:.0f}% vs baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ Measured workloads:
                          parallel, recording the wall-clock speedup
 * ``timeout_grid``     — two cells of the join-timeout grid
 * ``fleet``            — a two-vehicle shared-town drive
+* ``fleet_sharded``    — one fleet trial's vehicles sharded across workers,
+                         recording the wall-clock speedup and bit-equality
 
 Scale knobs are the bench-suite ones (``REPRO_BENCH_SEEDS``,
 ``REPRO_BENCH_DURATION``, ``REPRO_BENCH_WORKERS``); the perf harness
@@ -179,15 +181,17 @@ def test_perf_timeout_grid(report):
 
 def test_perf_fleet(report):
     """A two-vehicle shared-town drive (multi-client hot path)."""
-    from repro.experiments.fleet import run as run_fleet
+    from repro.experiments.fleet import FleetSpec, run_spec as run_fleet_spec
 
     t0 = time.perf_counter()
-    result = run_fleet(
-        fleet_sizes=(2,),
-        seeds=bench_seeds(),
-        duration_s=_duration(),
-        workers=bench_workers(),
-    )
+    result = run_fleet_spec(
+        FleetSpec(
+            fleet_sizes=(2,),
+            seeds=bench_seeds(),
+            duration_s=_duration(),
+            workers=bench_workers(),
+        )
+    ).unwrap()
     wall = time.perf_counter() - t0
     _record(
         "fleet",
@@ -197,6 +201,32 @@ def test_perf_fleet(report):
     )
     report("perf/fleet", json.dumps(_PERF["fleet"], indent=2))
     assert result.rows[0].vehicles == 2
+
+
+def test_perf_fleet_sharded(report):
+    """Per-vehicle fleet sharding: wall-clock vs one process, same bits."""
+    from repro.experiments.fleet import _run_fleet, run_sharded_trial
+
+    vehicles = 4
+    duration = _duration()
+    t0 = time.perf_counter()
+    unsharded = _run_fleet(vehicles, seed=0, duration_s=duration, town_preset="amherst")
+    unsharded_wall = time.perf_counter() - t0
+    workers = max(bench_workers(), 2)
+    t0 = time.perf_counter()
+    sharded = run_sharded_trial(vehicles, seed=0, duration_s=duration, workers=workers)
+    sharded_wall = time.perf_counter() - t0
+    assert sharded == unsharded  # bit-for-bit merge, the PR-3 guarantee
+    _record(
+        "fleet_sharded",
+        vehicles=vehicles,
+        unsharded_wall_s=unsharded_wall,
+        sharded_wall_s=sharded_wall,
+        shard_workers=workers,
+        speedup=unsharded_wall / sharded_wall,
+        sharded_equal=True,
+    )
+    report("perf/fleet_sharded", json.dumps(_PERF["fleet_sharded"], indent=2))
 
 
 def test_perf_persist_results():

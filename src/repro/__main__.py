@@ -2,19 +2,37 @@
 
 Usage::
 
-    python -m repro list                 # show available experiments
-    python -m repro fig2                 # regenerate Figure 2
-    python -m repro table2 --quick       # Table 2 at reduced scale
+    python -m repro list                          # show available experiments
+    python -m repro fig2                          # regenerate Figure 2
+    python -m repro table2 --trials 4 --workers 4 # more seeds, in parallel
+    python -m repro fleet --json-out fleet.json   # machine-readable envelope
 
-``--quick`` trims seeds/durations for a fast sanity pass; default
-parameters match the benchmark suite's defaults.
+Every experiment shares one flag vocabulary, parsed here once:
+
+``--workers N``
+    fan trials across N worker processes (where the experiment runs
+    town trials; analytic experiments ignore it),
+``--trials N``
+    run N seeds starting at ``--seed`` (default 0),
+``--seed S``
+    base seed (alone: run just that one seed),
+``--duration S``
+    simulated seconds per trial,
+``--json-out PATH``
+    also write the :class:`~repro.runner.TrialResult` envelope as JSON.
+
+Flags map onto the experiment's spec via
+:func:`repro.experiments.api.spec_from_options`, so fields a given spec
+does not declare are simply ignored and new experiments get the flags for
+free by registering a spec.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Tuple
 
 from .experiments import (
     ap_density,
@@ -39,7 +57,16 @@ from .experiments import (
     table3_dhcp_failures,
     table4_channels,
 )
+from .experiments.api import (
+    REGISTRY,
+    run_experiment,
+    spec_from_options,
+    to_jsonable,
+)
 
+#: Compatibility table: artifact id -> the module's ``main()``.  Dispatch
+#: goes through :data:`repro.experiments.api.REGISTRY`; this dict remains
+#: for callers that invoke an experiment's CLI entry point directly.
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig2": fig2_join_validation.main,
     "fig3": fig3_beta_sensitivity.main,
@@ -65,8 +92,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 
-def main(argv=None) -> int:
-    """Command-line entry point."""
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from the Spider paper.",
@@ -75,16 +101,96 @@ def main(argv=None) -> int:
         "experiment",
         help="artifact id (see 'list') or 'list' to enumerate them",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for trial fan-out (default: serial)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N seeds starting at --seed (default: the spec's seeds)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="base seed (without --trials: run only this seed)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated seconds per trial",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write the result envelope as JSON ('-' for stdout)",
+    )
+    return parser
+
+
+def _seeds_from_flags(
+    seed: Optional[int], trials: Optional[int]
+) -> Optional[Tuple[int, ...]]:
+    """The seed tuple the flags ask for, or ``None`` for the spec default."""
+    if trials is not None:
+        base = seed if seed is not None else 0
+        return tuple(range(base, base + trials))
+    if seed is not None:
+        return (seed,)
+    return None
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":
-        for name in EXPERIMENTS:
-            print(name)
+        width = max(len(name) for name in REGISTRY)
+        for name, experiment in REGISTRY.items():
+            print(f"{name:<{width}}  {experiment.summary}")
         return 0
-    runner = EXPERIMENTS.get(args.experiment)
-    if runner is None:
+    experiment = REGISTRY.get(args.experiment)
+    if experiment is None:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
-    runner()
+    if args.trials is not None and args.trials < 1:
+        print("--trials must be >= 1", file=sys.stderr)
+        return 2
+    spec = spec_from_options(
+        experiment.spec_cls,
+        seeds=_seeds_from_flags(args.seed, args.trials),
+        duration_s=args.duration,
+        workers=args.workers,
+    )
+    envelope = run_experiment(args.experiment, spec)
+    if args.json_out is not None:
+        payload = json.dumps(to_jsonable(envelope), indent=2, sort_keys=True)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+    if not envelope.ok:
+        print(f"experiment failed: {envelope.error}", file=sys.stderr)
+        return 1
+    if args.json_out == "-":
+        # Keep stdout pure JSON for piping into jq and friends.
+        return 0
+    result = envelope.value
+    if hasattr(result, "render"):
+        print(result.render())
+    else:
+        print(result)
     return 0
 
 

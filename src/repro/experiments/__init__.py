@@ -1,12 +1,19 @@
 """One module per paper table/figure, plus shared harnesses.
 
-Each module exposes ``run(...) -> <Result>`` returning structured data with
-a ``render()`` method that prints the same rows/series the paper reports,
-and a ``main()`` entry point.  Quick parameters (seeds, durations) are
-keyword arguments so the benchmark harness and the CLI can trade accuracy
-for time.
+Each module exposes ``run_spec(spec) -> TrialResult`` — the unified
+spec→result contract defined in :mod:`repro.experiments.api` — alongside a
+deprecated ``run(...)`` shim with the historical signature and a ``main()``
+entry point.  Results are structured data with a ``render()`` method that
+prints the same rows/series the paper reports; specs carry the shared
+vocabulary (seeds, duration, town, workers) so the benchmark harness and
+the CLI can trade accuracy for time uniformly.
+
+Importing this package registers every experiment in
+:data:`repro.experiments.api.REGISTRY` (registration happens at module
+import, in the order below).
 """
 
+from . import api
 from . import (
     ap_density,
     appendix_knapsack,
@@ -35,6 +42,7 @@ from . import (
 )
 
 __all__ = [
+    "api",
     "ap_density",
     "appendix_knapsack",
     "common",

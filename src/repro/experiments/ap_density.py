@@ -13,7 +13,7 @@ Two observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
@@ -21,8 +21,9 @@ from ..core.link_manager import SpiderConfig
 from ..core.spider import SpiderClient
 from ..sim.engine import PeriodicProcess, Simulator
 from ..workloads.town import build_town
+from .api import ExperimentSpec, register, warn_deprecated
 
-__all__ = ["DensityRow", "DensityResult", "run", "main"]
+__all__ = ["DensitySpec", "DensityRow", "DensityResult", "run", "run_spec", "main"]
 
 
 @dataclass
@@ -89,12 +90,17 @@ def _run_one(town: str, seed: int, duration_s: float, channel: int = 1) -> Densi
     )
 
 
-def run(
-    towns: Sequence[str] = ("sparse", "amherst", "dense"),
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 600.0,
+@dataclass(frozen=True)
+class DensitySpec(ExperimentSpec):
+    """Spec for the AP-density sweep (``towns`` overrides base ``town``)."""
+
+    duration_s: float = 600.0
+    towns: Tuple[str, ...] = ("sparse", "amherst", "dense")
+
+
+def _run(
+    towns: Sequence[str], seeds: Sequence[int], duration_s: float
 ) -> DensityResult:
-    """Execute the experiment and return its structured result."""
     rows = []
     for town in towns:
         per_seed = [_run_one(town, seed, duration_s) for seed in seeds]
@@ -114,9 +120,24 @@ def run(
     return DensityResult(rows=rows)
 
 
+@register("density", DensitySpec, summary="AP density vs Spider performance")
+def run_spec(spec: DensitySpec) -> DensityResult:
+    return _run(spec.towns, spec.seeds, spec.duration_s)
+
+
+def run(
+    towns: Sequence[str] = ("sparse", "amherst", "dense"),
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 600.0,
+) -> DensityResult:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("ap_density.run(...)", "run_spec(DensitySpec(...))")
+    return _run(towns, seeds, duration_s)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.ap_selection import (
@@ -25,8 +25,17 @@ from ..core.ap_selection import (
     knapsack_select_greedy,
 )
 from ..sim.engine import Simulator
+from .api import ExperimentSpec, register, warn_deprecated
 
-__all__ = ["KnapsackTrialRow", "KnapsackResult", "random_instance", "run", "main"]
+__all__ = [
+    "KnapsackSpec",
+    "KnapsackTrialRow",
+    "KnapsackResult",
+    "random_instance",
+    "run",
+    "run_spec",
+    "main",
+]
 
 
 def random_instance(n_aps: int, seed: int = 0, budget: float = 30.0) -> List[ApOption]:
@@ -96,13 +105,18 @@ class KnapsackResult:
         )
 
 
-def run(
-    sizes: Sequence[int] = (4, 8, 12, 16, 20, 40),
-    budget: float = 30.0,
-    brute_force_limit: int = 16,
-    seed: int = 0,
+@dataclass(frozen=True)
+class KnapsackSpec(ExperimentSpec):
+    """Spec for Appendix A (uses ``seeds[0]``; ``town`` unused)."""
+
+    sizes: Tuple[int, ...] = (4, 8, 12, 16, 20, 40)
+    budget: float = 30.0
+    brute_force_limit: int = 16
+
+
+def _run(
+    sizes: Sequence[int], budget: float, brute_force_limit: int, seed: int
 ) -> KnapsackResult:
-    """Execute the experiment and return its structured result."""
     rows = []
     for n in sizes:
         options = random_instance(n, seed=seed, budget=budget)
@@ -132,9 +146,25 @@ def run(
     return KnapsackResult(budget=budget, rows=rows)
 
 
+@register("knapsack", KnapsackSpec, summary="exact vs heuristic multi-AP selection")
+def run_spec(spec: KnapsackSpec) -> KnapsackResult:
+    return _run(spec.sizes, spec.budget, spec.brute_force_limit, spec.seed)
+
+
+def run(
+    sizes: Sequence[int] = (4, 8, 12, 16, 20, 40),
+    budget: float = 30.0,
+    brute_force_limit: int = 16,
+    seed: int = 0,
+) -> KnapsackResult:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("appendix_knapsack.run(...)", "run_spec(KnapsackSpec(...))")
+    return _run(sizes, budget, brute_force_limit, seed)
+
+
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
     print(f"greedy/optimal worst ratio: {result.greedy_optimality_ratio():.3f}")
 

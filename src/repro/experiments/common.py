@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..runner import TrialJob, TrialResult, run_jobs, unwrap_all
 from ..sim.engine import Simulator
@@ -41,6 +41,7 @@ __all__ = [
     "run_town_trial_specs",
     "run_town_trial_envelopes",
     "salvage_town_trials",
+    "aggregate_town_trials",
     "DEFAULT_TRIAL_DURATION_S",
     "DEFAULT_VEHICLE_SPEED_MPS",
 ]
@@ -250,6 +251,40 @@ def salvage_town_trials(
     return kept
 
 
+def aggregate_town_trials(
+    specs: Sequence[TownTrialSpec],
+    envelopes: Optional[Sequence[TrialResult]] = None,
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    strict: bool = False,
+) -> Dict[str, AggregatedMetrics]:
+    """Fan specs out and regroup the results per label, in spec order.
+
+    The single aggregation path behind :func:`run_town_trials` and every
+    suite-level grid: ``envelopes=None`` runs the batch here; passing
+    envelopes regroups results already in hand.  ``strict`` raises
+    :class:`~repro.runner.TrialError` on the first failed trial instead of
+    salvaging the survivors, matching the old :func:`run_town_trial_specs`
+    contract.  Iteration follows spec order, so per-label trial lists stay
+    in seed order and parallel aggregates are bit-identical to serial ones.
+    """
+    if envelopes is None:
+        envelopes = run_town_trial_envelopes(
+            specs, workers=workers, timeout_s=timeout_s, retries=retries
+        )
+    if strict:
+        pairs = list(zip(specs, unwrap_all(envelopes)))
+    else:
+        pairs = salvage_town_trials(specs, envelopes)
+    per_label: Dict[str, AggregatedMetrics] = {}
+    for spec, trial in pairs:
+        per_label.setdefault(
+            spec.label, AggregatedMetrics(label=spec.label, trials=[])
+        ).trials.append(trial)
+    return per_label
+
+
 def run_town_trials(
     factory: ClientFactory,
     label: str,
@@ -277,8 +312,8 @@ def run_town_trials(
         )
         for seed in seeds
     ]
-    trials = run_town_trial_specs(specs, workers=workers)
-    return AggregatedMetrics(label=label, trials=trials)
+    per_label = aggregate_town_trials(specs, workers=workers, strict=True)
+    return per_label.get(label, AggregatedMetrics(label=label, trials=[]))
 
 
 def _mean(values: Sequence[float]) -> float:

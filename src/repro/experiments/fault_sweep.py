@@ -32,20 +32,18 @@ from ..sim.faults import (
     LeaseExhaustion,
     RandomOutages,
 )
-from .common import (
-    AggregatedMetrics,
-    TownTrialSpec,
-    run_town_trial_envelopes,
-    salvage_town_trials,
-)
+from .api import ExperimentSpec, register, warn_deprecated
+from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 from .town_runs import spider_factory, stock_factory
 
 __all__ = [
+    "FaultSweepSpec",
     "FaultSweepRow",
     "FaultSweepResult",
     "BASELINE_SCENARIO",
     "scenarios",
     "run",
+    "run_spec",
     "main",
 ]
 
@@ -205,20 +203,25 @@ def _pool_row(
     )
 
 
-def run(
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 300.0,
-    town: str = "amherst",
-    workers: Optional[int] = None,
-    timeout_s: Optional[float] = None,
-    retries: Optional[int] = None,
-    scenario_names: Optional[Sequence[str]] = None,
-) -> FaultSweepResult:
-    """Execute the sweep and return its structured result.
+@dataclass(frozen=True)
+class FaultSweepSpec(ExperimentSpec):
+    """Spec for the injected-fault sweep (``None`` = every scenario)."""
 
-    The full ``scenario x client x seed`` grid fans out as one batch;
+    scenario_names: Optional[Tuple[str, ...]] = None
+
+
+def _run(
+    seeds: Sequence[int],
+    duration_s: float,
+    town: str,
+    workers: Optional[int],
+    timeout_s: Optional[float],
+    retries: Optional[int],
+    scenario_names: Optional[Sequence[str]],
+) -> FaultSweepResult:
+    """The full ``scenario x client x seed`` grid fans out as one batch;
     trials that crash or hang are dropped with a warning (the envelope
-    machinery this PR exists to exercise) rather than sinking the sweep.
+    machinery) rather than sinking the sweep.
     """
     plans = scenarios(duration_s)
     if scenario_names is not None:
@@ -247,14 +250,9 @@ def run(
         for scenario, client_label, factory, plan in grid
         for seed in seeds
     ]
-    envelopes = run_town_trial_envelopes(
+    per_label = aggregate_town_trials(
         specs, workers=workers, timeout_s=timeout_s, retries=retries
     )
-    per_label: Dict[str, AggregatedMetrics] = {}
-    for spec, trial in salvage_town_trials(specs, envelopes):
-        per_label.setdefault(
-            spec.label, AggregatedMetrics(label=spec.label, trials=[])
-        ).trials.append(trial)
     rows = [
         _pool_row(
             scenario,
@@ -269,9 +267,36 @@ def run(
     return FaultSweepResult(rows=rows, duration_s=duration_s, seeds=seeds)
 
 
+@register("fault-sweep", FaultSweepSpec, summary="join failures under injected faults")
+def run_spec(spec: FaultSweepSpec) -> FaultSweepResult:
+    return _run(
+        spec.seeds,
+        spec.duration_s,
+        spec.town,
+        spec.workers,
+        spec.timeout_s,
+        spec.retries,
+        spec.scenario_names,
+    )
+
+
+def run(
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 300.0,
+    town: str = "amherst",
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    scenario_names: Optional[Sequence[str]] = None,
+) -> FaultSweepResult:
+    """Deprecated shim: execute the sweep and return its structured result."""
+    warn_deprecated("fault_sweep.run(...)", "run_spec(FaultSweepSpec(...))")
+    return _run(seeds, duration_s, town, workers, timeout_s, retries, scenario_names)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ overhead, with the faster schedule winning at high backhaul bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.link_manager import SpiderConfig
@@ -25,9 +25,10 @@ from ..core.spider import SpiderClient
 from ..sim.engine import Simulator
 from ..sim.stock_client import StockClient
 from ..workloads.town import lab_topology
+from .api import ExperimentSpec, register, warn_deprecated
 from .fig7_tcp_fraction import LAB_WIRED_LATENCY_S
 
-__all__ = ["Fig10Result", "run", "main"]
+__all__ = ["Fig10Spec", "Fig10Result", "run", "run_spec", "main"]
 
 CH_A, CH_B = 1, 11
 WARMUP_S = 12.0
@@ -115,13 +116,21 @@ class Fig10Result:
         )
 
 
-def run(
-    backhauls_mbps: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0),
-    labels: Sequence[str] = CONFIG_LABELS,
-    seeds: Sequence[int] = (0, 1),
-    measure_s: float = MEASURE_S,
+@dataclass(frozen=True)
+class Fig10Spec(ExperimentSpec):
+    """Spec for Figure 10 (indoor micro-benchmark; ignores ``town``)."""
+
+    backhauls_mbps: Tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)
+    labels: Tuple[str, ...] = CONFIG_LABELS
+    measure_s: float = MEASURE_S
+
+
+def _run(
+    backhauls_mbps: Sequence[float],
+    labels: Sequence[str],
+    seeds: Sequence[int],
+    measure_s: float,
 ) -> Fig10Result:
-    """Execute the experiment and return its structured result."""
     series: Dict[str, List[float]] = {label: [] for label in labels}
     for backhaul in backhauls_mbps:
         for label in labels:
@@ -132,9 +141,25 @@ def run(
     return Fig10Result(backhauls_mbps=list(backhauls_mbps), throughput_kBps=series)
 
 
+@register("fig10", Fig10Spec, summary="aggregate throughput vs backhaul (lab)")
+def run_spec(spec: Fig10Spec) -> Fig10Result:
+    return _run(spec.backhauls_mbps, spec.labels, spec.seeds, spec.measure_s)
+
+
+def run(
+    backhauls_mbps: Sequence[float] = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0),
+    labels: Sequence[str] = CONFIG_LABELS,
+    seeds: Sequence[int] = (0, 1),
+    measure_s: float = MEASURE_S,
+) -> Fig10Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig10_micro.run(...)", "run_spec(Fig10Spec(...))")
+    return _run(backhauls_mbps, labels, seeds, measure_s)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

@@ -15,10 +15,11 @@ Derived from the same drives as Table 2:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_cdf
 from ..analysis.stats import percentile
+from .api import ExperimentSpec, register, warn_deprecated
 from .town_runs import (
     CONFIG_CH1_MULTI_AP,
     CONFIG_CH1_SINGLE_AP,
@@ -28,7 +29,7 @@ from .town_runs import (
     run_configuration_suite,
 )
 
-__all__ = ["Fig11to13Result", "run", "main", "FOUR_CONFIGS"]
+__all__ = ["Fig11to13Spec", "Fig11to13Result", "run", "run_spec", "main", "FOUR_CONFIGS"]
 
 FOUR_CONFIGS = (
     CONFIG_CH1_MULTI_AP,
@@ -75,19 +76,28 @@ class Fig11to13Result:
         return "\n".join(blocks)
 
 
-def run(
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 900.0,
-    suite: Optional[ConfigurationSuite] = None,
-    labels: Sequence[str] = FOUR_CONFIGS,
+@dataclass(frozen=True)
+class Fig11to13Spec(ExperimentSpec):
+    """Spec for Figures 11-13 (CDFs from the Table 2 drives)."""
+
+    duration_s: float = 900.0
+    labels: Tuple[str, ...] = FOUR_CONFIGS
+
+
+def _run(
+    seeds: Sequence[int],
+    duration_s: float,
+    suite: Optional[ConfigurationSuite],
+    labels: Sequence[str],
+    workers: Optional[int] = None,
 ) -> Fig11to13Result:
-    """Execute the experiment and return its structured result."""
     if suite is None:
         suite = run_configuration_suite(
             seeds=seeds,
             duration_s=duration_s,
             include_cambridge=False,
             labels=labels,
+            workers=workers,
         )
     connection: Dict[str, List[float]] = {}
     disruption: Dict[str, List[float]] = {}
@@ -104,9 +114,27 @@ def run(
     )
 
 
+@register("fig11-13", Fig11to13Spec, summary="connection/disruption/bandwidth CDFs")
+def run_spec(spec: Fig11to13Spec) -> Fig11to13Result:
+    return _run(
+        spec.seeds, spec.duration_s, None, spec.labels, workers=spec.workers
+    )
+
+
+def run(
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 900.0,
+    suite: Optional[ConfigurationSuite] = None,
+    labels: Sequence[str] = FOUR_CONFIGS,
+) -> Fig11to13Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig11_13_cdfs.run(...)", "run_spec(Fig11to13Spec(...))")
+    return _run(seeds, duration_s, suite, labels)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

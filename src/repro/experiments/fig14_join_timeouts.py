@@ -9,14 +9,15 @@ on one channel."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_cdf
 from ..analysis.stats import percentile
+from .api import ExperimentSpec, register, warn_deprecated
 from .common import AggregatedMetrics
 from .timeout_grid import run_grid
 
-__all__ = ["Fig14Result", "run", "main"]
+__all__ = ["Fig14Spec", "Fig14Result", "run", "run_spec", "main"]
 
 FIG14_LABELS = (
     "ch1, ll=100ms, dhcp=200ms, 7if",
@@ -50,23 +51,48 @@ class Fig14Result:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class Fig14Spec(ExperimentSpec):
+    """Spec for Figure 14 (join-time CDFs vs DHCP timeout)."""
+
+    labels: Tuple[str, ...] = FIG14_LABELS
+
+
+def _run(
+    labels: Sequence[str],
+    seeds: Sequence[int],
+    duration_s: float,
+    grid: Optional[Dict[str, AggregatedMetrics]],
+    workers: Optional[int] = None,
+) -> Fig14Result:
+    if grid is None:
+        grid = run_grid(
+            labels=labels, seeds=seeds, duration_s=duration_s, workers=workers
+        )
+    return Fig14Result(
+        join_times={label: grid[label].pooled_join_times() for label in labels}
+    )
+
+
+@register("fig14", Fig14Spec, summary="join time CDFs vs DHCP timeout")
+def run_spec(spec: Fig14Spec) -> Fig14Result:
+    return _run(spec.labels, spec.seeds, spec.duration_s, None, workers=spec.workers)
+
+
 def run(
     labels: Sequence[str] = FIG14_LABELS,
     seeds: Sequence[int] = (0, 1),
     duration_s: float = 300.0,
     grid: Optional[Dict[str, AggregatedMetrics]] = None,
 ) -> Fig14Result:
-    """Execute the experiment and return its structured result."""
-    if grid is None:
-        grid = run_grid(labels=labels, seeds=seeds, duration_s=duration_s)
-    return Fig14Result(
-        join_times={label: grid[label].pooled_join_times() for label in labels}
-    )
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig14_join_timeouts.run(...)", "run_spec(Fig14Spec(...))")
+    return _run(labels, seeds, duration_s, grid)
 
 
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

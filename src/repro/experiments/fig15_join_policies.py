@@ -10,14 +10,15 @@ slows the join pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_cdf
 from ..analysis.stats import percentile
+from .api import ExperimentSpec, register, warn_deprecated
 from .common import AggregatedMetrics
 from .timeout_grid import run_grid
 
-__all__ = ["Fig15Result", "run", "main"]
+__all__ = ["Fig15Spec", "Fig15Result", "run", "run_spec", "main"]
 
 FIG15_LABELS = (
     "ch1, default timers, 1if",
@@ -59,23 +60,48 @@ class Fig15Result:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class Fig15Spec(ExperimentSpec):
+    """Spec for Figure 15 (join delay across scheduling policies)."""
+
+    labels: Tuple[str, ...] = FIG15_LABELS
+
+
+def _run(
+    labels: Sequence[str],
+    seeds: Sequence[int],
+    duration_s: float,
+    grid: Optional[Dict[str, AggregatedMetrics]],
+    workers: Optional[int] = None,
+) -> Fig15Result:
+    if grid is None:
+        grid = run_grid(
+            labels=labels, seeds=seeds, duration_s=duration_s, workers=workers
+        )
+    return Fig15Result(
+        join_times={label: grid[label].pooled_join_times() for label in labels}
+    )
+
+
+@register("fig15", Fig15Spec, summary="join delay across scheduling policies")
+def run_spec(spec: Fig15Spec) -> Fig15Result:
+    return _run(spec.labels, spec.seeds, spec.duration_s, None, workers=spec.workers)
+
+
 def run(
     labels: Sequence[str] = FIG15_LABELS,
     seeds: Sequence[int] = (0, 1),
     duration_s: float = 300.0,
     grid: Optional[Dict[str, AggregatedMetrics]] = None,
 ) -> Fig15Result:
-    """Execute the experiment and return its structured result."""
-    if grid is None:
-        grid = run_grid(labels=labels, seeds=seeds, duration_s=duration_s)
-    return Fig15Result(
-        join_times={label: grid[label].pooled_join_times() for label in labels}
-    )
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig15_join_policies.run(...)", "run_spec(Fig15Spec(...))")
+    return _run(labels, seeds, duration_s, grid)
 
 
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
     print(f"fastest policy: {result.fastest_policy()}")
 

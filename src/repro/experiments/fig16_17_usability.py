@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.reporting import format_cdf
 from ..analysis.stats import percentile
 from ..workloads.mesh_users import MeshUserConfig, generate_mesh_trace
+from .api import ExperimentSpec, register, warn_deprecated
 from .town_runs import (
     CONFIG_CH1_MULTI_AP,
     CONFIG_MULTI_CH_MULTI_AP,
@@ -29,7 +30,7 @@ from .town_runs import (
     run_configuration_suite,
 )
 
-__all__ = ["UsabilityResult", "run", "main"]
+__all__ = ["UsabilitySpec", "UsabilityResult", "run", "run_spec", "main"]
 
 CONNECTION_POINTS_S = (2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 100.0)
 GAP_POINTS_S = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0)
@@ -72,18 +73,30 @@ class UsabilityResult:
         return "\n".join(lines)
 
 
-def run(
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 900.0,
-    mesh_config: MeshUserConfig = MeshUserConfig(),
-    mesh_seed: int = 0,
-    suite: Optional[ConfigurationSuite] = None,
+@dataclass(frozen=True)
+class UsabilitySpec(ExperimentSpec):
+    """Spec for Figures 16-17 (user demand vs Spider supply)."""
+
+    duration_s: float = 900.0
+    mesh_seed: int = 0
+
+
+def _run(
+    seeds: Sequence[int],
+    duration_s: float,
+    mesh_config: MeshUserConfig,
+    mesh_seed: int,
+    suite: Optional[ConfigurationSuite],
+    workers: Optional[int] = None,
 ) -> UsabilityResult:
-    """Execute the experiment and return its structured result."""
     labels = (CONFIG_CH1_MULTI_AP, CONFIG_MULTI_CH_MULTI_AP)
     if suite is None:
         suite = run_configuration_suite(
-            seeds=seeds, duration_s=duration_s, include_cambridge=False, labels=labels
+            seeds=seeds,
+            duration_s=duration_s,
+            include_cambridge=False,
+            labels=labels,
+            workers=workers,
         )
     trace = generate_mesh_trace(mesh_config, seed=mesh_seed)
     return UsabilityResult(
@@ -94,9 +107,33 @@ def run(
     )
 
 
+@register("fig16-17", UsabilitySpec, summary="user demand vs Spider supply CDFs")
+def run_spec(spec: UsabilitySpec) -> UsabilityResult:
+    return _run(
+        spec.seeds,
+        spec.duration_s,
+        MeshUserConfig(),
+        spec.mesh_seed,
+        None,
+        workers=spec.workers,
+    )
+
+
+def run(
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 900.0,
+    mesh_config: MeshUserConfig = MeshUserConfig(),
+    mesh_seed: int = 0,
+    suite: Optional[ConfigurationSuite] = None,
+) -> UsabilityResult:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig16_17_usability.run(...)", "run_spec(UsabilitySpec(...))")
+    return _run(seeds, duration_s, mesh_config, mesh_seed, suite)
+
+
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
     print(
         "user flows covered by ch1 multi-AP median connection: "

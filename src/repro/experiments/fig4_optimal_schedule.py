@@ -24,8 +24,9 @@ from ..model.optimizer import (
     dividing_speed,
     sweep_speeds,
 )
+from .api import ExperimentSpec, register, warn_deprecated
 
-__all__ = ["Fig4Scenario", "Fig4Result", "run", "main"]
+__all__ = ["Fig4Spec", "Fig4Scenario", "Fig4Result", "run", "run_spec", "main"]
 
 PAPER_SPEEDS_MPS = (2.5, 3.3, 5.0, 6.6, 10.0, 20.0)
 FIG4_MODEL_PARAMS = JoinModelParams(beta_min_s=0.5, beta_max_s=10.0)
@@ -74,14 +75,23 @@ class Fig4Result:
         return "\n".join(blocks)
 
 
-def run(
-    scenarios: Dict[str, Tuple[float, float]] = FIG4_SCENARIOS,
-    speeds_mps: Sequence[float] = PAPER_SPEEDS_MPS,
-    bw_bps: float = DEFAULT_BW_BPS,
-    range_m: float = DEFAULT_RANGE_M,
-    grid_steps: int = 16,
+@dataclass(frozen=True)
+class Fig4Spec(ExperimentSpec):
+    """Spec for Figure 4 (pure analytic optimizer; ``seeds``/``town`` unused)."""
+
+    speeds_mps: Tuple[float, ...] = PAPER_SPEEDS_MPS
+    bw_bps: float = DEFAULT_BW_BPS
+    range_m: float = DEFAULT_RANGE_M
+    grid_steps: int = 16
+
+
+def _run(
+    scenarios: Dict[str, Tuple[float, float]],
+    speeds_mps: Sequence[float],
+    bw_bps: float,
+    range_m: float,
+    grid_steps: int,
 ) -> Fig4Result:
-    """Execute the experiment and return its structured result."""
     out: List[Fig4Scenario] = []
     for name, (joined_share, available_share) in scenarios.items():
         channels = [
@@ -119,9 +129,28 @@ def run(
     return Fig4Result(scenarios=out)
 
 
+@register("fig4", Fig4Spec, summary="optimal per-channel bandwidth vs speed")
+def run_spec(spec: Fig4Spec) -> Fig4Result:
+    return _run(
+        FIG4_SCENARIOS, spec.speeds_mps, spec.bw_bps, spec.range_m, spec.grid_steps
+    )
+
+
+def run(
+    scenarios: Dict[str, Tuple[float, float]] = FIG4_SCENARIOS,
+    speeds_mps: Sequence[float] = PAPER_SPEEDS_MPS,
+    bw_bps: float = DEFAULT_BW_BPS,
+    range_m: float = DEFAULT_RANGE_M,
+    grid_steps: int = 16,
+) -> Fig4Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig4_optimal_schedule.run(...)", "run_spec(Fig4Spec(...))")
+    return _run(scenarios, speeds_mps, bw_bps, range_m, grid_steps)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

@@ -11,15 +11,24 @@ for smaller fractions plateau below 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import cdf_at
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
+from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 
-__all__ = ["schedule_for_fraction", "Fig5Curve", "Fig5Result", "run", "main"]
+__all__ = [
+    "schedule_for_fraction",
+    "Fig5Spec",
+    "Fig5Curve",
+    "Fig5Result",
+    "run",
+    "run_spec",
+    "main",
+]
 
 PRIMARY_CHANNEL = 6
 SIDE_CHANNELS = (1, 11)
@@ -93,13 +102,21 @@ def _factory(fraction: float):
     return make
 
 
-def run(
-    fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.0),
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 240.0,
-    town: str = "amherst",
+@dataclass(frozen=True)
+class Fig5Spec(ExperimentSpec):
+    """Spec for Figure 5 (association success vs schedule fraction)."""
+
+    duration_s: float = 240.0
+    fractions: Tuple[float, ...] = (0.25, 0.50, 0.75, 1.0)
+
+
+def _run(
+    fractions: Sequence[float],
+    seeds: Sequence[int],
+    duration_s: float,
+    town: str,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
-    """Execute the experiment and return its structured result."""
     curves: Dict[float, Fig5Curve] = {}
     for fraction in fractions:
         aggregated = run_town_trials(
@@ -108,6 +125,7 @@ def run(
             seeds=seeds,
             duration_s=duration_s,
             town=town,
+            workers=workers,
         )
         times: List[float] = []
         attempts = 0
@@ -124,9 +142,27 @@ def run(
     return Fig5Result(curves=curves)
 
 
+@register("fig5", Fig5Spec, summary="association success vs schedule fraction")
+def run_spec(spec: Fig5Spec) -> Fig5Result:
+    return _run(
+        spec.fractions, spec.seeds, spec.duration_s, spec.town, workers=spec.workers
+    )
+
+
+def run(
+    fractions: Sequence[float] = (0.25, 0.50, 0.75, 1.0),
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 240.0,
+    town: str = "amherst",
+) -> Fig5Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig5_association.run(...)", "run_spec(Fig5Spec(...))")
+    return _run(fractions, seeds, duration_s, town)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

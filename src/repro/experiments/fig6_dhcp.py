@@ -11,15 +11,24 @@ lease by time t.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import cdf_at, percentile
 from ..core.link_manager import SpiderConfig
 from ..core.spider import SpiderClient
+from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 from .fig5_association import schedule_for_fraction
 
-__all__ = ["Fig6Config", "Fig6Curve", "Fig6Result", "run", "main"]
+__all__ = [
+    "Fig6Config",
+    "Fig6Spec",
+    "Fig6Curve",
+    "Fig6Result",
+    "run",
+    "run_spec",
+    "main",
+]
 
 CDF_POINTS_S = (0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 15.0)
 
@@ -99,13 +108,21 @@ def _factory(config: Fig6Config):
     return make
 
 
-def run(
-    configs: Sequence[Fig6Config] = PAPER_CONFIGS,
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 240.0,
-    town: str = "amherst",
+@dataclass(frozen=True)
+class Fig6Spec(ExperimentSpec):
+    """Spec for Figure 6 (DHCP lease acquisition CDFs)."""
+
+    duration_s: float = 240.0
+    configs: Tuple[Fig6Config, ...] = PAPER_CONFIGS
+
+
+def _run(
+    configs: Sequence[Fig6Config],
+    seeds: Sequence[int],
+    duration_s: float,
+    town: str,
+    workers: Optional[int] = None,
 ) -> Fig6Result:
-    """Execute the experiment and return its structured result."""
     curves: Dict[str, Fig6Curve] = {}
     for config in configs:
         aggregated = run_town_trials(
@@ -114,6 +131,7 @@ def run(
             seeds=seeds,
             duration_s=duration_s,
             town=town,
+            workers=workers,
         )
         times: List[float] = []
         attempts = 0
@@ -130,9 +148,27 @@ def run(
     return Fig6Result(curves=curves)
 
 
+@register("fig6", Fig6Spec, summary="DHCP lease acquisition vs schedule/timeout")
+def run_spec(spec: Fig6Spec) -> Fig6Result:
+    return _run(
+        spec.configs, spec.seeds, spec.duration_s, spec.town, workers=spec.workers
+    )
+
+
+def run(
+    configs: Sequence[Fig6Config] = PAPER_CONFIGS,
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 240.0,
+    town: str = "amherst",
+) -> Fig6Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig6_dhcp.run(...)", "run_spec(Fig6Spec(...))")
+    return _run(configs, seeds, duration_s, town)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

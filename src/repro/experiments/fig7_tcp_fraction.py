@@ -10,7 +10,7 @@ the RTO floor, costs retransmission timeouts and slow-start restarts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..analysis.ascii_plot import sparkline
 from ..analysis.reporting import format_series
@@ -20,9 +20,10 @@ from ..core.spider import SpiderClient
 from ..sim.engine import Simulator
 from ..sim.tcp import TcpParams
 from ..workloads.town import lab_topology
+from .api import ExperimentSpec, register, warn_deprecated
 from .fig5_association import schedule_for_fraction
 
-__all__ = ["Fig7Result", "run", "main", "measure_lab_throughput"]
+__all__ = ["Fig7Spec", "Fig7Result", "run", "run_spec", "main", "measure_lab_throughput"]
 
 PERIOD_S = 0.4
 PRIMARY_CHANNEL = 6
@@ -100,13 +101,21 @@ class Fig7Result:
         return f"{series}\nshape: {sparkline(self.throughput_kbps)}" 
 
 
-def run(
-    fractions: Sequence[float] = (0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 1.0),
-    backhaul_bps: float = 5.0e6,
-    seed: int = 0,
-    measure_s: float = MEASURE_S,
+@dataclass(frozen=True)
+class Fig7Spec(ExperimentSpec):
+    """Spec for Figure 7 (indoor lab; uses ``seeds[0]``, ignores ``town``)."""
+
+    fractions: Tuple[float, ...] = (0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 1.0)
+    backhaul_bps: float = 5.0e6
+    measure_s: float = MEASURE_S
+
+
+def _run(
+    fractions: Sequence[float],
+    backhaul_bps: float,
+    seed: int,
+    measure_s: float,
 ) -> Fig7Result:
-    """Execute the experiment and return its structured result."""
     throughputs = []
     for fraction in fractions:
         mode = schedule_for_fraction(fraction, period_s=PERIOD_S)
@@ -117,9 +126,25 @@ def run(
     return Fig7Result(fractions=list(fractions), throughput_kbps=throughputs)
 
 
+@register("fig7", Fig7Spec, summary="TCP throughput vs primary-channel fraction")
+def run_spec(spec: Fig7Spec) -> Fig7Result:
+    return _run(spec.fractions, spec.backhaul_bps, spec.seed, spec.measure_s)
+
+
+def run(
+    fractions: Sequence[float] = (0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 1.0),
+    backhaul_bps: float = 5.0e6,
+    seed: int = 0,
+    measure_s: float = MEASURE_S,
+) -> Fig7Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig7_tcp_fraction.run(...)", "run_spec(Fig7Spec(...))")
+    return _run(fractions, backhaul_bps, seed, measure_s)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

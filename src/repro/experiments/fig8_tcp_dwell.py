@@ -11,14 +11,15 @@ slow-start restarts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..analysis.ascii_plot import sparkline
 from ..analysis.reporting import format_series
 from ..core.schedule import OperationMode
+from .api import ExperimentSpec, register, warn_deprecated
 from .fig7_tcp_fraction import PRIMARY_CHANNEL, measure_lab_throughput
 
-__all__ = ["Fig8Result", "run", "main"]
+__all__ = ["Fig8Spec", "Fig8Result", "run", "run_spec", "main"]
 
 CHANNELS = (1, 6, 11)
 
@@ -46,13 +47,23 @@ class Fig8Result:
         return f"{series}\nshape: {sparkline(self.throughput_kbps)}" 
 
 
-def run(
-    dwells_ms: Sequence[float] = (16.0, 33.0, 66.0, 100.0, 150.0, 200.0, 300.0, 400.0),
-    backhaul_bps: float = 5.0e6,
-    seed: int = 0,
-    measure_s: float = 60.0,
+@dataclass(frozen=True)
+class Fig8Spec(ExperimentSpec):
+    """Spec for Figure 8 (indoor lab; uses ``seeds[0]``, ignores ``town``)."""
+
+    dwells_ms: Tuple[float, ...] = (
+        16.0, 33.0, 66.0, 100.0, 150.0, 200.0, 300.0, 400.0,
+    )
+    backhaul_bps: float = 5.0e6
+    measure_s: float = 60.0
+
+
+def _run(
+    dwells_ms: Sequence[float],
+    backhaul_bps: float,
+    seed: int,
+    measure_s: float,
 ) -> Fig8Result:
-    """Execute the experiment and return its structured result."""
     throughputs = []
     for dwell_ms in dwells_ms:
         period_s = 3.0 * dwell_ms / 1e3
@@ -68,9 +79,25 @@ def run(
     return Fig8Result(dwell_ms=list(dwells_ms), throughput_kbps=throughputs)
 
 
+@register("fig8", Fig8Spec, summary="TCP throughput vs per-channel dwell")
+def run_spec(spec: Fig8Spec) -> Fig8Result:
+    return _run(spec.dwells_ms, spec.backhaul_bps, spec.seed, spec.measure_s)
+
+
+def run(
+    dwells_ms: Sequence[float] = (16.0, 33.0, 66.0, 100.0, 150.0, 200.0, 300.0, 400.0),
+    backhaul_bps: float = 5.0e6,
+    seed: int = 0,
+    measure_s: float = 60.0,
+) -> Fig8Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fig8_tcp_dwell.run(...)", "run_spec(Fig8Spec(...))")
+    return _run(dwells_ms, backhaul_bps, seed, measure_s)
+
+
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
     print(f"non-monotonic: {result.is_non_monotonic()}")
 

@@ -12,19 +12,26 @@ different stations — but they split its backhaul).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
-
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
-from ..runner import TrialJob, run_jobs
+from ..runner import ShardedJob, TrialJob, run_jobs, run_sharded
 from ..sim.engine import Simulator
 from ..workloads.town import build_town
+from .api import ExperimentSpec, register, warn_deprecated
 
-__all__ = ["FleetRow", "FleetResult", "run", "main"]
+__all__ = [
+    "FleetSpec",
+    "FleetRow",
+    "FleetResult",
+    "run",
+    "run_spec",
+    "run_sharded_trial",
+    "main",
+]
 
 
 @dataclass
@@ -68,7 +75,22 @@ class FleetResult:
         )
 
 
-def _run_fleet(n_vehicles: int, seed: int, duration_s: float, town_preset: str) -> FleetRow:
+def _vehicle_stats(
+    vehicle_indices: Sequence[int],
+    n_vehicles: int,
+    seed: int,
+    duration_s: float,
+    town_preset: str,
+) -> List[Tuple[float, float]]:
+    """Drive the full ``n_vehicles`` fleet, extract stats for a subset.
+
+    Vehicles interact through shared airtime, backhaul, and the LMM's
+    one-interface-per-AP rule, so *every* call simulates the complete
+    coupled fleet — the dynamics are a pure function of the seed.  A shard
+    replays the identical run and reads out only its own vehicles'
+    ``(throughput_kBps, connectivity_pct)`` pairs, which is what makes the
+    sharded merge bit-identical to a single-process run.
+    """
     sim = Simulator(seed=seed)
     town = build_town(sim, preset=town_preset)
     spacing = town.config.loop_length_m / max(n_vehicles, 1)
@@ -84,8 +106,25 @@ def _run_fleet(n_vehicles: int, seed: int, duration_s: float, town_preset: str) 
         client.start()
         clients.append(client)
     sim.run(until=duration_s)
-    throughputs = [c.average_throughput_kBps(duration_s) for c in clients]
-    connectivities = [c.connectivity_percent(duration_s) for c in clients]
+    return [
+        (
+            clients[i].average_throughput_kBps(duration_s),
+            clients[i].connectivity_percent(duration_s),
+        )
+        for i in vehicle_indices
+    ]
+
+
+def _row_from_stats(
+    n_vehicles: int, stats: Sequence[Tuple[float, float]]
+) -> FleetRow:
+    """Fold per-vehicle ``(throughput, connectivity)`` pairs into a row.
+
+    Sums run in vehicle order, so sharded (concatenated) and unsharded
+    stat lists produce bit-identical floats.
+    """
+    throughputs = [s[0] for s in stats]
+    connectivities = [s[1] for s in stats]
     return FleetRow(
         vehicles=n_vehicles,
         per_vehicle_kBps=sum(throughputs) / n_vehicles,
@@ -94,18 +133,64 @@ def _run_fleet(n_vehicles: int, seed: int, duration_s: float, town_preset: str) 
     )
 
 
-def run(
-    fleet_sizes: Sequence[int] = (1, 2, 5),
-    seeds: Sequence[int] = (0,),
+def _run_fleet(n_vehicles: int, seed: int, duration_s: float, town_preset: str) -> FleetRow:
+    return _row_from_stats(
+        n_vehicles,
+        _vehicle_stats(range(n_vehicles), n_vehicles, seed, duration_s, town_preset),
+    )
+
+
+def run_sharded_trial(
+    n_vehicles: int,
+    seed: int,
     duration_s: float = 300.0,
     town_preset: str = "amherst",
     workers: Optional[int] = None,
-) -> FleetResult:
-    """Execute the experiment and return its structured result.
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> FleetRow:
+    """One fleet trial with its vehicles sharded across worker processes.
 
-    Every ``(fleet size, seed)`` drive is an independent simulation, so the
-    whole grid fans out through :mod:`repro.runner`; per-size aggregation
-    happens on the deterministically ordered results.
+    Each shard replays the same coupled simulation (same seed, all
+    ``n_vehicles`` present) and extracts metrics for its own contiguous
+    slice of vehicles; :func:`repro.runner.run_sharded` merges the slices
+    in vehicle order, so the returned row is bit-for-bit equal to
+    :func:`_run_fleet` under the same seed.  What sharding buys is the
+    runner's per-shard envelope machinery — timeout, retry, and crash
+    isolation at sub-trial granularity — and parallel metric extraction
+    for very large fleets; the replayed dynamics themselves are not
+    parallelized (that would decouple the vehicles and change the result).
+    """
+    job = ShardedJob(
+        fn=_vehicle_stats,
+        items=tuple(range(n_vehicles)),
+        args=(n_vehicles, seed, duration_s, town_preset),
+        tag=("fleet", n_vehicles, seed),
+    )
+    envelope = run_sharded(
+        job, workers=workers, timeout_s=timeout_s, retries=retries
+    )
+    return _row_from_stats(n_vehicles, envelope.unwrap())
+
+
+@dataclass(frozen=True)
+class FleetSpec(ExperimentSpec):
+    """Spec for fleet scaling (base ``town`` names the town preset)."""
+
+    seeds: Tuple[int, ...] = (0,)
+    fleet_sizes: Tuple[int, ...] = (1, 2, 5)
+
+
+def _run(
+    fleet_sizes: Sequence[int],
+    seeds: Sequence[int],
+    duration_s: float,
+    town_preset: str,
+    workers: Optional[int],
+) -> FleetResult:
+    """Every ``(fleet size, seed)`` drive is an independent simulation, so
+    the whole grid fans out through :mod:`repro.runner`; per-size
+    aggregation happens on the deterministically ordered results.
     """
     jobs = [
         TrialJob(
@@ -137,9 +222,28 @@ def run(
     return FleetResult(rows=rows)
 
 
+@register("fleet", FleetSpec, summary="fleet scaling on one shared town")
+def run_spec(spec: FleetSpec) -> FleetResult:
+    return _run(
+        spec.fleet_sizes, spec.seeds, spec.duration_s, spec.town, spec.workers
+    )
+
+
+def run(
+    fleet_sizes: Sequence[int] = (1, 2, 5),
+    seeds: Sequence[int] = (0,),
+    duration_s: float = 300.0,
+    town_preset: str = "amherst",
+    workers: Optional[int] = None,
+) -> FleetResult:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("fleet.run(...)", "run_spec(FleetSpec(...))")
+    return _run(fleet_sizes, seeds, duration_s, town_preset, workers)
+
+
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
 
 

@@ -22,15 +22,11 @@ from typing import Optional
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS
-from .common import (
-    AggregatedMetrics,
-    TownTrialSpec,
-    run_town_trial_envelopes,
-    salvage_town_trials,
-)
+from .api import ExperimentSpec, register, warn_deprecated
+from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 from .town_runs import spider_factory
 
-__all__ = ["SpeedSweepResult", "run", "main"]
+__all__ = ["SpeedSweepSpec", "SpeedSweepResult", "run", "run_spec", "main"]
 
 POLICIES: Dict[str, OperationMode] = {
     "single-channel": OperationMode.single_channel(1),
@@ -72,16 +68,22 @@ class SpeedSweepResult:
         )
 
 
-def run(
-    speeds_mps: Sequence[float] = (3.0, 6.0, 10.0, 15.0),
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 400.0,
-    town: str = "amherst",
-    workers: Optional[int] = None,
-) -> SpeedSweepResult:
-    """Execute the experiment and return its structured result.
+@dataclass(frozen=True)
+class SpeedSweepSpec(ExperimentSpec):
+    """Spec for the system-level speed sweep."""
 
-    The full ``speed x policy x seed`` grid fans out as one batch through
+    duration_s: float = 400.0
+    speeds_mps: Tuple[float, ...] = (3.0, 6.0, 10.0, 15.0)
+
+
+def _run(
+    speeds_mps: Sequence[float],
+    seeds: Sequence[int],
+    duration_s: float,
+    town: str,
+    workers: Optional[int],
+) -> SpeedSweepResult:
+    """The full ``speed x policy x seed`` grid fans out as one batch through
     :mod:`repro.runner`, then regroups into per-policy series in sweep
     order.
     """
@@ -102,12 +104,7 @@ def run(
         for speed, name, mode in grid
         for seed in seeds
     ]
-    envelopes = run_town_trial_envelopes(specs, workers=workers)
-    per_label: Dict[str, AggregatedMetrics] = {}
-    for spec, trial in salvage_town_trials(specs, envelopes):
-        per_label.setdefault(
-            spec.label, AggregatedMetrics(label=spec.label, trials=[])
-        ).trials.append(trial)
+    per_label = aggregate_town_trials(specs, workers=workers)
     series: Dict[str, List[Tuple[float, float]]] = {name: [] for name in POLICIES}
     for speed, name, _mode in grid:
         label = f"{name}@{speed}"
@@ -118,9 +115,26 @@ def run(
     return SpeedSweepResult(speeds_mps=list(speeds_mps), series=series)
 
 
+@register("speed-sweep", SpeedSweepSpec, summary="single vs multi channel across speeds")
+def run_spec(spec: SpeedSweepSpec) -> SpeedSweepResult:
+    return _run(spec.speeds_mps, spec.seeds, spec.duration_s, spec.town, spec.workers)
+
+
+def run(
+    speeds_mps: Sequence[float] = (3.0, 6.0, 10.0, 15.0),
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 400.0,
+    town: str = "amherst",
+    workers: Optional[int] = None,
+) -> SpeedSweepResult:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("speed_sweep.run(...)", "run_spec(SpeedSweepSpec(...))")
+    return _run(speeds_mps, seeds, duration_s, town, workers)
+
+
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.link_manager import SpiderConfig
@@ -18,8 +18,17 @@ from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
 from ..sim.engine import Simulator
 from ..workloads.town import lab_topology
+from .api import ExperimentSpec, register, warn_deprecated
 
-__all__ = ["Table1Row", "Table1Result", "run", "main", "measure_switch_latencies"]
+__all__ = [
+    "Table1Spec",
+    "Table1Row",
+    "Table1Result",
+    "run",
+    "run_spec",
+    "main",
+    "measure_switch_latencies",
+]
 
 HOME_CHANNEL = 1
 AWAY_CHANNEL = 11
@@ -91,12 +100,17 @@ class Table1Result:
         return all(b >= a - 1e-9 for a, b in zip(means, means[1:]))
 
 
-def run(
-    interface_counts: Sequence[int] = (0, 1, 2, 3, 4),
-    switches: int = 40,
-    seed: int = 0,
+@dataclass(frozen=True)
+class Table1Spec(ExperimentSpec):
+    """Spec for Table 1 (lab latency; uses ``seeds[0]``, ignores ``town``)."""
+
+    interface_counts: Tuple[int, ...] = (0, 1, 2, 3, 4)
+    switches: int = 40
+
+
+def _run(
+    interface_counts: Sequence[int], switches: int, seed: int
 ) -> Table1Result:
-    """Execute the experiment and return its structured result."""
     rows = []
     for count in interface_counts:
         latencies = measure_switch_latencies(count, switches=switches, seed=seed)
@@ -106,9 +120,24 @@ def run(
     return Table1Result(rows=rows)
 
 
+@register("table1", Table1Spec, summary="channel-switch latency vs interfaces")
+def run_spec(spec: Table1Spec) -> Table1Result:
+    return _run(spec.interface_counts, spec.switches, spec.seed)
+
+
+def run(
+    interface_counts: Sequence[int] = (0, 1, 2, 3, 4),
+    switches: int = 40,
+    seed: int = 0,
+) -> Table1Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("table1_switch_latency.run(...)", "run_spec(Table1Spec(...))")
+    return _run(interface_counts, switches, seed)
+
+
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

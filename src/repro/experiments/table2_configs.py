@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..analysis.reporting import format_table
+from .api import ExperimentSpec, register, warn_deprecated
 from .town_runs import (
     CONFIG_CH1_MULTI_AP,
     CONFIG_CH1_SINGLE_AP,
@@ -24,7 +25,15 @@ from .town_runs import (
     run_configuration_suite,
 )
 
-__all__ = ["Table2Row", "Table2Result", "PAPER_TABLE2_KBPS", "run", "main"]
+__all__ = [
+    "Table2Spec",
+    "Table2Row",
+    "Table2Result",
+    "PAPER_TABLE2_KBPS",
+    "run",
+    "run_spec",
+    "main",
+]
 
 #: The paper's Table 2 values: (throughput KB/s, connectivity %).
 PAPER_TABLE2_KBPS: Dict[str, tuple] = {
@@ -98,16 +107,27 @@ class Table2Result:
         )
 
 
-def run(
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 900.0,
-    include_cambridge: bool = True,
-    suite: Optional[ConfigurationSuite] = None,
+@dataclass(frozen=True)
+class Table2Spec(ExperimentSpec):
+    """Spec for Table 2 (the headline configuration grid)."""
+
+    duration_s: float = 900.0
+    include_cambridge: bool = True
+
+
+def _run(
+    seeds: Sequence[int],
+    duration_s: float,
+    include_cambridge: bool,
+    suite: Optional[ConfigurationSuite],
+    workers: Optional[int] = None,
 ) -> Table2Result:
-    """Regenerate Table 2 (pass a pre-computed suite to share runs)."""
     if suite is None:
         suite = run_configuration_suite(
-            seeds=seeds, duration_s=duration_s, include_cambridge=include_cambridge
+            seeds=seeds,
+            duration_s=duration_s,
+            include_cambridge=include_cambridge,
+            workers=workers,
         )
     rows = []
     for label in suite.labels():
@@ -125,9 +145,31 @@ def run(
     return Table2Result(rows=rows, suite=suite)
 
 
+@register("table2", Table2Spec, summary="throughput/connectivity per configuration")
+def run_spec(spec: Table2Spec) -> Table2Result:
+    return _run(
+        spec.seeds,
+        spec.duration_s,
+        spec.include_cambridge,
+        None,
+        workers=spec.workers,
+    )
+
+
+def run(
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 900.0,
+    include_cambridge: bool = True,
+    suite: Optional[ConfigurationSuite] = None,
+) -> Table2Result:
+    """Deprecated shim: regenerate Table 2 (pass a suite to share runs)."""
+    warn_deprecated("table2_configs.run(...)", "run_spec(Table2Spec(...))")
+    return _run(seeds, duration_s, include_cambridge, suite)
+
+
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
     print(f"multi-AP gain (1)/(2): {result.multi_ap_gain():.2f}x (paper: ~4.3x)")
     print(f"best throughput:   {result.best_throughput_label()}")

@@ -11,13 +11,22 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
+from .api import ExperimentSpec, register, warn_deprecated
 from .common import AggregatedMetrics
 from .timeout_grid import run_grid
 
-__all__ = ["Table3Row", "Table3Result", "PAPER_ROWS", "run", "main"]
+__all__ = [
+    "Table3Spec",
+    "Table3Row",
+    "Table3Result",
+    "PAPER_ROWS",
+    "run",
+    "run_spec",
+    "main",
+]
 
 TABLE3_LABELS = (
     "ch1, ll=100ms, dhcp=600ms, 7if",
@@ -89,21 +98,47 @@ def _row(label: str, metrics: AggregatedMetrics) -> Table3Row:
     )
 
 
+@dataclass(frozen=True)
+class Table3Spec(ExperimentSpec):
+    """Spec for Table 3 (DHCP failure probabilities)."""
+
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    labels: Tuple[str, ...] = TABLE3_LABELS
+
+
+def _run(
+    labels: Sequence[str],
+    seeds: Sequence[int],
+    duration_s: float,
+    grid: Optional[Dict[str, AggregatedMetrics]],
+    workers: Optional[int] = None,
+) -> Table3Result:
+    if grid is None:
+        grid = run_grid(
+            labels=labels, seeds=seeds, duration_s=duration_s, workers=workers
+        )
+    return Table3Result(rows=[_row(label, grid[label]) for label in labels])
+
+
+@register("table3", Table3Spec, summary="DHCP failure probability per timeout")
+def run_spec(spec: Table3Spec) -> Table3Result:
+    return _run(spec.labels, spec.seeds, spec.duration_s, None, workers=spec.workers)
+
+
 def run(
     labels: Sequence[str] = TABLE3_LABELS,
     seeds: Sequence[int] = (0, 1, 2),
     duration_s: float = 300.0,
     grid: Optional[Dict[str, AggregatedMetrics]] = None,
 ) -> Table3Result:
-    """Execute the experiment and return its structured result."""
-    if grid is None:
-        grid = run_grid(labels=labels, seeds=seeds, duration_s=duration_s)
-    return Table3Result(rows=[_row(label, grid[label]) for label in labels])
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("table3_dhcp_failures.run(...)", "run_spec(Table3Spec(...))")
+    return _run(labels, seeds, duration_s, grid)
 
 
 def main() -> None:
     """Command-line entry point."""
-    print(run().render())
+    print(run_spec().unwrap().render())
 
 
 if __name__ == "__main__":

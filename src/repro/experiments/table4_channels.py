@@ -12,10 +12,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
+from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 from .town_runs import spider_factory
 
-__all__ = ["Table4Row", "Table4Result", "PAPER_ROWS", "run", "main"]
+__all__ = [
+    "Table4Spec",
+    "Table4Row",
+    "Table4Result",
+    "PAPER_ROWS",
+    "run",
+    "run_spec",
+    "main",
+]
 
 #: (label, schedule) — multi-channel rows use 200 ms per channel.
 SCHEDULES: Dict[str, OperationMode] = {
@@ -73,15 +82,24 @@ class Table4Result:
         )
 
 
-def run(
-    seeds: Sequence[int] = (0, 1),
-    duration_s: float = 600.0,
+@dataclass(frozen=True)
+class Table4Spec(ExperimentSpec):
+    """Spec for Table 4 (static schedules)."""
+
+    duration_s: float = 600.0
+
+
+def _run(
+    seeds: Sequence[int], duration_s: float, workers: Optional[int] = None
 ) -> Table4Result:
-    """Execute the experiment and return its structured result."""
     rows = []
     for label, mode in SCHEDULES.items():
         metrics = run_town_trials(
-            spider_factory(mode, 7), label, seeds=seeds, duration_s=duration_s
+            spider_factory(mode, 7),
+            label,
+            seeds=seeds,
+            duration_s=duration_s,
+            workers=workers,
         )
         rows.append(
             Table4Row(
@@ -94,9 +112,23 @@ def run(
     return Table4Result(rows=rows)
 
 
+@register("table4", Table4Spec, summary="static schedules vs throughput/connectivity")
+def run_spec(spec: Table4Spec) -> Table4Result:
+    return _run(spec.seeds, spec.duration_s, workers=spec.workers)
+
+
+def run(
+    seeds: Sequence[int] = (0, 1),
+    duration_s: float = 600.0,
+) -> Table4Result:
+    """Deprecated shim: execute the experiment and return its result."""
+    warn_deprecated("table4_channels.run(...)", "run_spec(Table4Spec(...))")
+    return _run(seeds, duration_s)
+
+
 def main() -> None:
     """Command-line entry point."""
-    result = run()
+    result = run_spec().unwrap()
     print(result.render())
     print(f"single channel wins throughput: {result.single_channel_wins_throughput()}")
     print(f"3-channel wins connectivity:    {result.three_channel_wins_connectivity()}")

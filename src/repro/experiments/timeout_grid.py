@@ -15,12 +15,7 @@ from typing import Dict, Optional, Sequence
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS, SpiderClient
-from .common import (
-    AggregatedMetrics,
-    TownTrialSpec,
-    run_town_trial_envelopes,
-    salvage_town_trials,
-)
+from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 
 __all__ = ["TimeoutConfig", "run_grid", "STANDARD_GRID"]
 
@@ -126,10 +121,4 @@ def run_grid(
         for label in selected
         for seed in seeds
     ]
-    envelopes = run_town_trial_envelopes(specs, workers=workers)
-    results: Dict[str, AggregatedMetrics] = {}
-    for spec, trial in salvage_town_trials(specs, envelopes):
-        results.setdefault(
-            spec.label, AggregatedMetrics(label=spec.label, trials=[])
-        ).trials.append(trial)
-    return results
+    return aggregate_town_trials(specs, workers=workers)

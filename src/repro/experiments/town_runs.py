@@ -23,8 +23,7 @@ from .common import (
     AggregatedMetrics,
     ClientFactory,
     TownTrialSpec,
-    run_town_trial_envelopes,
-    salvage_town_trials,
+    aggregate_town_trials,
 )
 
 __all__ = [
@@ -195,10 +194,5 @@ def run_configuration_suite(
         for label, (factory, town) in factories.items()
         for seed in seeds
     ]
-    envelopes = run_town_trial_envelopes(specs, workers=workers)
-    results: Dict[str, AggregatedMetrics] = {}
-    for spec, trial in salvage_town_trials(specs, envelopes):
-        results.setdefault(
-            spec.label, AggregatedMetrics(label=spec.label, trials=[])
-        ).trials.append(trial)
+    results = aggregate_town_trials(specs, workers=workers)
     return ConfigurationSuite(results=results, duration_s=duration_s, seeds=seeds)

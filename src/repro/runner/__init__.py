@@ -12,6 +12,7 @@ from .pool import (
     RETRIES_ENV,
     TIMEOUT_ENV,
     WORKERS_ENV,
+    ShardedJob,
     TrialError,
     TrialJob,
     TrialResult,
@@ -19,6 +20,8 @@ from .pool import (
     resolve_trial_timeout,
     resolve_workers,
     run_jobs,
+    run_sharded,
+    split_shards,
     unwrap_all,
 )
 
@@ -26,10 +29,13 @@ __all__ = [
     "TrialJob",
     "TrialResult",
     "TrialError",
+    "ShardedJob",
     "resolve_workers",
     "resolve_trial_timeout",
     "resolve_trial_retries",
     "run_jobs",
+    "run_sharded",
+    "split_shards",
     "unwrap_all",
     "WORKERS_ENV",
     "TIMEOUT_ENV",

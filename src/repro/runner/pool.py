@@ -54,10 +54,13 @@ __all__ = [
     "TrialJob",
     "TrialResult",
     "TrialError",
+    "ShardedJob",
     "resolve_workers",
     "resolve_trial_timeout",
     "resolve_trial_retries",
     "run_jobs",
+    "run_sharded",
+    "split_shards",
     "unwrap_all",
     "WORKERS_ENV",
     "TIMEOUT_ENV",
@@ -458,6 +461,109 @@ def _run_parallel(
         )
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class ShardedJob:
+    """One trial whose per-item work can be split across workers.
+
+    ``fn(shard, *args, **kwargs)`` receives a contiguous subsequence of
+    ``items`` and must return one result per shard item, in shard order.
+    The canonical use is a fleet drive: the simulation's dynamics are a
+    pure function of the seed, so every shard replays the identical run
+    and extracts only its own vehicles' metrics; concatenating the shard
+    outputs in item order is then bit-identical to one process extracting
+    everything.  ``tag`` plays the same opaque-key role as on
+    :class:`TrialJob`.
+    """
+
+    fn: Callable[..., Sequence[Any]]
+    items: Tuple[Any, ...] = ()
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    tag: Any = None
+
+
+def split_shards(items: Sequence[Any], shards: int) -> List[Tuple[Any, ...]]:
+    """Deterministic contiguous split of ``items`` into ``shards`` chunks.
+
+    Early chunks get the remainder, every chunk is non-empty, and
+    concatenating the chunks reproduces ``items`` exactly — the property
+    the sharded merge relies on.
+    """
+    items = tuple(items)
+    if not items:
+        return []
+    count = max(1, min(shards, len(items)))
+    base, extra = divmod(len(items), count)
+    out: List[Tuple[Any, ...]] = []
+    start = 0
+    for k in range(count):
+        size = base + (1 if k < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+def run_sharded(
+    job: ShardedJob,
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+) -> TrialResult:
+    """Run one :class:`ShardedJob` across workers and merge deterministically.
+
+    Items are split into contiguous shards (one per worker), each shard runs
+    as an ordinary :class:`TrialJob` — inheriting the envelope, per-shard
+    timeout, retry, and crash-isolation machinery — and the per-item results
+    are concatenated in item order.  The merged envelope's ``attempts`` is
+    the worst shard's count.  Any failed shard fails the whole trial (a
+    partial fleet row is not a meaningful result), with every shard's
+    diagnosis preserved in ``error``.
+    """
+    items = tuple(job.items)
+    if not items:
+        return TrialResult(ok=True, value=[], tag=job.tag)
+    count = min(resolve_workers(workers), len(items))
+    shards = split_shards(items, count)
+    subjobs = [
+        TrialJob(
+            job.fn,
+            (shard,) + tuple(job.args),
+            job.kwargs,
+            tag=(job.tag, index),
+        )
+        for index, shard in enumerate(shards)
+    ]
+    envelopes = run_jobs(
+        subjobs, workers=count, timeout_s=timeout_s, retries=retries
+    )
+    attempts = max(e.attempts for e in envelopes)
+    failures = [e for e in envelopes if not e.ok]
+    if failures:
+        shown = "; ".join(f"shard {e.tag[1]}: {e.error}" for e in failures[:5])
+        more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+        return TrialResult(
+            ok=False,
+            error=f"{len(failures)}/{len(shards)} shards failed: {shown}{more}",
+            attempts=attempts,
+            tag=job.tag,
+        )
+    merged: List[Any] = []
+    for index, (shard, envelope) in enumerate(zip(shards, envelopes)):
+        part = list(envelope.value)
+        if len(part) != len(shard):
+            return TrialResult(
+                ok=False,
+                error=(
+                    f"shard {index} returned {len(part)} results for "
+                    f"{len(shard)} items"
+                ),
+                attempts=attempts,
+                tag=job.tag,
+            )
+        merged.extend(part)
+    return TrialResult(ok=True, value=merged, attempts=attempts, tag=job.tag)
 
 
 def run_jobs(

@@ -125,6 +125,19 @@ class AccessPoint:
         self.frames_dropped_unassociated = 0
         self.frames_dropped_psm_overflow = 0
         self.beacon_period_s = beacon_period_s
+        # Beacons are the single most common frame in any run and carry
+        # identical content every period, so one shared Frame serves them
+        # all: receivers and trace hooks only read frames, never retain or
+        # mutate them.
+        self._beacon_frame = Frame(
+            kind=FrameKind.BEACON,
+            src=bssid,
+            dst=BROADCAST,
+            size=MGMT_FRAME_BYTES,
+            channel=channel,
+            bssid=bssid,
+            payload={"ssid": self.ssid},
+        )
         #: Set while the AP is powered off by fault injection.
         self.failed = False
         self.failures = 0
@@ -155,18 +168,7 @@ class AccessPoint:
     # Beaconing / probing
     # ------------------------------------------------------------------
     def _send_beacon(self) -> None:
-        self.medium.transmit(
-            self,
-            Frame(
-                kind=FrameKind.BEACON,
-                src=self.bssid,
-                dst=BROADCAST,
-                size=MGMT_FRAME_BYTES,
-                channel=self.channel,
-                bssid=self.bssid,
-                payload={"ssid": self.ssid},
-            ),
-        )
+        self.medium.transmit(self, self._beacon_frame)
 
     def stop(self) -> None:
         """Stop beaconing (teardown helper for tests)."""
@@ -212,6 +214,10 @@ class AccessPoint:
     def on_frame(self, frame: Frame, rssi: float) -> None:
         """Handle one received frame."""
         kind = frame.kind
+        if kind is FrameKind.BEACON:
+            # Neighbouring APs' beacons are by far the most common frame an
+            # AP hears; they carry nothing an AP acts on.
+            return
         if kind is FrameKind.PROBE_REQUEST:
             self._reply(
                 FrameKind.PROBE_RESPONSE, frame.src, payload={"ssid": self.ssid}

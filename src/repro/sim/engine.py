@@ -102,6 +102,10 @@ class Simulator:
         self._live = 0
         self._cancelled_in_queue = 0
         self.compactions = 0
+        # Bound of the innermost active run(); +inf outside run().  Event
+        # batchers (the medium's per-channel drain) must not warp the clock
+        # past it, or frames due after ``until`` would be delivered early.
+        self._run_until = math.inf
 
     # ------------------------------------------------------------------
     # Random streams
@@ -129,7 +133,7 @@ class Simulator:
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run at absolute simulation ``time``."""
-        if math.isnan(time):
+        if time != time:  # inline NaN check; math.isnan costs a call here
             raise ValueError("event time is NaN")
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
@@ -154,8 +158,13 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries (heapify is O(n))."""
-        self._queue = [e for e in self._queue if not e[2].cancelled]
+        """Rebuild the heap without cancelled entries (heapify is O(n)).
+
+        Compaction mutates the list in place rather than rebinding
+        ``self._queue`` so that ``run()``'s local alias to the queue stays
+        valid when a callback's cancel triggers a compaction mid-run.
+        """
+        self._queue[:] = [e for e in self._queue if not e[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_in_queue = 0
         self.compactions += 1
@@ -173,12 +182,20 @@ class Simulator:
             raise RuntimeError("simulator is already running (re-entrant run())")
         self._running = True
         budget = math.inf if max_events is None else max_events
+        self._run_until = until
+        # Local aliases shave attribute lookups off the per-event cost;
+        # _compact() mutates the queue list in place, so the alias survives
+        # mid-run compactions.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                time, _seq, handle = self._queue[0]
+            while queue:
+                entry = queue[0]
+                time = entry[0]
                 if time > until:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
+                handle = entry[2]
                 if handle.cancelled:
                     self._cancelled_in_queue -= 1
                     continue
@@ -196,10 +213,60 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            self._run_until = math.inf
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1))."""
         return self._live
+
+    # ------------------------------------------------------------------
+    # Event-horizon introspection (used by batched delivery)
+    # ------------------------------------------------------------------
+    def peek_next_event_time(self) -> float:
+        """Time of the next live event, or +inf with an empty queue.
+
+        Cancelled entries at the top of the heap are popped as a side
+        effect (they would be skipped by ``run`` anyway), so the returned
+        time always belongs to an event that will actually fire.  Together
+        with :meth:`run_until_bound` this defines the *event horizon*: the
+        span of simulated time in which no callback can observe or change
+        state, which is what makes it safe for the wireless medium to
+        deliver a run of queued frames from a single engine event.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            return entry[0]
+        return math.inf
+
+    def run_until_bound(self) -> float:
+        """The ``until`` bound of the active run (+inf outside ``run``)."""
+        return self._run_until
+
+    def advance_clock(self, time: float) -> None:
+        """Warp ``now`` forward within the current event horizon.
+
+        Callers (the medium's drain loop) must only pass times that are
+        ``<= min(peek_next_event_time(), run_until_bound())``; anything
+        later would reorder the warped work against real events.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot warp backwards: {time} < {self.now}")
+        self.now = time
+
+    def count_logical_event(self) -> None:
+        """Count one unit of work folded into a batched engine event.
+
+        Batched delivery replaces N per-frame engine events with one drain
+        dispatch; crediting the N-1 folded frames keeps ``events_processed``
+        meaning "logical simulation events" so the figure stays comparable
+        across batched and unbatched runs (and across PRs).
+        """
+        self.events_processed += 1
 
 
 class PeriodicProcess:

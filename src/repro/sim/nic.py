@@ -199,14 +199,26 @@ class WifiNic:
         self.sniffers: List[Callable[[Frame, float], None]] = []
         self.switches = 0
         self.frames_dropped_queue_full = 0
+        self._pos_cache: Optional[Tuple[float, Tuple[float, float]]] = None
         medium.register(self)
 
     # ------------------------------------------------------------------
     # Station protocol
     # ------------------------------------------------------------------
     def position(self) -> Tuple[float, float]:
-        """Current (x, y) coordinates in metres."""
-        return self.mobility.position_at(self.sim.now)
+        """Current (x, y) coordinates in metres.
+
+        Memoized per timestamp: several frames commonly complete at the
+        same instant (back-to-back deliveries, probe fan-out), and mobility
+        position is a pure function of time.
+        """
+        now = self.sim.now
+        cached = self._pos_cache
+        if cached is not None and cached[0] == now:
+            return cached[1]
+        pos = self.mobility.position_at(now)
+        self._pos_cache = (now, pos)
+        return pos
 
     def tuned_channel(self) -> Optional[int]:
         """Channel the radio is currently listening on (None while resetting)."""

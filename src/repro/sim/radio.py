@@ -25,12 +25,23 @@ both register with the medium.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+import os
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
 
 from .engine import Simulator
-from .frames import Frame, FrameKind
+from .frames import BROADCAST, Frame, FrameKind
 
-__all__ = ["Station", "Medium", "rssi_from_distance"]
+__all__ = ["Station", "Medium", "rssi_from_distance", "BATCH_ENV"]
+
+#: Environment variable disabling per-channel delivery batching when set to
+#: ``0``/``off``/``false`` (useful for A/B determinism tests and bisection).
+BATCH_ENV = "REPRO_MEDIUM_BATCH"
+
+
+def _batching_enabled_from_env() -> bool:
+    value = os.environ.get(BATCH_ENV, "").strip().lower()
+    return value not in ("0", "off", "false", "no")
 
 #: Frame kinds that enjoy 802.11 link-layer retransmission (data plane).
 _RETRIED_KINDS = frozenset(
@@ -112,6 +123,7 @@ class Medium:
         data_rate_bps: float = 11e6,
         range_m: float = 100.0,
         loss_rate: float = 0.1,
+        batch_delivery: Optional[bool] = None,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1): {loss_rate!r}")
@@ -121,6 +133,7 @@ class Medium:
         self.data_rate_bps = data_rate_bps
         self.range_m = range_m
         self.loss_rate = loss_rate
+        self._one_minus_loss = 1.0 - loss_rate
         self._stations: Dict[str, Station] = {}
         self._busy_until: Dict[int, float] = {}
         self._rng = sim.rng("medium.loss")
@@ -141,6 +154,26 @@ class Medium:
         self._mobile: Dict[str, Station] = {}
         self._reg_seq: Dict[str, int] = {}
         self._reg_counter = 0
+        # Candidate lists are a pure function of (channel, sender cell) and
+        # the registration set: static bins never move and the mobile list
+        # is membership-only.  Cache them and invalidate on (un)register so
+        # the delivery hot path skips the 3x3 bin walk and the sort.
+        self._cand_cache: Dict[Tuple[int, int, int], List[Station]] = {}
+        # Frame-event batching: instead of one engine event per frame, each
+        # channel keeps a FIFO of (deliver_time, sender_id, frame) and a
+        # single in-flight drain event.  The drain delivers every queued
+        # frame that falls inside the current event horizon (see
+        # Simulator.peek_next_event_time) by warping the clock to each
+        # frame's true completion time, so back-to-back bursts on a busy
+        # channel cost one engine event instead of one per frame while
+        # remaining byte-identical to per-frame scheduling.
+        if batch_delivery is None:
+            batch_delivery = _batching_enabled_from_env()
+        self.batch_delivery = bool(batch_delivery)
+        # Per-channel [pending deque of (deliver_time, sender_id, frame),
+        # drain-event-in-flight flag] — one dict lookup on the transmit
+        # hot path covers both.
+        self._chan_state: Dict[int, List] = {}
         #: Optional observers called as fn(frame, receiver_id) on delivery.
         self.delivery_hooks: List[Callable[[Frame, str], None]] = []
         self.frames_sent = 0
@@ -158,6 +191,7 @@ class Medium:
         self._stations[station.station_id] = station
         self._reg_seq[station.station_id] = self._reg_counter
         self._reg_counter += 1
+        self._cand_cache.clear()
         channel = station.tuned_channel()
         if getattr(station, "is_static", False) and channel is not None:
             x, y = station.position()
@@ -172,6 +206,7 @@ class Medium:
         self._stations.pop(station_id, None)
         self._reg_seq.pop(station_id, None)
         self._mobile.pop(station_id, None)
+        self._cand_cache.clear()
         cell = self._static_where.pop(station_id, None)
         if cell is not None:
             bucket = self._static_bins.get(cell, [])
@@ -185,7 +220,15 @@ class Medium:
 
     # ------------------------------------------------------------------
     def _is_retried(self, frame: Frame) -> bool:
-        return frame.kind in _RETRIED_KINDS and not frame.is_broadcast
+        # Identity comparisons: enum members are singletons and the
+        # frozenset-membership version spent measurable time in
+        # ``Enum.__hash__`` on the delivery hot path.
+        kind = frame.kind
+        return (
+            kind is FrameKind.DATA
+            or kind is FrameKind.PING_REQUEST
+            or kind is FrameKind.PING_REPLY
+        ) and frame.dst != BROADCAST
 
     def airtime(self, frame: Frame) -> float:
         """Seconds of channel time a frame occupies.
@@ -194,8 +237,19 @@ class Medium:
         retransmissions (``1/(1-h)`` transmissions on average).
         """
         base = frame.size * 8.0 / self.data_rate_bps + FRAME_OVERHEAD_S
-        if self._is_retried(frame) and self.loss_rate > 0:
-            return base / (1.0 - self.loss_rate)
+        kind = frame.kind
+        if (
+            self.loss_rate > 0.0
+            and (
+                kind is FrameKind.DATA
+                or kind is FrameKind.PING_REQUEST
+                or kind is FrameKind.PING_REPLY
+            )
+            and frame.dst != BROADCAST
+        ):
+            # Division (not multiply-by-reciprocal) keeps the result
+            # bit-identical to the historical ``base / (1 - h)``.
+            return base / self._one_minus_loss
         return base
 
     def delivery_loss_probability(self, frame: Frame) -> float:
@@ -231,9 +285,15 @@ class Medium:
 
     def _effective_loss(self, frame: Frame) -> float:
         if self._bursty is None:
-            return self.delivery_loss_probability(frame)
-        h = self._bursty.loss_rate_at(self.sim.now)
-        if self._is_retried(frame):
+            h = self.loss_rate
+        else:
+            h = self._bursty.loss_rate_at(self.sim.now)
+        kind = frame.kind
+        if (
+            kind is FrameKind.DATA
+            or kind is FrameKind.PING_REQUEST
+            or kind is FrameKind.PING_REPLY
+        ) and frame.dst != BROADCAST:
             return h ** (1 + DATA_RETRY_LIMIT)
         return h
 
@@ -251,33 +311,98 @@ class Medium:
         miss the frame — exactly the hazard the join model studies.
         """
         now = self.sim.now
-        start = max(now, self._busy_until.get(frame.channel, 0.0))
+        channel = frame.channel
+        start = max(now, self._busy_until.get(channel, 0.0))
         done = start + self.airtime(frame)
-        self._busy_until[frame.channel] = done
+        self._busy_until[channel] = done
         self.frames_sent += 1
-        self.sim.schedule_at(
-            done + PROPAGATION_DELAY_S, self._deliver, sender.station_id, frame
-        )
+        deliver_at = done + PROPAGATION_DELAY_S
+        if not self.batch_delivery:
+            self.sim.schedule_at(deliver_at, self._deliver, sender.station_id, frame)
+            return done
+        state = self._chan_state.get(channel)
+        if state is None:
+            state = self._chan_state[channel] = [deque(), False]
+        state[0].append((deliver_at, sender.station_id, frame))
+        if not state[1]:
+            # The drain event is scheduled eagerly at transmit time so its
+            # heap position (and hence same-instant tie-breaking) matches
+            # the per-frame event the unbatched path would have created.
+            state[1] = True
+            self.sim.schedule_at(deliver_at, self._drain, channel)
         return done
 
+    def _drain(self, channel: int) -> None:
+        """Deliver queued frames for ``channel`` up to the event horizon.
+
+        Frames are delivered strictly in completion-time order with the
+        clock warped to each frame's own arrival time, so receivers observe
+        positions, tuned channels, and timestamps exactly as they would
+        under per-frame scheduling.  The loop stops at the first frame due
+        beyond the horizon — the next live engine event or the active
+        ``run(until=...)`` bound — because state may change there; a
+        follow-up drain is scheduled for that frame instead.
+        """
+        state = self._chan_state[channel]
+        pending = state[0]
+        sim = self.sim
+        first = True
+        while pending:
+            deliver_at = pending[0][0]
+            if deliver_at > sim.now:
+                # The horizon is re-read every iteration: a delivery's
+                # callbacks may have scheduled new events inside the span
+                # we measured before.
+                horizon = sim.peek_next_event_time()
+                bound = sim.run_until_bound()
+                if bound < horizon:
+                    horizon = bound
+                if deliver_at > horizon:
+                    sim.schedule_at(deliver_at, self._drain, channel)
+                    return
+                sim.advance_clock(deliver_at)
+            _, sender_id, frame = pending.popleft()
+            if first:
+                first = False  # the dispatching engine event counted itself
+            else:
+                sim.count_logical_event()
+            self._deliver(sender_id, frame)
+        state[1] = False
+
     # ------------------------------------------------------------------
-    def _candidates(self, frame_channel: int, sx: float, sy: float) -> List[Station]:
+    def _candidates(
+        self, frame_channel: int, sx: float, sy: float
+    ) -> List[Tuple[Station, Optional[Tuple[float, float]]]]:
         """Receiver candidates: all mobiles + static stations near (sx, sy).
 
-        Sorted by registration order so the delivery loop is byte-for-byte
-        deterministic with the historical scan over every station.
+        Each entry is ``(station, pos)`` where ``pos`` is the fixed position
+        of a static station (its ``is_static`` contract: position and tuned
+        channel never change) or ``None`` for a mobile one, letting the
+        delivery loop skip the per-frame position/tuned-channel calls for
+        the static majority.  Sorted by registration order so the delivery
+        loop is byte-for-byte deterministic with the historical scan over
+        every station.  The list is a pure function of (channel, sender
+        cell) and the current registration set, so it is cached until the
+        next (un)register.
         """
-        candidates = list(self._mobile.values())
-        bx, by = int(sx // self._bin_m), int(sy // self._bin_m)
+        key = (frame_channel, int(sx // self._bin_m), int(sy // self._bin_m))
+        cached = self._cand_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates: List[Tuple[Station, Optional[Tuple[float, float]]]] = [
+            (s, None) for s in self._mobile.values()
+        ]
+        _, bx, by = key
         bins = self._static_bins
         for cx in (bx - 1, bx, bx + 1):
             for cy in (by - 1, by, by + 1):
                 bucket = bins.get((frame_channel, cx, cy))
                 if bucket:
-                    candidates.extend(bucket)
+                    candidates.extend((s, s.position()) for s in bucket)
         if len(candidates) > 1:
             seq = self._reg_seq
-            candidates.sort(key=lambda s: seq[s.station_id])
+            candidates.sort(key=lambda c: seq[c[0].station_id])
+        self._cand_cache[key] = candidates
         return candidates
 
     def _deliver(self, sender_id: str, frame: Frame) -> None:
@@ -286,26 +411,41 @@ class Medium:
             return  # sender vanished mid-flight (e.g., torn down)
         sx, sy = sender.position()
         receiver_reachable = False
-        for station in self._candidates(frame.channel, sx, sy):
+        loss_p = self._effective_loss(frame)
+        channel = frame.channel
+        dst = frame.dst
+        broadcast = dst == BROADCAST
+        range_m = self.range_m
+        rng_random = self._rng.random
+        hooks = self.delivery_hooks
+        hypot = math.hypot
+        for station, static_pos in self._candidates(channel, sx, sy):
             if station.station_id == sender_id:
                 continue
-            if station.tuned_channel() != frame.channel:
-                continue
-            if not frame.is_broadcast and not station.accepts(frame.dst):
-                continue
-            rx, ry = station.position()
-            distance = math.hypot(sx - rx, sy - ry)
-            if distance > self.range_m:
+            if static_pos is None:
+                # Mobile: channel and position can change frame to frame.
+                if station.tuned_channel() != channel:
+                    continue
+                if not broadcast and not station.accepts(dst):
+                    continue
+                rx, ry = station.position()
+            else:
+                # Static: the bin key already guarantees the channel match.
+                if not broadcast and not station.accepts(dst):
+                    continue
+                rx, ry = static_pos
+            distance = hypot(sx - rx, sy - ry)
+            if distance > range_m:
                 continue
             receiver_reachable = True
-            if self._rng.random() < self._effective_loss(frame):
+            if rng_random() < loss_p:
                 self.frames_lost += 1
                 continue
             self.frames_delivered += 1
-            for hook in self.delivery_hooks:
+            for hook in hooks:
                 hook(frame, station.station_id)
             station.on_frame(frame, rssi_from_distance(distance))
-        if not frame.is_broadcast and not receiver_reachable:
+        if not broadcast and not receiver_reachable:
             # No eligible receiver: the link-layer ACK never comes back.
             # Senders that care (APs re-queueing toward sleeping clients)
             # implement on_delivery_failed.

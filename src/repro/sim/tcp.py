@@ -20,6 +20,7 @@ segments across the wired core, AP backhaul, and wireless hop.
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -92,6 +93,12 @@ class TcpSender:
         self.bytes_acked = 0
 
         self._timer: Optional[EventHandle] = None
+        # Lazy RTO timer: the *logical* deadline lives here (+inf = not
+        # armed); the engine event may sit earlier than the deadline, in
+        # which case it re-arms itself instead of firing the RTO.  Every
+        # ACK then just overwrites the deadline — O(1), no heap churn —
+        # instead of the historical cancel + reschedule per ACK.
+        self._rto_deadline = math.inf
         # One outstanding RTT probe at a time (Karn-safe).
         self._rtt_probe_ack: Optional[int] = None
         self._rtt_probe_sent_at = 0.0
@@ -161,23 +168,50 @@ class TcpSender:
     # Timer
     # ------------------------------------------------------------------
     def _ensure_timer(self) -> None:
-        if self._timer is None or not self._timer.pending:
-            self._timer = self.sim.schedule(self.rto, self._on_rto)
+        if self._rto_deadline == math.inf:
+            self._arm(self.sim.now + self.rto)
 
     def _restart_timer(self) -> None:
-        self._cancel_timer()
         if self.flight_bytes > 0:
-            self._timer = self.sim.schedule(self.rto, self._on_rto)
+            self._arm(self.sim.now + self.rto)
+        else:
+            # Logical disarm; a standing engine event (if any) fires as a
+            # no-op.
+            self._rto_deadline = math.inf
+
+    def _arm(self, deadline: float) -> None:
+        self._rto_deadline = deadline
+        timer = self._timer
+        if timer is not None and timer.pending:
+            if timer.time <= deadline:
+                return  # standing event fires first and re-arms itself
+            # RTO shrank below the standing event (fresh RTT sample after
+            # a backoff): the event would fire too late, so move it.
+            timer.cancel()
+        self._timer = self.sim.schedule_at(deadline, self._on_timer)
 
     def _cancel_timer(self) -> None:
+        self._rto_deadline = math.inf
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
 
-    def _on_rto(self) -> None:
+    def _on_timer(self) -> None:
         self._timer = None
-        if self.closed or self.flight_bytes == 0:
+        if self.closed:
             return
+        deadline = self._rto_deadline
+        if deadline == math.inf or self.flight_bytes == 0:
+            return
+        if self.sim.now < deadline:
+            # The deadline moved while this event was in flight (new ACKs
+            # pushed it out); chase it.
+            self._timer = self.sim.schedule_at(deadline, self._on_timer)
+            return
+        self._on_rto()
+
+    def _on_rto(self) -> None:
+        self._rto_deadline = math.inf
         self.timeouts += 1
         flight_segments = max(self.flight_bytes / self.p.mss, 1.0)
         self.ssthresh = max(flight_segments / 2.0, 2.0)
@@ -295,7 +329,10 @@ class TcpReceiver:
         elif seq <= self.rcv_nxt:
             advanced = seq + length - self.rcv_nxt
             self.rcv_nxt = seq + length
-            advanced += self._drain_out_of_order()
+            if self._out_of_order:
+                # Reassembly only when there are holes; the in-order common
+                # case stays allocation-free.
+                advanced += self._drain_out_of_order()
             self.bytes_delivered += advanced
             if self.on_deliver is not None:
                 self.on_deliver(advanced)
@@ -320,9 +357,10 @@ class TcpReceiver:
                 self.rcv_nxt += gain
                 advanced += gain
         # Discard stale holes fully below rcv_nxt.
-        self._out_of_order = {
-            s: l for s, l in self._out_of_order.items() if s + l > self.rcv_nxt
-        }
+        if self._out_of_order:
+            self._out_of_order = {
+                s: l for s, l in self._out_of_order.items() if s + l > self.rcv_nxt
+            }
         return advanced
 
     def _emit_ack(self) -> None:

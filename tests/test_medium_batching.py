@@ -1,0 +1,152 @@
+"""Unit tests for the medium's per-channel delivery batching.
+
+PR 3 replaced one engine event per frame with a per-channel queue drained
+from a single event.  These tests pin the queue semantics: delivery order,
+per-frame arrival clocks, the event-horizon stop, the idle-flag reset, and
+the environment toggle that selects the implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.frames import Frame, FrameKind
+from repro.sim.radio import (
+    BATCH_ENV,
+    PROPAGATION_DELAY_S,
+    Medium,
+    _batching_enabled_from_env,
+)
+
+
+class RecordingStation:
+    """Station that records what arrives and when."""
+
+    def __init__(self, station_id, x=0.0, y=0.0, channel=1):
+        self.station_id = station_id
+        self.x, self.y = x, y
+        self.channel = channel
+        self.sim = None
+        self.received = []
+
+    def position(self):
+        return (self.x, self.y)
+
+    def tuned_channel(self):
+        return self.channel
+
+    def accepts(self, dst):
+        return dst == self.station_id
+
+    def on_frame(self, frame, rssi):
+        self.received.append((frame.src, frame.kind, frame.size, rssi, self.sim.now))
+
+
+def mgmt_frame(src, dst, channel=1, size=80):
+    return Frame(kind=FrameKind.BEACON, src=src, dst=dst, size=size, channel=channel)
+
+
+def build(sim, batch):
+    medium = Medium(sim, loss_rate=0.0, batch_delivery=batch)
+    rx = RecordingStation("rx", x=30.0)
+    rx.sim = sim
+    tx = RecordingStation("tx")
+    tx.sim = sim
+    medium.register(tx)
+    medium.register(rx)
+    return medium, tx, rx
+
+
+class TestBatchedDelivery:
+    def test_matches_unbatched_byte_for_byte(self):
+        """Back-to-back frames arrive with identical payloads, RSSI, and clocks."""
+        traces = []
+        for batch in (False, True):
+            sim = Simulator(seed=7)
+            medium, tx, rx = build(sim, batch)
+            for i in range(5):
+                medium.transmit(tx, mgmt_frame("tx", "rx", size=80 + i))
+            sim.run(until=1.0)
+            traces.append(rx.received)
+        assert traces[0] == traces[1]
+        assert len(traces[1]) == 5
+
+    def test_delivery_in_completion_time_order(self):
+        sim = Simulator(seed=1)
+        medium, tx, rx = build(sim, True)
+        for i in range(4):
+            medium.transmit(tx, mgmt_frame("tx", "rx", size=100))
+        sim.run(until=1.0)
+        times = [t for *_rest, t in rx.received]
+        assert times == sorted(times)
+        assert len(set(times)) == 4  # channel serialization separates them
+
+    def test_per_frame_arrival_clock(self):
+        """Each queued frame is delivered at its own completion time, not
+        the drain event's dispatch time."""
+        sim = Simulator(seed=2)
+        medium, tx, rx = build(sim, True)
+        done_times = [
+            medium.transmit(tx, mgmt_frame("tx", "rx")) for _ in range(3)
+        ]
+        sim.run(until=1.0)
+        arrival_times = [t for *_rest, t in rx.received]
+        expected = [d + PROPAGATION_DELAY_S for d in done_times]
+        assert arrival_times == pytest.approx(expected, abs=0.0)
+
+    def test_drain_respects_run_bound(self):
+        """A frame due beyond ``run(until=...)`` stays queued, exactly as a
+        per-frame event would stay in the heap."""
+        sim = Simulator(seed=3)
+        medium, tx, rx = build(sim, True)
+        done = medium.transmit(tx, mgmt_frame("tx", "rx"))
+        sim.run(until=done / 2)
+        assert rx.received == []
+        sim.run(until=done + 1.0)
+        assert len(rx.received) == 1
+
+    def test_queue_reschedules_after_going_idle(self):
+        sim = Simulator(seed=4)
+        medium, tx, rx = build(sim, True)
+        medium.transmit(tx, mgmt_frame("tx", "rx"))
+        sim.run(until=1.0)
+        assert len(rx.received) == 1
+        medium.transmit(tx, mgmt_frame("tx", "rx"))
+        sim.run(until=2.0)
+        assert len(rx.received) == 2
+
+    def test_channels_are_independent_queues(self):
+        sim = Simulator(seed=5)
+        medium = Medium(sim, loss_rate=0.0, batch_delivery=True)
+        stations = {}
+        for chan in (1, 6):
+            rx = RecordingStation(f"rx{chan}", x=30.0, channel=chan)
+            rx.sim = sim
+            tx = RecordingStation(f"tx{chan}", channel=chan)
+            tx.sim = sim
+            medium.register(tx)
+            medium.register(rx)
+            stations[chan] = (tx, rx)
+        for chan, (tx, rx) in stations.items():
+            medium.transmit(tx, mgmt_frame(tx.station_id, rx.station_id, channel=chan))
+        sim.run(until=1.0)
+        for chan, (_tx, rx) in stations.items():
+            assert len(rx.received) == 1
+
+
+class TestEnvironmentToggle:
+    def test_default_is_batched(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        assert _batching_enabled_from_env()
+        assert Medium(Simulator(seed=0)).batch_delivery
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no"])
+    def test_disable_values(self, monkeypatch, value):
+        monkeypatch.setenv(BATCH_ENV, value)
+        assert not _batching_enabled_from_env()
+        assert not Medium(Simulator(seed=0)).batch_delivery
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "0")
+        assert Medium(Simulator(seed=0), batch_delivery=True).batch_delivery

@@ -163,3 +163,50 @@ class TestJoinLog:
         assert math.isnan(log.association_success_rate())
         assert math.isnan(log.dhcp_failure_rate())
         assert math.isnan(log.cache_hit_rate())
+
+
+class TestOpenBinAccumulator:
+    """The PR-3 allocation-free bin arithmetic must be observationally
+    identical to per-record dict updates."""
+
+    def test_reader_flush_mid_bin_then_more_records(self, sim):
+        recorder = ThroughputRecorder(sim)
+        sim.schedule_at(0.2, recorder.record, 100)
+        sim.schedule_at(0.4, recorder.record, 200)
+        # A reader mid-bin forces a flush; later records in the same bin
+        # must still fold into the same timeline slot.
+        sim.schedule_at(0.45, recorder.timeline)
+        sim.schedule_at(0.6, recorder.record, 300)
+        sim.run(until=1.0)
+        assert recorder.timeline(1.0) == [600]
+        assert recorder.total_bytes == 600
+
+    def test_window_average_sees_open_bin(self, sim):
+        recorder = ThroughputRecorder(sim)
+        sim.schedule_at(0.5, recorder.record, 1000)
+        sim.run(until=0.9)  # clock still inside bin 0
+        assert recorder.average_throughput_between_bps(0.0, 1.0) == pytest.approx(
+            1000.0
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.floats(0.0, 9.99, allow_nan=False, allow_infinity=False),
+                st.integers(min_value=1, max_value=5000),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_per_record_reference(self, records):
+        sim = Simulator(seed=0)
+        recorder = ThroughputRecorder(sim)
+        for t, n in records:
+            sim.schedule_at(t, recorder.record, n)
+        sim.run(until=10.0)
+        reference = {}
+        for t, n in records:
+            reference[int(t)] = reference.get(int(t), 0) + n
+        assert recorder.timeline(10.0) == [reference.get(i, 0) for i in range(10)]
+        assert recorder.total_bytes == sum(n for _, n in records)

@@ -1,0 +1,99 @@
+"""Unit tests for the CI bench-regression gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_perf_regression.py"
+_spec = importlib.util.spec_from_file_location("check_perf_regression", _SCRIPT)
+check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check)
+
+
+def payload(**rates):
+    return {
+        "schema": 1,
+        "results": {
+            name: {"events_per_sec": value, "wall_s": 1.0}
+            for name, value in rates.items()
+        },
+    }
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestIterRates:
+    def test_extracts_all_rate_fields(self):
+        data = {
+            "results": {
+                "a": {"events_per_sec": 10.0, "wall_s": 2.0},
+                "b": {"serial_events_per_sec": 5.0},
+                "c": {"speedup": 2.0},
+            }
+        }
+        assert dict(check.iter_rates(data)) == {
+            "a.events_per_sec": 10.0,
+            "b.serial_events_per_sec": 5.0,
+        }
+
+    def test_ignores_non_dict_results(self):
+        assert dict(check.iter_rates({"results": {"a": 3}})) == {}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        passed, regressed = check.compare(
+            payload(x=100.0), payload(x=95.0), threshold=0.10
+        )
+        assert "x.events_per_sec" in passed and not regressed
+
+    def test_drop_beyond_threshold_regresses(self):
+        passed, regressed = check.compare(
+            payload(x=100.0), payload(x=85.0), threshold=0.10
+        )
+        assert "x.events_per_sec" in regressed and not passed
+
+    def test_improvement_passes(self):
+        passed, regressed = check.compare(
+            payload(x=100.0), payload(x=180.0), threshold=0.10
+        )
+        assert passed["x.events_per_sec"][2] == pytest.approx(1.8)
+
+    def test_unshared_metrics_not_compared(self):
+        passed, regressed = check.compare(
+            payload(x=100.0), payload(y=1.0), threshold=0.10
+        )
+        assert not passed and not regressed
+
+
+class TestMain:
+    def test_exit_zero_when_no_regression(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload(x=100.0, y=50.0))
+        cur = write(tmp_path, "cur.json", payload(x=120.0, y=49.0))
+        assert check.main([base, cur]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload(x=100.0))
+        cur = write(tmp_path, "cur.json", payload(x=80.0))
+        assert check.main([base, cur]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_exit_two_when_nothing_shared(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload(x=100.0))
+        cur = write(tmp_path, "cur.json", payload(y=80.0))
+        assert check.main([base, cur]) == 2
+
+    def test_threshold_flag(self, tmp_path):
+        base = write(tmp_path, "base.json", payload(x=100.0))
+        cur = write(tmp_path, "cur.json", payload(x=80.0))
+        assert check.main([base, cur, "--threshold", "0.25"]) == 0

@@ -1,0 +1,92 @@
+"""Unit tests for the sharded-trial machinery in ``runner.pool``.
+
+``split_shards``/``run_sharded`` let one trial's per-item work (fleet
+vehicles) spread across workers while keeping the merged result
+bit-identical to a single process; these tests pin the splitting algebra
+and the envelope semantics of the merge.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import ShardedJob, run_sharded, split_shards
+
+
+def _identity(shard, *args):
+    return list(shard)
+
+
+def _squares(shard, offset):
+    return [x * x + offset for x in shard]
+
+
+def _fail_on_three(shard):
+    if 3 in shard:
+        raise ValueError("shard contains 3")
+    return list(shard)
+
+
+def _short_changed(shard):
+    return list(shard)[:-1]  # one result too few
+
+
+class TestSplitShards:
+    def test_even_split(self):
+        assert split_shards(range(6), 3) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_remainder_goes_to_early_shards(self):
+        assert split_shards(range(5), 3) == [(0, 1), (2, 3), (4,)]
+
+    def test_more_shards_than_items(self):
+        assert split_shards([1, 2], 8) == [(1,), (2,)]
+
+    def test_empty(self):
+        assert split_shards([], 4) == []
+
+    def test_zero_shards_clamped(self):
+        assert split_shards([1, 2], 0) == [(1, 2)]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        items=st.lists(st.integers(), max_size=40),
+        shards=st.integers(min_value=1, max_value=12),
+    )
+    def test_concatenation_reproduces_items(self, items, shards):
+        chunks = split_shards(items, shards)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert all(chunks)  # every chunk non-empty
+        if items:
+            assert len(chunks) == min(shards, len(items))
+
+
+class TestRunSharded:
+    def test_merged_in_item_order(self):
+        job = ShardedJob(fn=_squares, items=tuple(range(7)), args=(10,), tag="sq")
+        envelope = run_sharded(job, workers=3)
+        assert envelope.ok
+        assert envelope.value == [x * x + 10 for x in range(7)]
+        assert envelope.tag == "sq"
+
+    def test_serial_and_parallel_agree(self):
+        job = ShardedJob(fn=_identity, items=tuple(range(9)))
+        assert run_sharded(job, workers=1).value == run_sharded(job, workers=4).value
+
+    def test_empty_items_trivially_ok(self):
+        envelope = run_sharded(ShardedJob(fn=_identity, items=()), workers=2)
+        assert envelope.ok and envelope.value == []
+
+    def test_failed_shard_fails_whole_trial(self):
+        job = ShardedJob(fn=_fail_on_three, items=tuple(range(6)), tag="boom")
+        envelope = run_sharded(job, workers=2)
+        assert not envelope.ok
+        assert "shards failed" in envelope.error
+        assert "shard contains 3" in envelope.error
+
+    def test_wrong_result_count_is_an_error(self):
+        job = ShardedJob(fn=_short_changed, items=tuple(range(4)))
+        envelope = run_sharded(job, workers=2)
+        assert not envelope.ok
+        assert "results for" in envelope.error

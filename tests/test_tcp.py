@@ -286,3 +286,70 @@ class TestReceiver:
             )
         assert receiver.rcv_nxt == 1000
         assert sum(delivered) == 1000
+
+
+class TestLazyRtoTimer:
+    """PR 3 made the RTO timer lazy: ACKs overwrite a logical deadline and
+    the standing engine event re-arms itself instead of being cancelled and
+    rescheduled per ACK.  These tests pin the observable contract."""
+
+    def test_acks_leave_standing_event_at_or_before_deadline(self, sim):
+        pipe = Pipe(sim, one_way_s=0.05)
+        sender, _ = pipe.build(total_bytes=200_000)
+        sender.start()
+        sim.run(until=0.3)
+        handle = sender._timer
+        assert handle is not None and handle.pending
+        assert handle.time <= sender._rto_deadline
+
+    def test_stale_fire_is_a_noop_on_healthy_flow(self, sim):
+        pipe = Pipe(sim, one_way_s=0.05)
+        sender, _ = pipe.build(total_bytes=None)
+        sender.start()
+        sim.run(until=0.01)
+        first_event_time = sender._timer.time
+        sim.run(until=first_event_time + 1.0)
+        # The original engine event fired long ago, but ACKs kept pushing
+        # the logical deadline out, so no spurious RTO happened.
+        assert sender.timeouts == 0
+
+    def test_rto_still_fires_when_acks_stop(self, sim):
+        blackhole = {"on": False}
+        pipe = Pipe(sim, drop=lambda segment: blackhole["on"])
+        sender, _ = pipe.build(total_bytes=None)
+        sender.start()
+        sim.run(until=1.0)
+        assert sender.timeouts == 0
+        blackhole["on"] = True
+        sim.run(until=1.0 + 4.0 * sender.rto)
+        assert sender.timeouts >= 1
+
+    def test_shrunken_deadline_moves_standing_event(self, sim):
+        pipe = Pipe(sim)
+        sender, _ = pipe.build(total_bytes=None)
+        sender.start()
+        sim.run(until=0.05)
+        standing = sender._timer.time
+        sender._arm(sim.now + 10.0)
+        # Growing the deadline leaves the early standing event in place
+        # (it will fire as a no-op and chase the new deadline).
+        assert sender._timer.time == standing
+        sender._arm(sim.now + 0.5)
+        # Shrinking it below the standing event must move the event, or
+        # the RTO would fire late.
+        assert sender._timer.time == pytest.approx(sim.now + 0.5)
+        assert sender._timer.time < standing
+
+    def test_close_disarms_logically_and_physically(self, sim):
+        import math as _math
+
+        pipe = Pipe(sim)
+        sender, _ = pipe.build(total_bytes=None)
+        sender.start()
+        sim.run(until=0.2)
+        sender.close()
+        assert sender._rto_deadline == _math.inf
+        assert sender._timer is None or not sender._timer.pending
+        timeouts_before = sender.timeouts
+        sim.run(until=5.0)
+        assert sender.timeouts == timeouts_before
