@@ -12,6 +12,11 @@ benches appear, and scale knobs differ between CI jobs.  The compared
 fields are *rates*, so they are insensitive to the seed-count/duration
 knobs even when the baseline was produced at full scale and the check at
 CI's quick scale.
+
+``--strict bench.field:FRACTION`` (repeatable) pins a tighter per-metric
+threshold — e.g. ``--strict telemetry_overhead.events_per_sec:0.02``
+enforces the "disabled telemetry is free" budget at 2 % while the rest of
+the harness keeps the default slack.
 """
 
 from __future__ import annotations
@@ -36,23 +41,40 @@ def iter_rates(payload: dict) -> Iterator[Tuple[str, float]]:
 
 
 def compare(
-    baseline: dict, current: dict, threshold: float
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    strict: Dict[str, float] = None,
 ) -> Tuple[Dict[str, Tuple[float, float, float]], Dict[str, Tuple[float, float, float]]]:
     """Split shared rate metrics into (passed, regressed) mappings.
 
     Each value is ``(baseline, current, ratio)`` with ``ratio =
-    current / baseline``.
+    current / baseline``.  ``strict`` maps metric names to per-metric
+    thresholds that override the default.
     """
     base_rates = dict(iter_rates(baseline))
     cur_rates = dict(iter_rates(current))
+    strict = strict or {}
     passed: Dict[str, Tuple[float, float, float]] = {}
     regressed: Dict[str, Tuple[float, float, float]] = {}
     for name in sorted(set(base_rates) & set(cur_rates)):
         base, cur = base_rates[name], cur_rates[name]
         ratio = cur / base if base > 0 else float("inf")
-        bucket = regressed if ratio < 1.0 - threshold else passed
+        limit = strict.get(name, threshold)
+        bucket = regressed if ratio < 1.0 - limit else passed
         bucket[name] = (base, cur, ratio)
     return passed, regressed
+
+
+def parse_strict(entries) -> Dict[str, float]:
+    """Parse repeated ``bench.field:FRACTION`` options into a mapping."""
+    strict: Dict[str, float] = {}
+    for entry in entries or ():
+        name, sep, frac = entry.rpartition(":")
+        if not sep or not name:
+            raise ValueError(f"--strict wants bench.field:FRACTION, got {entry!r}")
+        strict[name] = float(frac)
+    return strict
 
 
 def main(argv=None) -> int:
@@ -65,12 +87,24 @@ def main(argv=None) -> int:
         default=0.10,
         help="maximum tolerated fractional drop (default 0.10 = 10%%)",
     )
+    parser.add_argument(
+        "--strict",
+        action="append",
+        default=[],
+        metavar="NAME:FRACTION",
+        help="per-metric threshold override, e.g. "
+        "telemetry_overhead.events_per_sec:0.02 (repeatable)",
+    )
     args = parser.parse_args(argv)
+    try:
+        strict = parse_strict(args.strict)
+    except ValueError as exc:
+        parser.error(str(exc))
     with open(args.baseline, encoding="utf-8") as handle:
         baseline = json.load(handle)
     with open(args.current, encoding="utf-8") as handle:
         current = json.load(handle)
-    passed, regressed = compare(baseline, current, args.threshold)
+    passed, regressed = compare(baseline, current, args.threshold, strict)
     if not passed and not regressed:
         print("no shared events/sec metrics to compare", file=sys.stderr)
         return 2

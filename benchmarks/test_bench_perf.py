@@ -203,6 +203,77 @@ def test_perf_fleet(report):
     assert result.rows[0].vehicles == 2
 
 
+def _telemetry_micro(telemetry) -> float:
+    """Events/sec for the scheduler-churn workload under one telemetry mode."""
+    sim = Simulator(seed=0, telemetry=telemetry)
+    fired = 0
+
+    def tick():
+        nonlocal fired
+        fired += 1
+        keep = sim.schedule(1.0, tick)
+        for _ in range(4):
+            sim.schedule(2.0, _noop).cancel()
+        if fired >= 60_000:
+            keep.cancel()
+
+    for i in range(50):
+        sim.schedule(0.001 * i, tick)
+    t0 = time.perf_counter()
+    sim.run(until=5_000.0)
+    wall = time.perf_counter() - t0
+    return sim.events_processed / wall
+
+
+def test_perf_telemetry_overhead(report):
+    """The disabled telemetry path must be free (< 2% engine overhead).
+
+    Three modes, interleaved over 7 paired rounds:
+
+    * ``None``              — the default ``NULL_TELEMETRY`` singleton,
+    * ``Telemetry(enabled=False)`` — a real registry, disabled (what a
+      ``telemetry=False`` spec constructs),
+    * ``Telemetry(enabled=True)``  — full capture incl. the profiled loop
+      (informational; the enabled path is *allowed* to cost wall time).
+
+    The asserted overhead is the *minimum* of the per-round paired ratios:
+    genuine overhead shows up in every round, while container timing noise
+    (CI machines swing ±10%+ between adjacent runs) is round-local, so the
+    cleanest round is the fairest estimate of the true cost.
+
+    The committed ``telemetry_overhead.events_per_sec`` baseline is what
+    ``check_perf_regression.py`` compares against in CI.
+    """
+    from repro.obs.telemetry import Telemetry
+
+    null_best = disabled_best = enabled_best = 0.0
+    paired_overheads = []
+    for _ in range(7):
+        null_rate = _telemetry_micro(None)
+        disabled_rate = _telemetry_micro(Telemetry(enabled=False))
+        enabled_rate = _telemetry_micro(Telemetry(enabled=True))
+        null_best = max(null_best, null_rate)
+        disabled_best = max(disabled_best, disabled_rate)
+        enabled_best = max(enabled_best, enabled_rate)
+        paired_overheads.append(1.0 - disabled_rate / null_rate)
+    overhead = min(paired_overheads)
+    _record(
+        "telemetry_overhead",
+        events_per_sec=disabled_best,
+        null_events_per_sec=null_best,
+        enabled_events_per_sec=enabled_best,
+        disabled_overhead_frac=overhead,
+    )
+    report(
+        "perf/telemetry_overhead",
+        json.dumps(_PERF["telemetry_overhead"], indent=2),
+    )
+    assert overhead < 0.02, (
+        f"disabled telemetry costs {100 * overhead:.2f}% "
+        f"({null_best:.0f} -> {disabled_best:.0f} events/sec)"
+    )
+
+
 def test_perf_fleet_sharded(report):
     """Per-vehicle fleet sharding: wall-clock vs one process, same bits."""
     from repro.experiments.fleet import _run_fleet, run_sharded_trial

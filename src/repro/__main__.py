@@ -19,7 +19,14 @@ Every experiment shares one flag vocabulary, parsed here once:
 ``--duration S``
     simulated seconds per trial,
 ``--json-out PATH``
-    also write the :class:`~repro.runner.TrialResult` envelope as JSON.
+    also write the :class:`~repro.runner.TrialResult` envelope as JSON,
+``--telemetry PATH``
+    capture :mod:`repro.obs` telemetry in every trial and export the
+    snapshots (plus their deterministic merge and a Chrome
+    ``traceEvents`` view) as one JSON payload,
+``--telemetry-summary``
+    capture telemetry and print the merged ASCII summary after the
+    experiment's own rendering (combinable with ``--telemetry``).
 
 Flags map onto the experiment's spec via
 :func:`repro.experiments.api.spec_from_options`, so fields a given spec
@@ -135,6 +142,18 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the result envelope as JSON ('-' for stdout)",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="capture per-trial telemetry and export it (JSON + Chrome "
+        "trace_event) to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-summary",
+        action="store_true",
+        help="capture telemetry and print the merged ASCII summary",
+    )
     return parser
 
 
@@ -166,11 +185,13 @@ def main(argv=None) -> int:
     if args.trials is not None and args.trials < 1:
         print("--trials must be >= 1", file=sys.stderr)
         return 2
+    want_telemetry = args.telemetry is not None or args.telemetry_summary
     spec = spec_from_options(
         experiment.spec_cls,
         seeds=_seeds_from_flags(args.seed, args.trials),
         duration_s=args.duration,
         workers=args.workers,
+        telemetry=True if want_telemetry else None,
     )
     envelope = run_experiment(args.experiment, spec)
     if args.json_out is not None:
@@ -183,6 +204,25 @@ def main(argv=None) -> int:
     if not envelope.ok:
         print(f"experiment failed: {envelope.error}", file=sys.stderr)
         return 1
+    snapshots = []
+    if want_telemetry:
+        from .obs import collect_snapshots
+
+        snapshots = collect_snapshots(envelope.value)
+        if not snapshots:
+            print(
+                f"warning: {args.experiment!r} produced no telemetry "
+                "(analytic experiments ignore --telemetry)",
+                file=sys.stderr,
+            )
+    if args.telemetry is not None and snapshots:
+        from .obs import write_payload
+
+        write_payload(args.telemetry, snapshots)
+        print(
+            f"telemetry: {len(snapshots)} snapshot(s) -> {args.telemetry}",
+            file=sys.stderr,
+        )
     if args.json_out == "-":
         # Keep stdout pure JSON for piping into jq and friends.
         return 0
@@ -191,6 +231,12 @@ def main(argv=None) -> int:
         print(result.render())
     else:
         print(result)
+    if args.telemetry_summary and snapshots:
+        from .analysis.reporting import telemetry_summary
+        from .obs import merge_snapshots
+
+        print()
+        print(telemetry_summary(merge_snapshots(snapshots)))
     return 0
 
 

@@ -3,15 +3,29 @@
 Every experiment module returns structured data *and* can print the same
 rows/series the paper reports.  These helpers keep that rendering uniform:
 aligned ASCII tables, labelled series, and coarse CDF printouts.
+
+:func:`telemetry_summary` renders a :class:`~repro.obs.TelemetrySnapshot`
+(the ``--telemetry-summary`` CLI mode and ``python -m repro.obs summary``
+both route here), reusing :mod:`repro.analysis.ascii_plot` for shape.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
 
+from .ascii_plot import bar_chart
 from .stats import cdf_at
 
-__all__ = ["format_table", "format_series", "format_cdf", "kv_block"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..obs.telemetry import TelemetrySnapshot
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_cdf",
+    "kv_block",
+    "telemetry_summary",
+]
 
 
 def format_table(
@@ -59,6 +73,113 @@ def kv_block(title: str, items: Sequence[Tuple[str, object]]) -> str:
     for key, value in items:
         lines.append(f"  {key.ljust(width)} : {_fmt(value)}")
     return "\n".join(lines)
+
+
+def telemetry_summary(snapshot: "TelemetrySnapshot", top_n: int = 10) -> str:
+    """Render a telemetry snapshot as an ASCII report.
+
+    Sections: top-``top_n`` counters as a bar chart, gauges as a key/value
+    block, histograms with mean and occupied buckets, and per-name span
+    aggregates (count, status mix, total/mean duration).  Wall-clock
+    (nondeterministic) instruments are included and marked ``[wall]``.
+    """
+    blocks: List[str] = []
+    if snapshot.key:
+        blocks.append(f"telemetry summary for {snapshot.key!r}")
+
+    counters = [(name, value) for name, value in snapshot.counters]
+    counters += [(f"{name} [wall]", value) for name, value in snapshot.nondet_counters]
+    if counters:
+        top = sorted(counters, key=lambda kv: (-kv[1], kv[0]))[:top_n]
+        blocks.append(
+            bar_chart(
+                [name for name, _ in top],
+                [value for _, value in top],
+                title=f"top counters ({len(top)} of {len(counters)})",
+            )
+        )
+
+    gauges = [(name, value, high) for name, value, high in snapshot.gauges]
+    gauges += [
+        (f"{name} [wall]", value, high)
+        for name, value, high in snapshot.nondet_gauges
+    ]
+    if gauges:
+        blocks.append(
+            kv_block(
+                "gauges (value / high-water)",
+                [(name, f"{_fmt(value)} / {_fmt(high)}") for name, value, high in gauges],
+            )
+        )
+
+    for name, bounds, counts, total, count in snapshot.histograms:
+        if count == 0:
+            continue
+        labels, values = [], []
+        for i, c in enumerate(counts):
+            if c == 0:
+                continue
+            upper = f"<= {_fmt(bounds[i])}" if i < len(bounds) else f"> {_fmt(bounds[-1])}"
+            labels.append(upper)
+            values.append(float(c))
+        blocks.append(
+            bar_chart(
+                labels,
+                values,
+                title=f"histogram {name} (n={count}, mean={_fmt(total / count)})",
+            )
+        )
+
+    if snapshot.spans:
+        agg: dict = {}
+        for span in snapshot.spans:
+            entry = agg.setdefault(span.name, {"n": 0, "dur": 0.0, "status": {}})
+            entry["n"] += 1
+            entry["dur"] += span.duration_s
+            entry["status"][span.status] = entry["status"].get(span.status, 0) + 1
+        rows = []
+        for name in sorted(agg):
+            entry = agg[name]
+            mix = " ".join(
+                f"{status}:{n}" for status, n in sorted(entry["status"].items())
+            )
+            rows.append(
+                (
+                    name,
+                    entry["n"],
+                    f"{entry['dur']:.3f}s",
+                    f"{entry['dur'] / entry['n']:.3f}s",
+                    mix,
+                )
+            )
+        blocks.append(
+            format_table(
+                ["span", "count", "total", "mean", "statuses"],
+                rows,
+                title=f"spans ({len(snapshot.spans)} total)",
+            )
+        )
+
+    if snapshot.events:
+        by_name: dict = {}
+        for event in snapshot.events:
+            by_name[event.name] = by_name.get(event.name, 0) + 1
+        blocks.append(
+            kv_block(
+                f"events ({len(snapshot.events)} total)",
+                sorted(by_name.items()),
+            )
+        )
+
+    if snapshot.spans_dropped or snapshot.events_dropped:
+        blocks.append(
+            f"dropped: {snapshot.spans_dropped} spans, "
+            f"{snapshot.events_dropped} events (capture cap hit)"
+        )
+
+    if not blocks:
+        return "(empty telemetry snapshot)"
+    return "\n\n".join(blocks)
 
 
 def _fmt(value: object) -> str:

@@ -128,11 +128,22 @@ class _JoinPipeline:
         self._dhcp: Optional[dhcp_mod.DhcpClient] = None
         self._verify_service: Optional[PingService] = None
         self._verify_tries = 0
+        # Phase spans mirror the paper's join decomposition (assoc → DHCP
+        # → verify) under one parent "join" span; each ends where the
+        # corresponding JoinAttempt field is written, so span counts by
+        # status reconcile with JoinLog.failure_breakdown().
+        self._span = None
+        self._assoc_span = None
+        self._dhcp_span = None
+        self._verify_span = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Start the component."""
         config = self.manager.config
+        obs = self.manager.obs
+        self._span = obs.begin_span("join", ap=self.bssid, channel=self.channel)
+        self._assoc_span = obs.begin_span("join.assoc", ap=self.bssid)
         self._associator = mac_mod.Associator(
             self.manager.sim,
             self.iface,
@@ -154,12 +165,27 @@ class _JoinPipeline:
             self._dhcp.abort()
         if self._verify_service is not None:
             self._verify_service.close()
+        self._end_spans("cancelled")
+
+    def _end_spans(self, status: str, stage: Optional[str] = None) -> None:
+        """Close any still-open phase spans, then the parent (idempotent)."""
+        for child in (self._assoc_span, self._dhcp_span, self._verify_span):
+            if child is not None:
+                child.end(status)
+        if self._span is not None:
+            if stage is not None:
+                self._span.end(status, stage=stage)
+            else:
+                self._span.end(status)
 
     # ------------------------------------------------------------------
     def _on_assoc_failed(self, reason: str) -> None:
         if self.cancelled:
             return
         self.attempt.failure_reason = f"association: {reason}"
+        if self._assoc_span is not None:
+            self._assoc_span.end("failed", reason=reason)
+        self._end_spans("failed", stage="assoc")
         self.manager._join_finished(
             self, JoinOutcome.FAILED, self.manager.config.join_blacklist_s
         )
@@ -171,11 +197,20 @@ class _JoinPipeline:
         self.attempt.association_time_s = elapsed
         self.iface.link_associated = True
         config = self.manager.config
+        manager = self.manager
+        if self._assoc_span is not None:
+            self._assoc_span.end("ok")
+        manager._obs_assoc_time.observe(elapsed)
         cached = None
         if config.use_lease_cache:
-            cached = self.manager.lease_cache.get(self.bssid)
+            cached = manager.lease_cache.get(self.bssid)
+            (manager._obs_cache_hits if cached is not None
+             else manager._obs_cache_misses).inc()
+        self._dhcp_span = manager.obs.begin_span(
+            "join.dhcp", ap=self.bssid, cached=cached is not None
+        )
         self._dhcp = dhcp_mod.DhcpClient(
-            self.manager.sim,
+            manager.sim,
             self.iface,
             server_bssid=self.bssid,
             timeout_s=config.dhcp_timeout_s,
@@ -184,6 +219,7 @@ class _JoinPipeline:
             on_success=self._on_leased,
             on_failure=self._on_dhcp_failed,
             on_nak=self._on_nak,
+            telemetry=manager.obs,
         )
         self._dhcp.start()
 
@@ -199,6 +235,9 @@ class _JoinPipeline:
         if self.cancelled:
             return
         self.attempt.failure_reason = f"dhcp: {reason}"
+        if self._dhcp_span is not None:
+            self._dhcp_span.end("failed", reason=reason)
+        self._end_spans("failed", stage="dhcp")
         self.manager.lease_cache.invalidate(self.bssid)
         self.manager._join_finished(
             self,
@@ -213,6 +252,10 @@ class _JoinPipeline:
         self.attempt.dhcp_time_s = elapsed
         self.attempt.used_cache = used_cache
         self.attempt.join_time_s = self.manager.sim.now - self.attempt.started_at
+        if self._dhcp_span is not None:
+            self._dhcp_span.end("ok", used_cache=used_cache)
+        self.manager._obs_dhcp_time.observe(elapsed)
+        self._verify_span = self.manager.obs.begin_span("join.verify", ap=self.bssid)
         self.manager.lease_cache.put(self.bssid, ip, gateway, lease_time_s=600.0)
         self._verify_service = PingService(
             self.manager.sim, self.iface, target_ip=self.manager.world.server.ip
@@ -233,12 +276,15 @@ class _JoinPipeline:
             return
         if reachable:
             self.attempt.verified = True
+            self._end_spans("ok")
+            self.manager._obs_join_time.observe(self.attempt.join_time_s or 0.0)
             self.manager._join_succeeded(self)
             return
         if self._verify_tries <= self.manager.config.verify_retries:
             self._verify_once()
             return
         self.attempt.failure_reason = "verify: end-to-end ping failed"
+        self._end_spans("failed", stage="verify")
         if self._verify_service is not None:
             self._verify_service.close()
             self._verify_service = None
@@ -280,11 +326,25 @@ class LinkManager:
         config: SpiderConfig,
         on_link_up: Optional[Callable[[VirtualInterface], None]] = None,
         on_link_down: Optional[Callable[[VirtualInterface], None]] = None,
+        telemetry=None,
     ):
         self.sim = sim
         self.world = world
         self.nic = nic
         self.config = config
+        # Telemetry scope: SpiderClient passes its per-client scope so a
+        # fleet's vehicles keep distinct name prefixes; default to the
+        # simulator-global registry (the null one when telemetry is off).
+        self.obs = telemetry if telemetry is not None else sim.telemetry
+        self._obs_ticks = self.obs.counter("scan.rounds")
+        self._obs_candidates = self.obs.histogram(
+            "scan.candidates", bounds=(0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0)
+        )
+        self._obs_cache_hits = self.obs.counter("join.lease_cache_hits")
+        self._obs_cache_misses = self.obs.counter("join.lease_cache_misses")
+        self._obs_assoc_time = self.obs.histogram("join.assoc_time_s")
+        self._obs_dhcp_time = self.obs.histogram("join.dhcp_time_s")
+        self._obs_join_time = self.obs.histogram("join.join_time_s")
         self.on_link_up = on_link_up
         self.on_link_down = on_link_down
         self.tracker = UtilityTracker()
@@ -347,6 +407,8 @@ class LinkManager:
         candidates = self.nic.scan_table.fresh_entries(
             now, channels=self.config.mode.channels
         )
+        self._obs_ticks.inc()
+        self._obs_candidates.observe(float(len(candidates)))
         if not candidates:
             return
         exclude = self._in_use | set(self._blacklist)

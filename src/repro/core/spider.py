@@ -72,6 +72,12 @@ class SpiderClient:
         self.recorder = ThroughputRecorder(sim)
         self._flows: Dict[int, ClientFlow] = {}
         self.links_established = 0
+        #: Per-client telemetry scope: every instrument/span this client
+        #: (and its LMM/DHCP machinery) records is prefixed "<client_id>.",
+        #: which is what lets fleet shards extract one vehicle's slice of a
+        #: shared capture (TelemetrySnapshot.scoped).
+        self.obs = sim.telemetry.scope(client_id)
+        self._obs_ttfb = self.obs.histogram("tcp.time_to_first_byte_s")
         #: §4.1 config (4): the multi-channel schedule is used for
         #: *discovery*; once associated the card parks on the AP's channel
         #: ("associated with one AP at a time"), returning to the discovery
@@ -85,6 +91,7 @@ class SpiderClient:
             config,
             on_link_up=self._on_link_up,
             on_link_down=self._on_link_down,
+            telemetry=self.obs,
         )
         self._started = False
 
@@ -117,11 +124,29 @@ class SpiderClient:
             self.set_mode(OperationMode.single_channel(iface.channel))
         if not self.enable_traffic:
             return
+        on_bytes = self.recorder.record
+        if self.obs.enabled:
+            # Close the paper's join decomposition with its last phase:
+            # link-up to first delivered TCP payload byte.  The wrapper
+            # exists only on the enabled path, so disabled runs keep the
+            # direct recorder.record fast path.
+            span = self.obs.begin_span("tcp.setup", ap=iface.bssid)
+            obs, ttfb, link_up_at = self.obs, self._obs_ttfb, self.sim.now
+            record = on_bytes
+
+            def on_bytes(n, _span=span):
+                if not _span.ended:
+                    _span.end("ok")
+                    elapsed = self.sim.now - link_up_at
+                    ttfb.observe(elapsed)
+                    obs.event("tcp.first_byte", ap=iface.bssid, elapsed_s=elapsed)
+                record(n)
+
         self._flows[iface.index] = ClientFlow(
             self.sim,
             self.world,
             iface,
-            on_bytes=self.recorder.record,
+            on_bytes=on_bytes,
             tcp_params=self.tcp_params,
         )
 

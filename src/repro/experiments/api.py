@@ -71,6 +71,11 @@ class ExperimentSpec:
     workers: Optional[int] = None
     timeout_s: Optional[float] = None
     retries: Optional[int] = None
+    #: Capture :mod:`repro.obs` telemetry per trial.  Town-trial-based
+    #: experiments thread this into their TownTrialSpec grid; analytic
+    #: experiments ignore it.  Telemetry never perturbs simulation
+    #: results — metrics are bit-identical either way.
+    telemetry: bool = False
 
     @property
     def seed(self) -> int:

@@ -19,9 +19,10 @@ factories silently fall back to serial execution.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.telemetry import Telemetry, TelemetrySnapshot, merge_snapshots
 from ..runner import TrialJob, TrialResult, run_jobs, unwrap_all
 from ..sim.engine import Simulator
 from ..sim.faults import FaultPlan, install_faults
@@ -71,6 +72,11 @@ class TownRunMetrics:
     join_log: JoinLog
     links_established: int
     events_processed: int
+    #: Per-trial :mod:`repro.obs` capture (``None`` unless the trial ran
+    #: with ``telemetry=True``).  Snapshots are frozen and picklable, so
+    #: they ride the TrialResult envelope across worker processes and are
+    #: merged deterministically on the submitting side.
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 def run_town_trial(
@@ -81,6 +87,7 @@ def run_town_trial(
     town: Union[str, TownConfig, None] = "amherst",
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
     faults: Optional[FaultPlan] = None,
+    telemetry: bool = False,
 ) -> TownRunMetrics:
     """Build a town, drive one client around it, and collect metrics.
 
@@ -88,8 +95,14 @@ def run_town_trial(
     town's infrastructure before the client starts; ``None`` (or an empty
     plan) leaves the run untouched — and consumes zero extra randomness, so
     fault-free metrics are unchanged by the subsystem's existence.
+
+    ``telemetry=True`` attaches a :class:`repro.obs.Telemetry` registry to
+    the simulator and returns its snapshot on the metrics object.
+    Telemetry neither schedules events nor consumes RNG, so the metric
+    fields are bit-identical with it on or off.
     """
-    sim = Simulator(seed=seed)
+    tele = Telemetry(enabled=True, key=("town", label, seed)) if telemetry else None
+    sim = Simulator(seed=seed, telemetry=tele)
     if isinstance(town, TownConfig):
         instance = build_town(sim, config=town)
     else:
@@ -114,6 +127,7 @@ def run_town_trial(
         join_log=client.join_log,
         links_established=client.links_established,
         events_processed=sim.events_processed,
+        telemetry=tele.snapshot() if tele is not None else None,
     )
 
 
@@ -166,6 +180,18 @@ class AggregatedMetrics:
         rates = [t.join_log.dhcp_failure_rate() for t in self.trials]
         return [r for r in rates if r == r]  # drop NaN
 
+    def merged_telemetry(self) -> Optional[TelemetrySnapshot]:
+        """All trials' telemetry merged in seed order, or ``None``.
+
+        Trials arrive in spec (seed) order regardless of worker layout, so
+        the merge is deterministic — the same discipline the metric
+        aggregation relies on.
+        """
+        snaps = [t.telemetry for t in self.trials if t.telemetry is not None]
+        if not snaps:
+            return None
+        return merge_snapshots(snaps, key=("label", self.label))
+
 
 @dataclass(frozen=True)
 class TownTrialSpec:
@@ -182,6 +208,7 @@ class TownTrialSpec:
     town: Union[str, TownConfig, None] = "amherst"
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS
     faults: Optional[FaultPlan] = None
+    telemetry: bool = False
 
 
 def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
@@ -194,6 +221,7 @@ def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
         town=spec.town,
         speed_mps=spec.speed_mps,
         faults=spec.faults,
+        telemetry=spec.telemetry,
     )
 
 
@@ -202,6 +230,7 @@ def run_town_trial_envelopes(
     workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> List[TrialResult]:
     """Fan trial specs across workers; envelopes in spec order.
 
@@ -210,7 +239,14 @@ def run_town_trial_envelopes(
     balances across all of it, then regroup the ordered results.  Each
     envelope's ``tag`` is ``(label, seed)``; failed trials come back as
     ``ok=False`` without disturbing their siblings.
+
+    ``telemetry`` (non-``None``) overrides every spec's ``telemetry``
+    field, which is how experiments thread the shared
+    ``ExperimentSpec.telemetry`` flag through an existing grid without
+    each module rebuilding its specs.
     """
+    if telemetry is not None:
+        specs = [replace(spec, telemetry=telemetry) for spec in specs]
     jobs = [
         TrialJob(run_town_trial_spec, (spec,), tag=(spec.label, spec.seed))
         for spec in specs
@@ -258,6 +294,7 @@ def aggregate_town_trials(
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
     strict: bool = False,
+    telemetry: Optional[bool] = None,
 ) -> Dict[str, AggregatedMetrics]:
     """Fan specs out and regroup the results per label, in spec order.
 
@@ -271,7 +308,11 @@ def aggregate_town_trials(
     """
     if envelopes is None:
         envelopes = run_town_trial_envelopes(
-            specs, workers=workers, timeout_s=timeout_s, retries=retries
+            specs,
+            workers=workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            telemetry=telemetry,
         )
     if strict:
         pairs = list(zip(specs, unwrap_all(envelopes)))
@@ -293,6 +334,7 @@ def run_town_trials(
     town: Union[str, TownConfig, None] = "amherst",
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
     workers: Optional[int] = None,
+    telemetry: bool = False,
 ) -> AggregatedMetrics:
     """Repeat :func:`run_town_trial` over seeds and aggregate.
 
@@ -309,6 +351,7 @@ def run_town_trials(
             duration_s=duration_s,
             town=town,
             speed_mps=speed_mps,
+            telemetry=telemetry,
         )
         for seed in seeds
     ]

@@ -32,6 +32,7 @@ from ..sim.faults import (
     LeaseExhaustion,
     RandomOutages,
 )
+from ..obs.telemetry import TelemetrySnapshot
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 from .town_runs import spider_factory, stock_factory
@@ -118,6 +119,10 @@ class FaultSweepResult:
     rows: List[FaultSweepRow]
     duration_s: float
     seeds: Sequence[int]
+    #: Per-trial telemetry snapshots in grid-then-seed order when the spec
+    #: ran with ``telemetry=True`` (``None`` otherwise).  The generic
+    #: ``--telemetry`` export finds these via ``repro.obs.collect_snapshots``.
+    telemetry: Optional[Tuple[TelemetrySnapshot, ...]] = None
 
     def row(self, scenario: str, client: str) -> FaultSweepRow:
         """The cell for one (scenario, client) pair."""
@@ -218,6 +223,7 @@ def _run(
     timeout_s: Optional[float],
     retries: Optional[int],
     scenario_names: Optional[Sequence[str]],
+    telemetry: bool = False,
 ) -> FaultSweepResult:
     """The full ``scenario x client x seed`` grid fans out as one batch;
     trials that crash or hang are dropped with a warning (the envelope
@@ -251,7 +257,11 @@ def _run(
         for seed in seeds
     ]
     per_label = aggregate_town_trials(
-        specs, workers=workers, timeout_s=timeout_s, retries=retries
+        specs,
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        telemetry=True if telemetry else None,
     )
     rows = [
         _pool_row(
@@ -264,7 +274,22 @@ def _run(
         )
         for scenario, client_label, _factory, _plan in grid
     ]
-    return FaultSweepResult(rows=rows, duration_s=duration_s, seeds=seeds)
+    snapshots = None
+    if telemetry:
+        # Grid-then-seed order mirrors the spec batch, so serial and
+        # parallel sweeps export identical snapshot sequences.
+        snapshots = tuple(
+            trial.telemetry
+            for scenario, client_label, _factory, _plan in grid
+            for trial in per_label.get(
+                f"{scenario} / {client_label}",
+                AggregatedMetrics(label="", trials=[]),
+            ).trials
+            if trial.telemetry is not None
+        )
+    return FaultSweepResult(
+        rows=rows, duration_s=duration_s, seeds=seeds, telemetry=snapshots
+    )
 
 
 @register("fault-sweep", FaultSweepSpec, summary="join failures under injected faults")
@@ -277,6 +302,7 @@ def run_spec(spec: FaultSweepSpec) -> FaultSweepResult:
         spec.timeout_s,
         spec.retries,
         spec.scenario_names,
+        telemetry=spec.telemetry,
     )
 
 

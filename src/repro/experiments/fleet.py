@@ -18,6 +18,7 @@ from ..analysis.reporting import format_table
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
+from ..obs.telemetry import Telemetry, TelemetrySnapshot
 from ..runner import ShardedJob, TrialJob, run_jobs, run_sharded
 from ..sim.engine import Simulator
 from ..workloads.town import build_town
@@ -41,12 +42,19 @@ class FleetRow:
     per_vehicle_kBps: float
     aggregate_kBps: float
     mean_connectivity_pct: float
+    #: Per-vehicle telemetry slices (``veh{i}.``-scoped) in vehicle order
+    #: when the trial ran with telemetry; ``None`` otherwise.
+    vehicle_telemetry: Optional[Tuple[TelemetrySnapshot, ...]] = None
 
 
 @dataclass
 class FleetResult:
     """All fleet rows."""
     rows: List[FleetRow]
+    #: Per-vehicle snapshots in (fleet size, seed, vehicle) order when the
+    #: spec ran with ``telemetry=True`` — the generic ``--telemetry``
+    #: export picks these up via ``repro.obs.collect_snapshots``.
+    telemetry: Optional[Tuple[TelemetrySnapshot, ...]] = None
 
     def aggregate_grows(self) -> bool:
         """Whether aggregate fleet throughput is (weakly) increasing."""
@@ -81,7 +89,8 @@ def _vehicle_stats(
     seed: int,
     duration_s: float,
     town_preset: str,
-) -> List[Tuple[float, float]]:
+    telemetry: bool = False,
+) -> List[Tuple]:
     """Drive the full ``n_vehicles`` fleet, extract stats for a subset.
 
     Vehicles interact through shared airtime, backhaul, and the LMM's
@@ -90,8 +99,20 @@ def _vehicle_stats(
     replays the identical run and reads out only its own vehicles'
     ``(throughput_kBps, connectivity_pct)`` pairs, which is what makes the
     sharded merge bit-identical to a single-process run.
+
+    With ``telemetry=True`` each tuple gains a third element: the
+    vehicle's ``"veh{i}."``-scoped :class:`TelemetrySnapshot` slice of the
+    shared capture.  Because every shard replays the identical coupled
+    simulation, a vehicle's slice is the same no matter which shard
+    extracts it — so the concatenated sharded telemetry is byte-identical
+    to the single-process capture, vehicle for vehicle.
     """
-    sim = Simulator(seed=seed)
+    tele = (
+        Telemetry(enabled=True, key=("fleet", n_vehicles, seed))
+        if telemetry
+        else None
+    )
+    sim = Simulator(seed=seed, telemetry=tele)
     town = build_town(sim, preset=town_preset)
     spacing = town.config.loop_length_m / max(n_vehicles, 1)
     clients = []
@@ -106,6 +127,16 @@ def _vehicle_stats(
         client.start()
         clients.append(client)
     sim.run(until=duration_s)
+    if tele is not None:
+        snap = tele.snapshot()
+        return [
+            (
+                clients[i].average_throughput_kBps(duration_s),
+                clients[i].connectivity_percent(duration_s),
+                snap.scoped(f"veh{i}."),
+            )
+            for i in vehicle_indices
+        ]
     return [
         (
             clients[i].average_throughput_kBps(duration_s),
@@ -115,28 +146,38 @@ def _vehicle_stats(
     ]
 
 
-def _row_from_stats(
-    n_vehicles: int, stats: Sequence[Tuple[float, float]]
-) -> FleetRow:
-    """Fold per-vehicle ``(throughput, connectivity)`` pairs into a row.
+def _row_from_stats(n_vehicles: int, stats: Sequence[Tuple]) -> FleetRow:
+    """Fold per-vehicle ``(throughput, connectivity[, telemetry])`` tuples
+    into a row.
 
     Sums run in vehicle order, so sharded (concatenated) and unsharded
-    stat lists produce bit-identical floats.
+    stat lists produce bit-identical floats — and identical telemetry
+    tuples, when present.
     """
     throughputs = [s[0] for s in stats]
     connectivities = [s[1] for s in stats]
+    snapshots = tuple(s[2] for s in stats if len(s) > 2) or None
     return FleetRow(
         vehicles=n_vehicles,
         per_vehicle_kBps=sum(throughputs) / n_vehicles,
         aggregate_kBps=sum(throughputs),
         mean_connectivity_pct=sum(connectivities) / n_vehicles,
+        vehicle_telemetry=snapshots,
     )
 
 
-def _run_fleet(n_vehicles: int, seed: int, duration_s: float, town_preset: str) -> FleetRow:
+def _run_fleet(
+    n_vehicles: int,
+    seed: int,
+    duration_s: float,
+    town_preset: str,
+    telemetry: bool = False,
+) -> FleetRow:
     return _row_from_stats(
         n_vehicles,
-        _vehicle_stats(range(n_vehicles), n_vehicles, seed, duration_s, town_preset),
+        _vehicle_stats(
+            range(n_vehicles), n_vehicles, seed, duration_s, town_preset, telemetry
+        ),
     )
 
 
@@ -148,6 +189,7 @@ def run_sharded_trial(
     workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
+    telemetry: bool = False,
 ) -> FleetRow:
     """One fleet trial with its vehicles sharded across worker processes.
 
@@ -164,7 +206,7 @@ def run_sharded_trial(
     job = ShardedJob(
         fn=_vehicle_stats,
         items=tuple(range(n_vehicles)),
-        args=(n_vehicles, seed, duration_s, town_preset),
+        args=(n_vehicles, seed, duration_s, town_preset, telemetry),
         tag=("fleet", n_vehicles, seed),
     )
     envelope = run_sharded(
@@ -187,6 +229,7 @@ def _run(
     duration_s: float,
     town_preset: str,
     workers: Optional[int],
+    telemetry: bool = False,
 ) -> FleetResult:
     """Every ``(fleet size, seed)`` drive is an independent simulation, so
     the whole grid fans out through :mod:`repro.runner`; per-size
@@ -195,7 +238,7 @@ def _run(
     jobs = [
         TrialJob(
             _run_fleet,
-            (size, seed, duration_s, town_preset),
+            (size, seed, duration_s, town_preset, telemetry),
             tag=(size, seed),
         )
         for size in fleet_sizes
@@ -206,9 +249,13 @@ def _run(
     for job, result in zip(jobs, envelopes):
         by_size.setdefault(job.tag[0], []).append(result.unwrap())
     rows = []
+    snapshots: List[TelemetrySnapshot] = []
     for size in fleet_sizes:
         per_seed = by_size[size]
         n = len(per_seed)
+        for r in per_seed:
+            if r.vehicle_telemetry:
+                snapshots.extend(r.vehicle_telemetry)
         rows.append(
             FleetRow(
                 vehicles=size,
@@ -219,13 +266,18 @@ def _run(
                 ) / n,
             )
         )
-    return FleetResult(rows=rows)
+    return FleetResult(rows=rows, telemetry=tuple(snapshots) or None)
 
 
 @register("fleet", FleetSpec, summary="fleet scaling on one shared town")
 def run_spec(spec: FleetSpec) -> FleetResult:
     return _run(
-        spec.fleet_sizes, spec.seeds, spec.duration_s, spec.town, spec.workers
+        spec.fleet_sizes,
+        spec.seeds,
+        spec.duration_s,
+        spec.town,
+        spec.workers,
+        telemetry=spec.telemetry,
     )
 
 

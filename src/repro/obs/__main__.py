@@ -1,0 +1,71 @@
+"""Telemetry file utilities: schema validation and ASCII summaries.
+
+Usage::
+
+    python -m repro.obs validate trace.json           # exit 0 iff valid
+    python -m repro.obs summary trace.json --top 15   # ASCII summary
+
+``validate`` is the schema gate CI runs against the ``--telemetry``
+artifact; ``summary`` renders the same view ``--telemetry-summary``
+prints at the end of an experiment run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import load_payload, snapshot_from_jsonable, validate_payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate or summarize an exported telemetry file.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser("validate", help="schema-check a telemetry JSON file")
+    validate.add_argument("path")
+    summary = sub.add_parser("summary", help="print an ASCII telemetry summary")
+    summary.add_argument("path")
+    summary.add_argument(
+        "--top", type=int, default=10, metavar="N", help="rows per table (default 10)"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        payload = load_payload(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "validate":
+        problems = validate_payload(payload)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print(f"{args.path}: INVALID ({len(problems)} problem(s))")
+            return 1
+        merged = payload.get("merged", {})
+        print(
+            f"{args.path}: ok — {payload.get('snapshot_count', 0)} snapshot(s), "
+            f"{len(merged.get('counters', {}))} counters, "
+            f"{len(merged.get('spans', []))} spans, "
+            f"{len(payload.get('traceEvents', []))} trace events"
+        )
+        return 0
+
+    # summary
+    from ..analysis.reporting import telemetry_summary
+
+    snap = snapshot_from_jsonable(payload.get("merged", {}))
+    try:
+        print(telemetry_summary(snap, top_n=args.top))
+    except BrokenPipeError:
+        # Summaries get piped into `head`; a closed pipe is not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,14 @@ but timeouts are not enforced (there is no process to kill) and a hard
 crash takes the parent down with it.  Jobs that cannot be pickled (e.g.
 ad-hoc lambda factories from a notebook) also degrade to the serial path
 rather than failing.
+
+Telemetry rides the same envelopes: a trial that captures a
+:class:`~repro.obs.telemetry.TelemetrySnapshot` (frozen and picklable by
+design) returns it inside its result object, and the submission-order merge
+discipline above is exactly what makes
+:func:`~repro.obs.telemetry.merge_snapshots` deterministic across worker
+counts — snapshots arrive in the same order whether the pool ran serial,
+parallel, or sharded (replica captures deduplicate by snapshot ``key``).
 """
 
 from __future__ import annotations

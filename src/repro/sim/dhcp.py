@@ -300,10 +300,21 @@ class DhcpClient:
         on_success: Optional[Callable[[str, str, float, bool], None]] = None,
         on_failure: Optional[Callable[[str], None]] = None,
         on_nak: Optional[Callable[[], None]] = None,
+        telemetry=None,
     ):
         if timeout_s <= 0 or attempt_budget_s <= 0:
             raise ValueError("timeout_s and attempt_budget_s must be positive")
         self.sim = sim
+        # Telemetry: callers (the link manager) pass their own scope so
+        # attempts land under e.g. "veh0.dhcp.*"; standalone clients write
+        # the simulator-global registry.  Instruments are cached here so a
+        # disabled registry costs a no-op call on the rare paths only.
+        tele = telemetry if telemetry is not None else sim.telemetry
+        self._obs = tele
+        self._obs_retransmits = tele.counter("dhcp.retransmits")
+        self._obs_naks = tele.counter("dhcp.naks")
+        self._obs_lease_time = tele.histogram("dhcp.lease_time_s")
+        self._obs_span = None
         self.iface = iface
         self.server_bssid = server_bssid
         self.timeout_s = timeout_s
@@ -328,6 +339,9 @@ class DhcpClient:
         if self.state is not DhcpClientState.IDLE:
             raise RuntimeError(f"dhcp client already started (state={self.state})")
         self.started_at = self.sim.now
+        self._obs_span = self._obs.begin_span(
+            "dhcp.attempt", bssid=self.server_bssid, cached=self.cached is not None
+        )
         self.iface.handlers[FrameKind.DHCP] = self._on_frame
         self._budget_timer = self.sim.schedule(self.attempt_budget_s, self._on_budget_exhausted)
         if self.cached is not None:
@@ -342,6 +356,8 @@ class DhcpClient:
         """Abort without invoking completion callbacks."""
         self._teardown()
         self.state = DhcpClientState.FAILED
+        if self._obs_span is not None:
+            self._obs_span.end("cancelled")
 
     # ------------------------------------------------------------------
     def _send_current_step(self) -> None:
@@ -382,6 +398,7 @@ class DhcpClient:
         if self.state in (DhcpClientState.BOUND, DhcpClientState.FAILED):
             return
         self.retransmits += 1
+        self._obs_retransmits.inc()
         self._send_current_step()
 
     def _on_budget_exhausted(self) -> None:
@@ -406,6 +423,7 @@ class DhcpClient:
         elif message.dhcp_type is DhcpType.NAK and self.state is DhcpClientState.REQUESTING:
             # Cached address rejected: restart with a full DISCOVER.
             self.naks_received += 1
+            self._obs_naks.inc()
             if self.on_nak is not None:
                 self.on_nak()
             self.used_cache = False
@@ -426,6 +444,9 @@ class DhcpClient:
             "%s leased %s from %s in %.3fs (cache=%s)",
             self.iface.mac, ip, self.server_bssid, elapsed, self.used_cache,
         )
+        self._obs_lease_time.observe(elapsed)
+        if self._obs_span is not None:
+            self._obs_span.end("ok", used_cache=self.used_cache)
         if self.on_success is not None:
             self.on_success(ip, gateway, elapsed, self.used_cache)
 
@@ -433,6 +454,8 @@ class DhcpClient:
         self._teardown()
         self.state = DhcpClientState.FAILED
         logger.debug("%s dhcp via %s failed: %s", self.iface.mac, self.server_bssid, reason)
+        if self._obs_span is not None:
+            self._obs_span.end("failed", reason=reason)
         if self.on_failure is not None:
             self.on_failure(reason)
 

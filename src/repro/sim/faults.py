@@ -211,6 +211,11 @@ class FaultInjector:
         #: Fired actions as ``(time, action, target)`` — test/report aid.
         self.injected: List[Tuple[float, str, str]] = []
         self._installed = False
+        # Mirror every activation into telemetry (no-ops when disabled):
+        # a "fault" event per action plus a running count, so traces show
+        # faults inline with the join spans they disrupt.
+        self._obs = sim.telemetry
+        self._obs_count = sim.telemetry.counter("faults.injected")
 
     # ------------------------------------------------------------------
     def install(self) -> None:
@@ -297,17 +302,22 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Actions (fire on the engine clock)
     # ------------------------------------------------------------------
+    def _record(self, action: str, target: str) -> None:
+        self.injected.append((self.sim.now, action, target))
+        self._obs_count.inc()
+        self._obs.event("fault", action=action, target=target)
+
     def _fail_ap(self, bssid: str) -> None:
         ap = self.world.aps.get(bssid)
         if ap is not None and not ap.failed:
             ap.fail()
-            self.injected.append((self.sim.now, "ap_fail", bssid))
+            self._record("ap_fail", bssid)
 
     def _recover_ap(self, bssid: str) -> None:
         ap = self.world.aps.get(bssid)
         if ap is not None and ap.failed:
             ap.recover()
-            self.injected.append((self.sim.now, "ap_recover", bssid))
+            self._record("ap_recover", bssid)
 
     def _dhcp_window(self, action: str, bssid: Optional[str], until_s: float) -> None:
         for target, server in self._servers(bssid):
@@ -317,7 +327,7 @@ class FaultInjector:
                 server.force_nak(until_s)
             else:
                 server.exhaust(until_s)
-            self.injected.append((self.sim.now, f"dhcp_{action}", target))
+            self._record(f"dhcp_{action}", target)
 
     def _bursty_on(self, event: BurstyLoss) -> None:
         model = GilbertElliottLoss(
@@ -329,11 +339,11 @@ class FaultInjector:
             start_s=self.sim.now,
         )
         self.world.medium.set_bursty_loss(model)
-        self.injected.append((self.sim.now, "bursty_on", "medium"))
+        self._record("bursty_on", "medium")
 
     def _bursty_off(self) -> None:
         self.world.medium.clear_bursty_loss()
-        self.injected.append((self.sim.now, "bursty_off", "medium"))
+        self._record("bursty_off", "medium")
 
 
 def install_faults(

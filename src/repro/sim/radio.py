@@ -20,6 +20,11 @@ The model is deliberately at the granularity the paper's analysis needs:
 
 Stations are any objects satisfying :class:`Station`; mobile clients and APs
 both register with the medium.
+
+Observability: delivered frames are visible to ``delivery_hooks``
+subscribers such as :class:`repro.sim.tracing.FrameTrace`; frames killed by
+the loss draw never reach the hooks and surface only through the
+``medium.drops`` counter in :mod:`repro.obs` (mirroring ``frames_lost``).
 """
 
 from __future__ import annotations
@@ -179,6 +184,11 @@ class Medium:
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_lost = 0
+        # Lost frames never reach delivery_hooks, so FrameTrace
+        # (sim/tracing.py) cannot see them; the obs counter is the only
+        # place drops surface.  Cached here so the disabled path pays a
+        # single no-op call on the (rare) loss branch.
+        self._obs_drops = sim.telemetry.counter("medium.drops")
 
     # ------------------------------------------------------------------
     def _cell_of(self, channel: int, x: float, y: float) -> Tuple[int, int, int]:
@@ -440,6 +450,7 @@ class Medium:
             receiver_reachable = True
             if rng_random() < loss_p:
                 self.frames_lost += 1
+                self._obs_drops.inc()
                 continue
             self.frames_delivered += 1
             for hook in hooks:

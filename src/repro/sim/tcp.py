@@ -91,6 +91,13 @@ class TcpSender:
         self.fast_retransmits = 0
         self.segments_sent = 0
         self.bytes_acked = 0
+        # Telemetry covers the rare recovery paths only (RTO, fast
+        # retransmit) plus a flow-open event — never the per-segment hot
+        # path.  Cached instruments are no-ops when telemetry is disabled.
+        tele = sim.telemetry
+        self._obs_rto = tele.counter("tcp.rto_fired")
+        self._obs_fast_rtx = tele.counter("tcp.fast_retransmits")
+        tele.event("tcp.flow_open", flow=flow_id, dst=dst_ip)
 
         self._timer: Optional[EventHandle] = None
         # Lazy RTO timer: the *logical* deadline lives here (+inf = not
@@ -213,6 +220,7 @@ class TcpSender:
     def _on_rto(self) -> None:
         self._rto_deadline = math.inf
         self.timeouts += 1
+        self._obs_rto.inc()
         flight_segments = max(self.flight_bytes / self.p.mss, 1.0)
         self.ssthresh = max(flight_segments / 2.0, 2.0)
         self.cwnd = 1.0
@@ -271,6 +279,7 @@ class TcpSender:
 
     def _fast_retransmit(self) -> None:
         self.fast_retransmits += 1
+        self._obs_fast_rtx.inc()
         flight_segments = max(self.flight_bytes / self.p.mss, 1.0)
         self.ssthresh = max(flight_segments / 2.0, 2.0)
         self.cwnd = self.ssthresh

@@ -9,7 +9,11 @@ would reach for when a join pipeline stalls.
 
 The trace observes *deliveries*; frames lost to the channel or to absent
 receivers never appear (exactly like a sniffer co-located with the
-receiver).
+receiver).  Loss is not invisible, though: the medium counts every frame
+killed by the loss draw into the ``medium.drops`` counter of the
+:mod:`repro.obs` telemetry registry (and into ``Medium.frames_lost``), so
+a trial capture shows drops right next to the deliveries recorded here —
+see the Observability note in :mod:`repro.sim.radio`.
 """
 
 from __future__ import annotations

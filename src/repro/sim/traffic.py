@@ -32,7 +32,6 @@ __all__ = ["PingService", "LivenessMonitor", "ClientFlow"]
 logger = logging.getLogger(__name__)
 
 _ping_tokens = itertools.count(1)
-_flow_ids = itertools.count(1)
 
 #: Liveness probe rate (pings per second) from §3.2.2.
 LIVENESS_PING_RATE_HZ = 10.0
@@ -177,7 +176,10 @@ class ClientFlow:
         self.sim = sim
         self.world = world
         self.iface = iface
-        self.flow_id = f"flow{next(_flow_ids)}"
+        # World-scoped, not process-global: flow ids appear in telemetry
+        # events, so numbering must be a pure function of the simulation
+        # (identical whichever process layout ran the trial).
+        self.flow_id = world.next_flow_id()
         self.closed = False
 
         def send_ack(segment: TcpSegment) -> None:

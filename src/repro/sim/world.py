@@ -108,6 +108,18 @@ class World:
         self.aps: Dict[str, AccessPoint] = {}
         self._ap_by_subnet: Dict[str, AccessPoint] = {}
         self._next_ap_index = 1
+        self._next_flow_index = 1
+
+    def next_flow_id(self) -> str:
+        """Allocate a world-unique flow id (``flow1``, ``flow2``, ...).
+
+        World-scoped rather than process-global so the ids — which leak
+        into telemetry events — are deterministic for a given simulation
+        regardless of how trials are packed into worker processes.
+        """
+        flow_id = f"flow{self._next_flow_index}"
+        self._next_flow_index += 1
+        return flow_id
 
     # ------------------------------------------------------------------
     # Topology construction

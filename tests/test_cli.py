@@ -29,3 +29,35 @@ class TestCli:
     def test_knapsack_runs_end_to_end(self, capsys):
         assert main(["knapsack"]) == 0
         assert "Appendix A" in capsys.readouterr().out
+
+
+class TestCliTelemetry:
+    def test_telemetry_flags_export_and_summarize(self, tmp_path, capsys):
+        from repro.obs import load_payload, validate_payload
+
+        path = tmp_path / "tele.json"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--trials", "1",
+                    "--duration", "20",
+                    "--telemetry", str(path),
+                    "--telemetry-summary",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Fleet scaling" in captured.out
+        assert "top counters" in captured.out  # the ASCII summary
+        assert "telemetry:" in captured.err  # export confirmation
+        payload = load_payload(str(path))
+        assert validate_payload(payload) == []
+        assert payload["snapshot_count"] > 0
+
+    def test_analytic_experiment_warns_without_snapshots(self, tmp_path, capsys):
+        path = tmp_path / "none.json"
+        assert main(["fig3", "--telemetry", str(path)]) == 0
+        assert "produced no telemetry" in capsys.readouterr().err
+        assert not path.exists()
