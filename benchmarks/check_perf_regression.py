@@ -16,7 +16,14 @@ CI's quick scale.
 ``--strict bench.field:FRACTION`` (repeatable) pins a tighter per-metric
 threshold — e.g. ``--strict telemetry_overhead.events_per_sec:0.02``
 enforces the "disabled telemetry is free" budget at 2 % while the rest of
-the harness keeps the default slack.
+the harness keeps the default slack.  Naming a gate that is absent from
+the compared files is a configuration error (exit 2 with the known gate
+list), not a silent no-op.
+
+``--list`` prints every gate name and its committed baseline value, then
+exits — handy for discovering what ``--strict`` can pin::
+
+    python benchmarks/check_perf_regression.py --list BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -80,7 +87,12 @@ def parse_strict(entries) -> Dict[str, float]:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline BENCH_perf.json")
-    parser.add_argument("current", help="freshly generated BENCH_perf.json")
+    parser.add_argument(
+        "current",
+        nargs="?",
+        default=None,
+        help="freshly generated BENCH_perf.json (not needed with --list)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -95,6 +107,11 @@ def main(argv=None) -> int:
         help="per-metric threshold override, e.g. "
         "telemetry_overhead.events_per_sec:0.02 (repeatable)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print gate names and committed baseline values, then exit",
+    )
     args = parser.parse_args(argv)
     try:
         strict = parse_strict(args.strict)
@@ -102,9 +119,30 @@ def main(argv=None) -> int:
         parser.error(str(exc))
     with open(args.baseline, encoding="utf-8") as handle:
         baseline = json.load(handle)
+    if args.list:
+        rates = dict(iter_rates(baseline))
+        if not rates:
+            print(f"no events/sec gates in {args.baseline}", file=sys.stderr)
+            return 2
+        width = max(len(name) for name in rates)
+        for name, value in rates.items():
+            print(f"{name:<{width}}  {value:12.1f}")
+        return 0
+    if args.current is None:
+        parser.error("current BENCH_perf.json is required (or use --list)")
     with open(args.current, encoding="utf-8") as handle:
         current = json.load(handle)
     passed, regressed = compare(baseline, current, args.threshold, strict)
+    known = set(passed) | set(regressed)
+    unknown = sorted(set(strict) - known)
+    if unknown:
+        names = ", ".join(sorted(known)) or "(none)"
+        print(
+            f"unknown gate(s) {', '.join(unknown)} named via --strict; "
+            f"gates present in both files: {names}",
+            file=sys.stderr,
+        )
+        return 2
     if not passed and not regressed:
         print("no shared events/sec metrics to compare", file=sys.stderr)
         return 2

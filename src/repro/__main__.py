@@ -26,7 +26,14 @@ Every experiment shares one flag vocabulary, parsed here once:
     ``traceEvents`` view) as one JSON payload,
 ``--telemetry-summary``
     capture telemetry and print the merged ASCII summary after the
-    experiment's own rendering (combinable with ``--telemetry``).
+    experiment's own rendering (combinable with ``--telemetry``),
+``--cache`` / ``--no-cache``
+    force the content-addressed trial-result cache on/off (default:
+    the ``REPRO_CACHE`` environment variable; see :mod:`repro.cache`),
+``--cache-dir PATH``
+    where the cache lives (default: ``REPRO_CACHE_DIR`` or
+    ``.repro_cache``).  A warm re-run replays cached trials and is
+    byte-identical — results and telemetry — to the cold run.
 
 Flags map onto the experiment's spec via
 :func:`repro.experiments.api.spec_from_options`, so fields a given spec
@@ -154,6 +161,27 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="capture telemetry and print the merged ASCII summary",
     )
+    parser.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_const",
+        const=True,
+        default=None,
+        help="memoize trial results in the content-addressed cache",
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_const",
+        const=False,
+        help="disable the trial-result cache (overrides REPRO_CACHE)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
     return parser
 
 
@@ -192,8 +220,17 @@ def main(argv=None) -> int:
         duration_s=args.duration,
         workers=args.workers,
         telemetry=True if want_telemetry else None,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
     )
+    # Resolve the cache here too (same shared instance the experiment
+    # registry will activate) so its hit/miss stats can be reported below.
+    from .cache import resolve_cache
+
+    store = resolve_cache(args.cache, args.cache_dir)
     envelope = run_experiment(args.experiment, spec)
+    if store is not None:
+        print(store.describe(), file=sys.stderr)
     if args.json_out is not None:
         payload = json.dumps(to_jsonable(envelope), indent=2, sort_keys=True)
         if args.json_out == "-":

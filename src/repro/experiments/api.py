@@ -76,6 +76,15 @@ class ExperimentSpec:
     #: experiments ignore it.  Telemetry never perturbs simulation
     #: results — metrics are bit-identical either way.
     telemetry: bool = False
+    #: Trial-result cache: ``True``/``False`` force it on/off, ``None``
+    #: defers to the ``REPRO_CACHE`` environment variable.  The experiment
+    #: registry activates the resolved :class:`repro.cache.TrialCache`
+    #: around the runner, so every trial fan-out underneath (including
+    #: sharded fleets) memoizes transparently.  Warm results — telemetry
+    #: snapshots included — are byte-identical to cold ones.
+    cache: Optional[bool] = None
+    #: Cache directory (``None``: ``REPRO_CACHE_DIR`` or ``.repro_cache``).
+    cache_dir: Optional[str] = None
 
     @property
     def seed(self) -> int:
@@ -150,8 +159,11 @@ def _execute(experiment: Experiment, spec: Optional[ExperimentSpec]) -> TrialRes
             ),
             tag=tag,
         )
+    from ..cache import activate, resolve_cache
+
     try:
-        value = experiment.runner(spec)
+        with activate(resolve_cache(spec.cache, spec.cache_dir)):
+            value = experiment.runner(spec)
     except Exception as exc:  # envelope, never unwind the caller
         return TrialResult(
             ok=False, error=f"{type(exc).__name__}: {exc}", tag=tag

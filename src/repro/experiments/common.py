@@ -231,6 +231,7 @@ def run_town_trial_envelopes(
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    cache: Optional[object] = None,
 ) -> List[TrialResult]:
     """Fan trial specs across workers; envelopes in spec order.
 
@@ -244,6 +245,12 @@ def run_town_trial_envelopes(
     field, which is how experiments thread the shared
     ``ExperimentSpec.telemetry`` flag through an existing grid without
     each module rebuilding its specs.
+
+    ``cache`` resolves via :func:`repro.cache.resolve_cache`; because a
+    trial spec is frozen and picklable, its content address covers the
+    factory, seed, duration, town, fault plan, and telemetry flag, so an
+    already-computed trial — snapshot included — is replayed from the
+    cache instead of re-simulated.
     """
     if telemetry is not None:
         specs = [replace(spec, telemetry=telemetry) for spec in specs]
@@ -251,7 +258,9 @@ def run_town_trial_envelopes(
         TrialJob(run_town_trial_spec, (spec,), tag=(spec.label, spec.seed))
         for spec in specs
     ]
-    return run_jobs(jobs, workers=workers, timeout_s=timeout_s, retries=retries)
+    return run_jobs(
+        jobs, workers=workers, timeout_s=timeout_s, retries=retries, cache=cache
+    )
 
 
 def run_town_trial_specs(
@@ -295,6 +304,7 @@ def aggregate_town_trials(
     retries: Optional[int] = None,
     strict: bool = False,
     telemetry: Optional[bool] = None,
+    cache: Optional[object] = None,
 ) -> Dict[str, AggregatedMetrics]:
     """Fan specs out and regroup the results per label, in spec order.
 
@@ -313,6 +323,7 @@ def aggregate_town_trials(
             timeout_s=timeout_s,
             retries=retries,
             telemetry=telemetry,
+            cache=cache,
         )
     if strict:
         pairs = list(zip(specs, unwrap_all(envelopes)))

@@ -90,16 +90,28 @@ class Fig5Result:
         return "\n".join(lines)
 
 
-def _factory(fraction: float):
-    def make(sim, world, mobility):
+@dataclass(frozen=True)
+class Fig5Factory:
+    """Picklable client factory for one schedule fraction.
+
+    A dataclass callable (not a closure) so fig5's trials can cross process
+    boundaries and be content-addressed by the result cache, like the
+    Table 2 factories.
+    """
+
+    fraction: float
+
+    def __call__(self, sim, world, mobility):
         config = SpiderConfig.spider_defaults(
-            schedule_for_fraction(fraction), num_interfaces=7
+            schedule_for_fraction(self.fraction), num_interfaces=7
         )
         return SpiderClient(
             sim, world, mobility, config, client_id="fig5", enable_traffic=False
         )
 
-    return make
+
+def _factory(fraction: float):
+    return Fig5Factory(fraction)
 
 
 @dataclass(frozen=True)

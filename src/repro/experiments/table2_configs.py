@@ -121,6 +121,7 @@ def _run(
     include_cambridge: bool,
     suite: Optional[ConfigurationSuite],
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> Table2Result:
     if suite is None:
         suite = run_configuration_suite(
@@ -128,6 +129,7 @@ def _run(
             duration_s=duration_s,
             include_cambridge=include_cambridge,
             workers=workers,
+            telemetry=telemetry,
         )
     rows = []
     for label in suite.labels():
@@ -153,6 +155,7 @@ def run_spec(spec: Table2Spec) -> Table2Result:
         spec.include_cambridge,
         None,
         workers=spec.workers,
+        telemetry=spec.telemetry or None,
     )
 
 

@@ -162,13 +162,15 @@ def run_configuration_suite(
     include_cambridge: bool = True,
     labels: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ConfigurationSuite:
     """Run the whole configuration grid (the expensive shared step).
 
     The full ``configuration x seed`` grid is flattened into one batch so
     the worker pool balances across all of it; results are regrouped per
     label in seed order, making the parallel suite bit-identical to the
-    serial one.
+    serial one.  ``telemetry=True`` captures a :mod:`repro.obs` snapshot
+    per trial (riding the returned metrics, never perturbing them).
     """
     factories: Dict[str, tuple] = {
         label: (factory, "amherst")
@@ -194,5 +196,5 @@ def run_configuration_suite(
         for label, (factory, town) in factories.items()
         for seed in seeds
     ]
-    results = aggregate_town_trials(specs, workers=workers)
+    results = aggregate_town_trials(specs, workers=workers, telemetry=telemetry)
     return ConfigurationSuite(results=results, duration_s=duration_s, seeds=seeds)

@@ -42,6 +42,15 @@ discipline above is exactly what makes
 :func:`~repro.obs.telemetry.merge_snapshots` deterministic across worker
 counts — snapshots arrive in the same order whether the pool ran serial,
 parallel, or sharded (replica captures deduplicate by snapshot ``key``).
+
+Because a trial is a pure function of its job spec, the pool can also skip
+it entirely: when a :class:`~repro.cache.TrialCache` is in effect (explicit
+``cache=`` argument, an ambient :func:`repro.cache.activate` context, or
+``REPRO_CACHE=1``), :func:`run_jobs` looks every job up by content address
+before dispatching, replays hits as ordinary ``ok=True`` envelopes
+(bit-identical to a fresh run, telemetry snapshot included), runs only the
+misses, and stores their successful values.  Lookups and stores happen in
+the submitting process, so worker children never touch the cache.
 """
 
 from __future__ import annotations
@@ -513,26 +522,48 @@ def split_shards(items: Sequence[Any], shards: int) -> List[Tuple[Any, ...]]:
     return out
 
 
+def _shard_capacity() -> int:
+    """How many shards are worth running as separate processes.
+
+    Every shard *replays the whole coupled simulation* and extracts only its
+    own items, so shards beyond the physical core count are pure overhead —
+    the same work re-simulated on a timeshared core (the committed
+    ``fleet_sharded`` bench once recorded a 0.477x "speedup" from exactly
+    that on a 1-core container).  ``REPRO_SHARD_OVERCOMMIT=1`` lifts the
+    clamp for tests that exercise multi-shard paths on small machines.
+    """
+    if os.environ.get("REPRO_SHARD_OVERCOMMIT", "").strip() in ("1", "true"):
+        return 1 << 30
+    return os.cpu_count() or 1
+
+
 def run_sharded(
     job: ShardedJob,
     workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
+    cache: Any = None,
 ) -> TrialResult:
     """Run one :class:`ShardedJob` across workers and merge deterministically.
 
     Items are split into contiguous shards (one per worker), each shard runs
     as an ordinary :class:`TrialJob` — inheriting the envelope, per-shard
-    timeout, retry, and crash-isolation machinery — and the per-item results
-    are concatenated in item order.  The merged envelope's ``attempts`` is
-    the worst shard's count.  Any failed shard fails the whole trial (a
-    partial fleet row is not a meaningful result), with every shard's
-    diagnosis preserved in ``error``.
+    timeout, retry, crash-isolation, and result-cache machinery — and the
+    per-item results are concatenated in item order.  The merged envelope's
+    ``attempts`` is the worst shard's count.  Any failed shard fails the
+    whole trial (a partial fleet row is not a meaningful result), with every
+    shard's diagnosis preserved in ``error``.
+
+    The shard count is capped at the machine's core count (see
+    :func:`_shard_capacity`); when that leaves one shard — one core, one
+    item, or ``workers<=1`` — the job runs in-process with no worker
+    processes and no pickling, exactly like the serial trial path.  The
+    merged value is bit-identical across every layout either way.
     """
     items = tuple(job.items)
     if not items:
         return TrialResult(ok=True, value=[], tag=job.tag)
-    count = min(resolve_workers(workers), len(items))
+    count = min(resolve_workers(workers), len(items), _shard_capacity())
     shards = split_shards(items, count)
     subjobs = [
         TrialJob(
@@ -544,7 +575,7 @@ def run_sharded(
         for index, shard in enumerate(shards)
     ]
     envelopes = run_jobs(
-        subjobs, workers=count, timeout_s=timeout_s, retries=retries
+        subjobs, workers=count, timeout_s=timeout_s, retries=retries, cache=cache
     )
     attempts = max(e.attempts for e in envelopes)
     failures = [e for e in envelopes if not e.ok]
@@ -574,29 +605,13 @@ def run_sharded(
     return TrialResult(ok=True, value=merged, attempts=attempts, tag=job.tag)
 
 
-def run_jobs(
-    jobs: Sequence[TrialJob],
-    workers: Optional[int] = None,
-    timeout_s: Optional[float] = None,
-    retries: Optional[int] = None,
+def _dispatch_jobs(
+    jobs: List[TrialJob],
+    workers: Optional[int],
+    timeout_s: Optional[float],
+    retries: Optional[int],
 ) -> List[TrialResult]:
-    """Run jobs, returning :class:`TrialResult` envelopes in submission order.
-
-    The deterministic merge is the contract callers rely on: submit jobs
-    sorted by ``(config, seed)`` and the result list lines up regardless of
-    which worker finished first.  With one worker (or one job) the pool is
-    bypassed entirely.
-
-    A raising, crashing, or hung trial yields ``TrialResult(ok=False, ...)``
-    for exactly that trial; siblings still complete and their values are
-    bit-identical to a fault-free run.  ``timeout_s``/``retries`` default to
-    the ``REPRO_TRIAL_TIMEOUT``/``REPRO_TRIAL_RETRIES`` environment knobs.
-    Timeouts require worker processes, so the serial path does not enforce
-    them.
-    """
-    jobs = list(jobs)
-    if not jobs:
-        return []
+    """The cache-free execution path: serial short-circuit or process pool."""
     count = min(resolve_workers(workers), len(jobs))
     timeout = resolve_trial_timeout(timeout_s)
     tries = resolve_trial_retries(retries)
@@ -613,3 +628,65 @@ def run_jobs(
         )
         return _run_serial(jobs, tries)
     return _run_parallel(jobs, payloads, count, timeout, tries)
+
+
+def run_jobs(
+    jobs: Sequence[TrialJob],
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    cache: Any = None,
+) -> List[TrialResult]:
+    """Run jobs, returning :class:`TrialResult` envelopes in submission order.
+
+    The deterministic merge is the contract callers rely on: submit jobs
+    sorted by ``(config, seed)`` and the result list lines up regardless of
+    which worker finished first.  With one worker (or one job) the pool is
+    bypassed entirely.
+
+    A raising, crashing, or hung trial yields ``TrialResult(ok=False, ...)``
+    for exactly that trial; siblings still complete and their values are
+    bit-identical to a fault-free run.  ``timeout_s``/``retries`` default to
+    the ``REPRO_TRIAL_TIMEOUT``/``REPRO_TRIAL_RETRIES`` environment knobs.
+    Timeouts require worker processes, so the serial path does not enforce
+    them.
+
+    ``cache`` resolves via :func:`repro.cache.resolve_cache` (a
+    :class:`~repro.cache.TrialCache`, ``True``/``False``, or ``None`` for
+    the ambient/environment default).  With a cache in effect, every job is
+    looked up by content address first; hits come back as ``ok=True``
+    envelopes with ``attempts=1`` — indistinguishable from a first-try
+    success, which is what keeps warm reruns byte-identical to cold ones —
+    and only misses are dispatched.  Successful miss values are stored;
+    failures are never cached, so a flaky trial re-runs until it succeeds.
+    Uncacheable jobs (no stable content address) silently bypass the cache.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    from ..cache import resolve_cache  # late import: cache pulls in repro.obs
+
+    store = resolve_cache(cache)
+    if store is None:
+        return _dispatch_jobs(jobs, workers, timeout_s, retries)
+
+    keys: List[Optional[str]] = [store.key_for(job) for job in jobs]
+    results: List[Optional[TrialResult]] = [None] * len(jobs)
+    misses: List[int] = []
+    for i, (job, key) in enumerate(zip(jobs, keys)):
+        if key is not None:
+            hit, value = store.get(key)
+            if hit:
+                results[i] = TrialResult(ok=True, value=value, tag=job.tag)
+                continue
+        misses.append(i)
+    if misses:
+        fresh = _dispatch_jobs(
+            [jobs[i] for i in misses], workers, timeout_s, retries
+        )
+        for i, envelope in zip(misses, fresh):
+            results[i] = envelope
+            if envelope.ok and keys[i] is not None:
+                store.put(keys[i], envelope.value)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

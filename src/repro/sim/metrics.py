@@ -178,6 +178,12 @@ class JoinLog:
         self.attempts.append(attempt)
         return attempt
 
+    def __repr__(self) -> str:
+        # Content-based (no object address): two runs that recorded the same
+        # attempts serialize identically, which the generic ``--json-out``
+        # fallback and the cache's warm-vs-cold byte-identity rely on.
+        return f"JoinLog(attempts={self.attempts!r})"
+
     # ------------------------------------------------------------------
     def association_times(self) -> List[float]:
         """Durations of successful link-layer associations."""

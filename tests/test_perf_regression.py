@@ -97,3 +97,44 @@ class TestMain:
         base = write(tmp_path, "base.json", payload(x=100.0))
         cur = write(tmp_path, "cur.json", payload(x=80.0))
         assert check.main([base, cur, "--threshold", "0.25"]) == 0
+
+    def test_strict_gate_tightens_one_metric(self, tmp_path):
+        base = write(tmp_path, "base.json", payload(x=100.0, y=100.0))
+        cur = write(tmp_path, "cur.json", payload(x=95.0, y=95.0))
+        assert check.main([base, cur]) == 0
+        assert (
+            check.main([base, cur, "--strict", "y.events_per_sec:0.02"]) == 1
+        )
+
+    def test_unknown_strict_gate_is_a_config_error(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload(x=100.0))
+        cur = write(tmp_path, "cur.json", payload(x=100.0))
+        rc = check.main([base, cur, "--strict", "bogus.events_per_sec:0.02"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown gate(s) bogus.events_per_sec" in err
+        assert "x.events_per_sec" in err  # tells you what exists
+
+
+class TestList:
+    def test_list_prints_gates_and_baselines(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload(x=100.0, y=50.0))
+        assert check.main(["--list", base]) == 0
+        out = capsys.readouterr().out
+        assert "x.events_per_sec" in out and "y.events_per_sec" in out
+        assert "100.0" in out and "50.0" in out
+
+    def test_list_needs_no_current_file(self, tmp_path):
+        base = write(tmp_path, "base.json", payload(x=100.0))
+        assert check.main(["--list", base]) == 0
+
+    def test_list_exit_two_when_no_gates(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", {"results": {}})
+        assert check.main(["--list", base]) == 2
+        assert "no events/sec gates" in capsys.readouterr().err
+
+    def test_missing_current_without_list_errors(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload(x=100.0))
+        with pytest.raises(SystemExit) as excinfo:
+            check.main([base])
+        assert excinfo.value.code == 2
