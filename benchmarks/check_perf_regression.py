@@ -16,9 +16,13 @@ CI's quick scale.
 ``--strict bench.field:FRACTION`` (repeatable) pins a tighter per-metric
 threshold — e.g. ``--strict telemetry_overhead.events_per_sec:0.02``
 enforces the "disabled telemetry is free" budget at 2 % while the rest of
-the harness keeps the default slack.  Naming a gate that is absent from
-the compared files is a configuration error (exit 2 with the known gate
-list), not a silent no-op.
+the harness keeps the default slack, and ``--strict
+dense_town.events_per_sec:0.15`` holds the vectorized dense-world rate
+within 15 % of its committed baseline (its >= 3x advantage over
+``dense_town.scalar_events_per_sec`` is asserted inside the bench
+itself).  Naming a gate that is absent from the compared files is a
+configuration error (exit 2 with the known gate list), not a silent
+no-op.
 
 ``--list`` prints every gate name and its committed baseline value, then
 exits — handy for discovering what ``--strict`` can pin::

@@ -22,6 +22,10 @@ Measured workloads:
 * ``cache_warm``       — the Table 2 suite cold then warm through the
                          content-addressed result cache, recording the
                          warm-over-cold speedup and byte-identity
+* ``dense_town``       — a 250-vehicle fleet on the >1000-AP ``city``
+                         preset, vectorized vs scalar medium, recording
+                         events/sec for both, the speedup, peak RSS, and
+                         row bit-equality
 
 Scale knobs are the bench-suite ones (``REPRO_BENCH_SEEDS``,
 ``REPRO_BENCH_DURATION``, ``REPRO_BENCH_WORKERS``); the perf harness
@@ -374,6 +378,66 @@ def test_perf_cache_warm(report):
     assert speedup >= 5.0, (
         f"warm cache run only {speedup:.1f}x faster "
         f"({cold_wall:.2f}s -> {warm_wall:.2f}s)"
+    )
+
+
+def test_perf_dense_town(report):
+    """City-scale dense world: vectorized vs scalar medium, same bits.
+
+    The ``city`` preset (>1000 APs) with a 250-vehicle fleet is the
+    workload :mod:`repro.sim.medium_vec` exists for: the scalar delivery
+    scan probes every mobile per frame, so its cost grows with the fleet
+    while the vector path's cached receiver tables stay flat.  The run is
+    a fixed 10 simulated seconds — long enough for snapshot/table caches
+    to amortize (the committed regime for the >= 3x bar), short enough
+    for CI.
+
+    Two paired rounds, asserting on the best ratio: genuine slowdowns
+    show up in every round, while container timing noise is round-local
+    (the ``telemetry_overhead`` bench uses the same reasoning).
+    """
+    import resource
+    from dataclasses import replace
+
+    import pytest
+
+    pytest.importorskip("numpy")
+    from repro.experiments.dense_town import DenseTownSpec, run_dense_trial
+
+    spec = DenseTownSpec()  # city preset, 250 vehicles, 10 sim-seconds
+    rounds = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        scalar_row = run_dense_trial(replace(spec, vector=False), seed=0)
+        scalar_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        vector_row = run_dense_trial(replace(spec, vector=True), seed=0)
+        vector_wall = time.perf_counter() - t0
+        assert vector_row == scalar_row, "vector path diverged from scalar"
+        rounds.append((scalar_wall, vector_wall))
+    assert vector_row.ap_count >= 1000
+    assert vector_row.vehicles >= 50
+    events = vector_row.events_processed
+    scalar_wall, vector_wall = min(rounds, key=lambda r: r[1] / r[0])
+    speedup = scalar_wall / vector_wall
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    _record(
+        "dense_town",
+        wall_s=vector_wall,
+        scalar_wall_s=scalar_wall,
+        events=events,
+        events_per_sec=events / vector_wall,
+        scalar_events_per_sec=events / scalar_wall,
+        speedup=speedup,
+        ap_count=vector_row.ap_count,
+        vehicles=vector_row.vehicles,
+        peak_rss_mb=peak_rss_mb,
+        rows_equal=True,
+    )
+    report("perf/dense_town", json.dumps(_PERF["dense_town"], indent=2))
+    assert speedup >= 3.0, (
+        f"vectorized medium only {speedup:.2f}x over scalar "
+        f"({scalar_wall:.2f}s -> {vector_wall:.2f}s)"
     )
 
 

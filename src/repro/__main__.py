@@ -63,6 +63,7 @@ from .experiments import (
     fig14_join_timeouts,
     fig15_join_policies,
     fig16_17_usability,
+    dense_town,
     fault_sweep,
     fleet,
     speed_sweep,
@@ -101,6 +102,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "density": ap_density.main,
     "speed-sweep": speed_sweep.main,
     "fault-sweep": fault_sweep.main,
+    "dense-town": dense_town.main,
     "fleet": fleet.main,
     "knapsack": appendix_knapsack.main,
 }

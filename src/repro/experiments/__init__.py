@@ -18,6 +18,7 @@ from . import (
     ap_density,
     appendix_knapsack,
     common,
+    dense_town,
     fig2_join_validation,
     fig3_beta_sensitivity,
     fig4_optimal_schedule,
@@ -46,6 +47,7 @@ __all__ = [
     "ap_density",
     "appendix_knapsack",
     "common",
+    "dense_town",
     "fig2_join_validation",
     "fig3_beta_sensitivity",
     "fig4_optimal_schedule",

@@ -1,0 +1,227 @@
+"""Dense-world experiment: a large fleet on a city-scale AP field.
+
+The paper's testbeds top out at a town-sized AP field and a five-vehicle
+fleet; this experiment scales the same coupled dynamics to the ``city``
+town preset (a 10 km core loop with >1000 open APs) and fleets of
+hundreds of vehicles.  It exists for two reasons:
+
+* It is the workload the vectorized medium (:mod:`repro.sim.medium_vec`)
+  is built for — the ``dense_town`` perf bench drives this exact trial
+  with the vector path on and off and gates their events/sec ratio.
+* It pins the bit-identity contract at scale: the trial result carries
+  only simulation observables (event counts, frame counts, per-vehicle
+  throughput/connectivity), so scalar-vs-vector runs of the same spec
+  must produce byte-identical JSON and telemetry exports.
+
+``DenseTownSpec.vector`` picks the delivery path (``None`` defers to the
+``REPRO_MEDIUM_VECTOR`` environment toggle); the optional town-override
+fields let property tests draw random dense worlds without registering
+ad-hoc presets.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from ..analysis.reporting import format_table
+from ..core.link_manager import SpiderConfig
+from ..core.schedule import OperationMode
+from ..core.spider import SpiderClient
+from ..obs.telemetry import Telemetry, TelemetrySnapshot
+from ..runner import TrialJob, run_jobs
+from ..sim.engine import Simulator
+from ..sim.radio import VECTOR_ENV
+from ..workloads.town import PRESETS, TownConfig, build_town
+from .api import ExperimentSpec, register
+
+__all__ = [
+    "DenseTownSpec",
+    "DenseTownRow",
+    "DenseTownResult",
+    "run_dense_trial",
+    "run_spec",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class DenseTownSpec(ExperimentSpec):
+    """Spec for one dense-world fleet drive per seed.
+
+    ``town`` names the preset (default ``city``); the explicit override
+    fields, when set, replace the corresponding preset fields so tests can
+    sample arbitrary dense worlds from one frozen value object.
+    """
+
+    seeds: Tuple[int, ...] = (0,)
+    duration_s: float = 10.0
+    town: str = "city"
+    n_vehicles: int = 250
+    speed_mps: float = 10.0
+    #: Delivery path: ``True``/``False`` force the vectorized/scalar
+    #: medium, ``None`` defers to ``REPRO_MEDIUM_VECTOR``.
+    vector: Optional[bool] = None
+    #: Town overrides (``None`` keeps the preset's value).
+    loop_length_m: Optional[float] = None
+    ap_density_per_km: Optional[float] = None
+    loss_rate: Optional[float] = None
+    clustered: Optional[bool] = None
+
+    def town_config(self) -> TownConfig:
+        """The preset with this spec's overrides applied."""
+        config = PRESETS[self.town]
+        overrides = {
+            name: value
+            for name in ("loop_length_m", "ap_density_per_km", "loss_rate", "clustered")
+            if (value := getattr(self, name)) is not None
+        }
+        return replace(config, **overrides) if overrides else config
+
+
+@dataclass
+class DenseTownRow:
+    """One seed's dense-world drive, in simulation observables only.
+
+    Wall-clock metrics live in the perf bench, not here: everything in
+    this row must be a pure function of the spec and seed so that the
+    scalar and vectorized media produce byte-identical results.
+    """
+
+    seed: int
+    ap_count: int
+    vehicles: int
+    events_processed: int
+    frames_delivered: int
+    frames_lost: int
+    aggregate_kBps: float
+    mean_connectivity_pct: float
+    #: Deterministic telemetry projection when the trial ran with
+    #: telemetry.  Wall-clock profiling instruments are dropped at capture
+    #: so the exported artifact is a pure function of (spec, seed) — the
+    #: scalar/vector byte-identity bar covers it.
+    telemetry: Optional[TelemetrySnapshot] = None
+
+
+@dataclass
+class DenseTownResult:
+    """All per-seed rows."""
+
+    rows: List[DenseTownRow]
+
+    def render(self) -> str:
+        """Render the result as printable text."""
+        return format_table(
+            ["seed", "APs", "vehicles", "events", "delivered", "aggregate", "connectivity"],
+            [
+                (
+                    r.seed,
+                    r.ap_count,
+                    r.vehicles,
+                    r.events_processed,
+                    r.frames_delivered,
+                    f"{r.aggregate_kBps:.1f} kB/s",
+                    f"{r.mean_connectivity_pct:.1f}%",
+                )
+                for r in self.rows
+            ],
+            title="Dense town: large fleet on a city-scale AP field",
+        )
+
+
+@contextmanager
+def _vector_env(vector: Optional[bool]):
+    """Pin ``REPRO_MEDIUM_VECTOR`` for the trial body, then restore it.
+
+    The medium resolves its delivery path from the environment at
+    construction; pinning the variable around world construction is what
+    lets one process A/B the scalar and vectorized paths explicitly.
+    """
+    if vector is None:
+        yield
+        return
+    before = os.environ.get(VECTOR_ENV)
+    os.environ[VECTOR_ENV] = "1" if vector else "0"
+    try:
+        yield
+    finally:
+        if before is None:
+            del os.environ[VECTOR_ENV]
+        else:
+            os.environ[VECTOR_ENV] = before
+
+
+def run_dense_trial(
+    spec: DenseTownSpec, seed: int, telemetry: Optional[bool] = None
+) -> DenseTownRow:
+    """Drive the full fleet once and fold the outcome into a row.
+
+    The trial body is identical in shape to the fleet experiment's — the
+    same staggered :class:`SpiderClient` fleet on one shared town — at the
+    scale the vectorized medium targets.
+    """
+    with_telemetry = spec.telemetry if telemetry is None else telemetry
+    with _vector_env(spec.vector):
+        tele = (
+            Telemetry(enabled=True, key=("dense_town", spec.n_vehicles, seed))
+            if with_telemetry
+            else None
+        )
+        sim = Simulator(seed=seed, telemetry=tele)
+        town = build_town(sim, config=spec.town_config())
+        spacing = town.config.loop_length_m / max(spec.n_vehicles, 1)
+        clients = []
+        for index in range(spec.n_vehicles):
+            mobility = town.make_vehicle_mobility(
+                spec.speed_mps, start_arc_m=index * spacing
+            )
+            config = SpiderConfig.spider_defaults(
+                OperationMode.single_channel(1), num_interfaces=7
+            )
+            client = SpiderClient(
+                sim, town.world, mobility, config, client_id=f"veh{index}"
+            )
+            client.start()
+            clients.append(client)
+        sim.run(until=spec.duration_s)
+    n = max(spec.n_vehicles, 1)
+    medium = town.world.medium
+    return DenseTownRow(
+        seed=seed,
+        ap_count=len(town.aps),
+        vehicles=spec.n_vehicles,
+        events_processed=sim.events_processed,
+        frames_delivered=medium.frames_delivered,
+        frames_lost=medium.frames_lost,
+        aggregate_kBps=sum(
+            c.average_throughput_kBps(spec.duration_s) for c in clients
+        ),
+        mean_connectivity_pct=sum(
+            c.connectivity_percent(spec.duration_s) for c in clients
+        ) / n,
+        telemetry=tele.snapshot().deterministic() if tele is not None else None,
+    )
+
+
+@register("dense-town", DenseTownSpec, summary="large fleet on a city-scale AP field")
+def run_spec(spec: DenseTownSpec) -> DenseTownResult:
+    jobs = [
+        TrialJob(run_dense_trial, (spec, seed), tag=("dense_town", seed))
+        for seed in spec.seeds
+    ]
+    envelopes = run_jobs(
+        jobs, workers=spec.workers, timeout_s=spec.timeout_s, retries=spec.retries
+    )
+    return DenseTownResult(rows=[e.unwrap() for e in envelopes])
+
+
+def main() -> None:
+    """Command-line entry point."""
+    result = run_spec().unwrap()
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -92,6 +92,16 @@ class AccessPoint:
     #: per-channel instead of probing them on every delivery.
     is_static = True
 
+    #: ``on_frame`` returns immediately for beacons (see below), so the
+    #: vectorized medium may skip the call outright on beacon deliveries —
+    #: loss draws, counters, and delivery hooks still run.
+    ignores_beacons = True
+
+    #: ``accepts`` matches the BSSID and nothing else, which lets the
+    #: vectorized medium resolve unicast frames to static receivers
+    #: through a BSSID index instead of calling ``accepts`` per station.
+    accepts_only_own_id = True
+
     def __init__(
         self,
         sim: Simulator,

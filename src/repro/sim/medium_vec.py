@@ -1,0 +1,433 @@
+"""Array-backed delivery index for the wireless medium (numpy-accelerated).
+
+City-scale worlds (the ``city`` town preset: ~10 km of route, >1000 APs)
+make the per-object delivery scan in :mod:`repro.sim.radio` the dominant
+cost: every frame walks tens of candidate stations in Python, calling
+``position()``/``tuned_channel()``/``math.hypot`` per candidate.  This
+module keeps the same *semantics* but does the candidate pruning over
+numpy arrays:
+
+* **Static stations** (APs: fixed position, fixed channel) live in
+  per-channel coordinate arrays sorted by registration order.  A
+  broadcast from a static sender — beacons, the single most common frame
+  in any run — resolves to a cached, exact receiver table (geometry
+  between static stations never changes), so repeat beacons cost a dict
+  lookup instead of a scan.  Other senders prune the channel's statics
+  with one vectorized squared-distance test.
+* **Mobile stations** are snapshotted into position arrays with a drift
+  allowance: a snapshot taken at ``t0`` stays valid while
+  ``v_max * (now - t0)`` is under a slack budget, and the prefilter
+  radius grows by the accumulated drift, so it can never discard a
+  station that the exact check would keep.  ``v_max`` comes from the
+  mobility models' ``max_speed_mps`` bound; stations without a declared
+  bound fall back to the exact per-station scan.
+* **Unicast** frames to a static receiver resolve through a BSSID index
+  when every static on the channel promises ``accepts_only_own_id``
+  (true of :class:`~repro.sim.ap.AccessPoint`).
+
+Bit-identity contract
+---------------------
+The arrays are only ever a *conservative prefilter*: any candidate that
+survives is re-checked with the exact scalar predicates (``math.hypot``
+against ``range_m``, ``tuned_channel()``, ``accepts()``), and the
+prefilter radius carries a small absolute margin so float noise in the
+squared-distance form cannot drop a boundary case.  Survivors are merged
+in registration order — exactly the order the scalar scan visits them —
+so the loss draws consumed from the medium's seeded RNG stream line up
+one-for-one with the scalar path and every trial result is byte-identical.
+RSSI uses the same :func:`~repro.sim.radio.rssi_from_distance` on the
+same ``math.hypot`` distance.
+
+One behavioural assumption is inherited from the scalar path and relied
+on here: a receiver's ``on_frame`` callback never *synchronously* mutates
+another station's position or tuned channel (all cross-station
+interaction in this codebase goes through ``Medium.transmit`` or the
+event queue).  The A/B determinism suite (``tests/test_vector_determinism``)
+pins this over whole town trials, fault plans included.
+
+numpy is optional (the ``perf`` extra).  When it is missing,
+:func:`make_index` returns ``None`` and the medium stays on the scalar
+path, counting the event on the ``medium.vector_fallbacks`` obs counter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .frames import BROADCAST, Frame
+
+try:  # pragma: no cover - exercised via make_index() in both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from .radio import rssi_from_distance
+
+__all__ = ["VectorIndex", "make_index", "argsort_scan"]
+
+#: Absolute slack added to every prefilter radius, metres.  Coordinates in
+#: any world we simulate are O(10^4) m, where float64 squared-distance
+#: error is O(10^-10) m — a micron of margin buries it while provably
+#: never resurrecting an out-of-range station (the exact check still runs).
+PREFILTER_MARGIN_M = 1e-6
+
+#: Mobile-position snapshots are rebuilt once accumulated drift
+#: (``v_max * elapsed``) exceeds this budget, metres.  At vehicular speeds
+#: (~10 m/s) that is one rebuild every couple of simulated seconds.
+SNAPSHOT_SLACK_M = 25.0
+
+#: Below this many mobile stations the exact per-station scan beats the
+#: numpy round-trip, so small worlds keep their scalar-speed behaviour.
+SNAPSHOT_MIN_MOBILES = 12
+
+#: Below this many statics on a channel the array prefilter is skipped.
+PREFILTER_MIN_STATICS = 8
+
+#: Sentinel snapshot meaning "some mobile has no usable speed bound".
+_UNBOUNDED = object()
+
+
+def make_index(medium) -> Optional["VectorIndex"]:
+    """Build a :class:`VectorIndex` for ``medium``, or ``None`` sans numpy."""
+    if _np is None:
+        return None
+    return VectorIndex(medium, _np)
+
+
+def argsort_scan(rssis: Sequence[float], bssids: Sequence[str]):
+    """Sort order for scan entries: descending RSSI, BSSID tie-break.
+
+    Returns index positions matching ``sorted(key=(-rssi, bssid))`` —
+    ``lexsort`` keys compare exactly like Python's tuple sort here (float
+    and unicode comparisons are identical) — or ``None`` when numpy is
+    unavailable and the caller should sort in Python.
+    """
+    if _np is None:
+        return None
+    neg_rssi = _np.array([-r for r in rssis], dtype=float)
+    return _np.lexsort((_np.array(bssids), neg_rssi))
+
+
+class _ChannelStatics:
+    """All static stations tuned to one channel, in registration order."""
+
+    __slots__ = ("entries", "by_id", "all_own_id", "xs", "ys", "dirty", "bcast")
+
+    def __init__(self) -> None:
+        #: ``(seq, station, x, y, ignores_beacons)`` sorted by ``seq``.
+        #: Registration sequence numbers only ever grow, so appends keep
+        #: the list sorted even across AP fail/recover cycles.
+        self.entries: List[Tuple] = []
+        self.by_id: Dict[str, Tuple] = {}
+        self.all_own_id = True
+        self.xs = None
+        self.ys = None
+        self.dirty = True
+        #: Cached exact broadcast receiver tables, keyed by static sender.
+        self.bcast: Dict[str, List[Tuple]] = {}
+
+
+class _MobileSnapshot:
+    """Mobile positions frozen at ``t0`` with a worst-case speed bound."""
+
+    __slots__ = ("stations", "xs", "ys", "t0", "v_max", "cand")
+
+    def __init__(self, stations, xs, ys, t0, v_max):
+        self.stations = stations
+        self.xs = xs
+        self.ys = ys
+        self.t0 = t0
+        self.v_max = v_max
+        #: Per-sender candidate lists pruned once for the snapshot's whole
+        #: validity window (see :meth:`VectorIndex._prune_mobiles`).
+        self.cand: Dict[str, Tuple] = {}
+
+
+class VectorIndex:
+    """Vectorized candidate selection for one :class:`~repro.sim.radio.Medium`.
+
+    The medium notifies the index from ``register``/``unregister`` and asks
+    :meth:`survivors` for the exact, registration-ordered receiver list of
+    each delivery; the medium's shared apply loop then consumes loss draws
+    and invokes callbacks exactly as the scalar scan would.
+    """
+
+    def __init__(self, medium, np_module) -> None:
+        self._medium = medium
+        self._np = np_module
+        self._chan: Dict[int, _ChannelStatics] = {}
+        self._snap = None
+        self._mob_version = 0
+        self._snap_version = -1
+
+    # ------------------------------------------------------------------
+    # Registration notifications
+    # ------------------------------------------------------------------
+    def add_static(self, station, channel: int, x: float, y: float) -> None:
+        cs = self._chan.get(channel)
+        if cs is None:
+            cs = self._chan[channel] = _ChannelStatics()
+        seq = self._medium._reg_seq[station.station_id]
+        entry = (seq, station, x, y, bool(getattr(station, "ignores_beacons", False)))
+        cs.entries.append(entry)
+        cs.by_id[station.station_id] = entry
+        if not getattr(station, "accepts_only_own_id", False):
+            cs.all_own_id = False
+        cs.dirty = True
+        cs.bcast.clear()
+
+    def remove_static(self, station_id: str, channel: int) -> None:
+        cs = self._chan.get(channel)
+        if cs is None or station_id not in cs.by_id:
+            return
+        del cs.by_id[station_id]
+        cs.entries = [e for e in cs.entries if e[1].station_id != station_id]
+        cs.all_own_id = all(
+            getattr(e[1], "accepts_only_own_id", False) for e in cs.entries
+        )
+        cs.dirty = True
+        cs.bcast.clear()
+
+    def mobiles_changed(self) -> None:
+        self._mob_version += 1
+
+    # ------------------------------------------------------------------
+    # Delivery-time candidate selection
+    # ------------------------------------------------------------------
+    def survivors(
+        self, sender_id: str, frame: Frame, sx: float, sy: float
+    ) -> List[Tuple]:
+        """Exact receivers of ``frame``, in registration order.
+
+        Each element is ``(seq, station, rssi, ignores_beacons)``; every
+        listed station has already passed the scalar path's full predicate
+        set (channel, ``accepts``, exact ``hypot`` range check).
+        """
+        medium = self._medium
+        channel = frame.channel
+        dst = None if frame.dst == BROADCAST else frame.dst
+        range_m = medium.range_m
+        # Static side: broadcast from a static sender (beacons — the hot
+        # case by far) hits the cached exact receiver table directly.
+        cs = self._chan.get(channel)
+        if cs is None:
+            stat = []
+        elif dst is None and sender_id in cs.by_id:
+            stat = cs.bcast.get(sender_id)
+            if stat is None:
+                stat = cs.bcast[sender_id] = self._scan_statics(
+                    cs, sender_id, None, sx, sy, range_m
+                )
+        else:
+            stat = self._static_survivors(cs, sender_id, dst, sx, sy, range_m)
+        # Mobile side: per-sender candidate lists cached on the snapshot.
+        mobiles = medium._mobile
+        if not mobiles:
+            return stat
+        if len(mobiles) >= SNAPSHOT_MIN_MOBILES:
+            snap = self._snap
+            if (
+                snap is None
+                or snap is _UNBOUNDED
+                or self._snap_version != self._mob_version
+                or snap.v_max * (medium.sim.now - snap.t0) > SNAPSHOT_SLACK_M
+            ):
+                snap = self._mobile_snapshot()
+            if snap is not None:
+                candidates = snap.cand.get(sender_id)
+                if candidates is None:
+                    candidates = self._prune_mobiles(snap, sender_id, sx, sy, range_m)
+                if not candidates:
+                    return stat
+                mob = self._scan_mobiles(
+                    candidates, sender_id, channel, dst, sx, sy, range_m
+                )
+            else:
+                mob = self._scan_mobiles(
+                    mobiles.values(), sender_id, channel, dst, sx, sy, range_m
+                )
+        else:
+            mob = self._scan_mobiles(
+                mobiles.values(), sender_id, channel, dst, sx, sy, range_m
+            )
+        if not mob:
+            return stat
+        if not stat:
+            return mob
+        merged: List[Tuple] = []
+        i = j = 0
+        ns, nm = len(stat), len(mob)
+        while i < ns and j < nm:
+            if stat[i][0] < mob[j][0]:
+                merged.append(stat[i])
+                i += 1
+            else:
+                merged.append(mob[j])
+                j += 1
+        merged.extend(stat[i:])
+        merged.extend(mob[j:])
+        return merged
+
+    # ------------------------------------------------------------------
+    # Static side
+    # ------------------------------------------------------------------
+    def _static_survivors(
+        self,
+        cs: _ChannelStatics,
+        sender_id: str,
+        dst: Optional[str],
+        sx: float,
+        sy: float,
+        range_m: float,
+    ) -> List[Tuple]:
+        """Static receivers for the cases :meth:`survivors` doesn't inline.
+
+        Broadcast from a *static* sender resolves through the cached exact
+        table in :meth:`survivors`; this method covers broadcast from
+        mobile senders and all unicast.
+        """
+        if not cs.entries:
+            return []
+        if dst is None:
+            return self._scan_statics(cs, sender_id, None, sx, sy, range_m)
+        if cs.all_own_id:
+            entry = cs.by_id.get(dst)
+            if entry is None or dst == sender_id:
+                return []
+            distance = math.hypot(sx - entry[2], sy - entry[3])
+            if distance > range_m:
+                return []
+            return [(entry[0], entry[1], rssi_from_distance(distance), entry[4])]
+        return self._scan_statics(cs, sender_id, dst, sx, sy, range_m)
+
+    def _scan_statics(
+        self,
+        cs: _ChannelStatics,
+        sender_id: str,
+        dst: Optional[str],
+        sx: float,
+        sy: float,
+        range_m: float,
+    ) -> List[Tuple]:
+        entries = cs.entries
+        if len(entries) >= PREFILTER_MIN_STATICS:
+            np = self._np
+            if cs.dirty:
+                cs.xs = np.array([e[2] for e in entries], dtype=float)
+                cs.ys = np.array([e[3] for e in entries], dtype=float)
+                cs.dirty = False
+            dx = cs.xs - sx
+            dy = cs.ys - sy
+            r = range_m + PREFILTER_MARGIN_M
+            hits = np.nonzero(dx * dx + dy * dy <= r * r)[0]
+            entries = [entries[i] for i in hits]
+        out: List[Tuple] = []
+        hypot = math.hypot
+        for seq, station, x, y, ignores in entries:
+            if station.station_id == sender_id:
+                continue
+            if dst is not None and not station.accepts(dst):
+                continue
+            distance = hypot(sx - x, sy - y)
+            if distance > range_m:
+                continue
+            out.append((seq, station, rssi_from_distance(distance), ignores))
+        return out
+
+    # ------------------------------------------------------------------
+    # Mobile side
+    # ------------------------------------------------------------------
+    def _prune_mobiles(
+        self, snap: _MobileSnapshot, sender_id: str, sx: float, sy: float, range_m: float
+    ) -> Tuple:
+        """Build and cache the sender's mobile candidate list for ``snap``.
+
+        Pruned once per (sender, snapshot) with a radius that covers the
+        snapshot's whole validity window: receivers drift at most
+        ``SNAPSHOT_SLACK_M`` before a rebuild forces a fresh snapshot, and
+        a mobile sender moves at most another slack's worth from where it
+        stood when this list was built.  The cached list is therefore a
+        superset of every per-delivery prefilter until the snapshot rolls
+        over; the exact scan keeps the survivor set bit-identical.
+        """
+        np = self._np
+        r = range_m + SNAPSHOT_SLACK_M + PREFILTER_MARGIN_M
+        if sender_id in self._medium._mobile:
+            r += SNAPSHOT_SLACK_M
+        dx = snap.xs - sx
+        dy = snap.ys - sy
+        hits = np.nonzero(dx * dx + dy * dy <= r * r)[0]
+        stations = snap.stations
+        candidates = tuple(stations[i] for i in hits)
+        snap.cand[sender_id] = candidates
+        return candidates
+
+    def _scan_mobiles(
+        self,
+        candidates,
+        sender_id: str,
+        channel: int,
+        dst: Optional[str],
+        sx: float,
+        sy: float,
+        range_m: float,
+    ) -> List[Tuple]:
+        seq_of = self._medium._reg_seq
+        out: List[Tuple] = []
+        hypot = math.hypot
+        for station in candidates:
+            sid = station.station_id
+            if sid == sender_id:
+                continue
+            if station.tuned_channel() != channel:
+                continue
+            if dst is not None and not station.accepts(dst):
+                continue
+            rx, ry = station.position()
+            distance = hypot(sx - rx, sy - ry)
+            if distance > range_m:
+                continue
+            out.append(
+                (
+                    seq_of[sid],
+                    station,
+                    rssi_from_distance(distance),
+                    getattr(station, "ignores_beacons", False),
+                )
+            )
+        return out
+
+    def _mobile_snapshot(self) -> Optional[_MobileSnapshot]:
+        medium = self._medium
+        now = medium.sim.now
+        snap = self._snap
+        if self._snap_version == self._mob_version and snap is not None:
+            if snap is _UNBOUNDED:
+                return None
+            if snap.v_max * (now - snap.t0) <= SNAPSHOT_SLACK_M:
+                return snap
+        stations = tuple(medium._mobile.values())
+        v_max = 0.0
+        for station in stations:
+            speed = getattr(station, "max_speed_mps", None)
+            if not isinstance(speed, (int, float)) or not math.isfinite(speed):
+                # No declared bound: the drift allowance would be unsound,
+                # so this membership generation stays on the exact scan.
+                self._snap = _UNBOUNDED
+                self._snap_version = self._mob_version
+                return None
+            if speed > v_max:
+                v_max = float(speed)
+        np = self._np
+        n = len(stations)
+        xs = np.empty(n, dtype=float)
+        ys = np.empty(n, dtype=float)
+        for i, station in enumerate(stations):
+            x, y = station.position()
+            xs[i] = x
+            ys[i] = y
+        snap = _MobileSnapshot(stations, xs, ys, now, v_max)
+        self._snap = snap
+        self._snap_version = self._mob_version
+        return snap

@@ -16,7 +16,7 @@ offset in y to shorten their effective in-range window.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "MobilityModel",
@@ -32,13 +32,34 @@ __all__ = [
 class MobilityModel:
     """Interface: ``position_at(t)`` in metres."""
 
+    #: Upper bound on instantaneous speed, m/s, or ``None`` when the model
+    #: declares no bound.  The vectorized medium snapshots mobile positions
+    #: and prunes receivers with a drift allowance of ``max_speed_mps *
+    #: elapsed``; a model without a bound keeps its stations on the exact
+    #: per-delivery scan.  Subclasses must guarantee the bound is a
+    #: Lipschitz constant of ``position_at`` (Euclidean displacement over
+    #: ``dt`` never exceeds ``max_speed_mps * dt``).
+    max_speed_mps: Optional[float] = None
+
     def position_at(self, t: float) -> Tuple[float, float]:
         """Position (x, y) in metres at simulation time ``t``."""
         raise NotImplementedError
 
+    def positions_at(self, ts: Sequence[float]) -> List[Tuple[float, float]]:
+        """Positions for a whole time vector — one call per tick batch.
+
+        The default delegates to ``position_at`` per element, so results
+        are bit-identical to scalar sampling by construction; array-backed
+        consumers (trajectory precomputation, the dense-world bench) get
+        the batch API without every model reimplementing it.
+        """
+        return [self.position_at(t) for t in ts]
+
 
 class StaticPosition(MobilityModel):
     """A node that never moves."""
+
+    max_speed_mps = 0.0
 
     def __init__(self, x: float, y: float = 0.0):
         self.x = x
@@ -59,6 +80,7 @@ class LinearMobility(MobilityModel):
         if speed_mps < 0:
             raise ValueError(f"speed must be non-negative: {speed_mps!r}")
         self.speed_mps = speed_mps
+        self.max_speed_mps = speed_mps
         self.start_x = start_x
         self.y = y
 
@@ -107,6 +129,9 @@ class LoopMobility(MobilityModel):
         if loop_length_m <= 0:
             raise ValueError(f"loop length must be positive: {loop_length_m!r}")
         self.speed_mps = speed_mps
+        # Chord displacement on the circle embedding never exceeds arc
+        # displacement, so the cruise speed is a valid Lipschitz bound.
+        self.max_speed_mps = speed_mps
         self.loop_length_m = loop_length_m
         self.start_arc_m = start_arc_m
 
@@ -156,6 +181,7 @@ class VariableSpeedLoopMobility(MobilityModel):
             if speed < 0:
                 raise ValueError(f"segment speed must be non-negative: {speed!r}")
         self.profile = list(profile)
+        self.max_speed_mps = max(speed for _, speed in self.profile)
         self.loop_length_m = loop_length_m
         self.start_arc_m = start_arc_m
         self._cycle_s = sum(d for d, _ in self.profile)

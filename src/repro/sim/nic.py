@@ -41,6 +41,10 @@ DEFAULT_QUEUE_DEPTH = 64
 #: RSSI exponential-average weight for repeated sightings of the same AP.
 _RSSI_EWMA = 0.5
 
+#: Below this many fresh scan entries the Python sort wins; above it (dense
+#: worlds overhear hundreds of APs) the numpy lexsort fast path kicks in.
+_VECTOR_SORT_MIN = 64
+
 
 @dataclass
 class ScanEntry:
@@ -93,6 +97,15 @@ class ScanTable:
             for e in self._entries.values()
             if channels is None or e.channel in channels
         ]
+        if len(entries) >= _VECTOR_SORT_MIN:
+            # Dense-world candidate lists (the LMM polls this every tick)
+            # sort via numpy lexsort; the key comparisons are identical to
+            # the tuple sort below, so the order is too.
+            from .medium_vec import argsort_scan
+
+            order = argsort_scan([e.rssi for e in entries], [e.bssid for e in entries])
+            if order is not None:
+                return [entries[i] for i in order]
         entries.sort(key=lambda e: (-e.rssi, e.bssid))
         return entries
 
@@ -219,6 +232,15 @@ class WifiNic:
         pos = self.mobility.position_at(now)
         self._pos_cache = (now, pos)
         return pos
+
+    @property
+    def max_speed_mps(self) -> Optional[float]:
+        """The mobility model's speed bound (``None`` if it declares none).
+
+        Exposing it on the station lets the medium's vectorized index
+        snapshot mobile positions with a sound drift allowance.
+        """
+        return getattr(self.mobility, "max_speed_mps", None)
 
     def tuned_channel(self) -> Optional[int]:
         """Channel the radio is currently listening on (None while resetting)."""

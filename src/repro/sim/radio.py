@@ -37,15 +37,27 @@ from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
 from .engine import Simulator
 from .frames import BROADCAST, Frame, FrameKind
 
-__all__ = ["Station", "Medium", "rssi_from_distance", "BATCH_ENV"]
+__all__ = ["Station", "Medium", "rssi_from_distance", "BATCH_ENV", "VECTOR_ENV"]
 
 #: Environment variable disabling per-channel delivery batching when set to
 #: ``0``/``off``/``false`` (useful for A/B determinism tests and bisection).
 BATCH_ENV = "REPRO_MEDIUM_BATCH"
 
+#: Environment variable disabling the numpy-backed delivery index (see
+#: :mod:`repro.sim.medium_vec`) when set to ``0``/``off``/``false``.  The
+#: vector path is semantics-preserving, so the toggle exists for A/B
+#: determinism tests, bisection, and perf comparisons — and the medium
+#: falls back to the scalar scan on its own when numpy is not installed.
+VECTOR_ENV = "REPRO_MEDIUM_VECTOR"
+
 
 def _batching_enabled_from_env() -> bool:
     value = os.environ.get(BATCH_ENV, "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def _vector_enabled_from_env() -> bool:
+    value = os.environ.get(VECTOR_ENV, "").strip().lower()
     return value not in ("0", "off", "false", "no")
 
 #: Frame kinds that enjoy 802.11 link-layer retransmission (data plane).
@@ -63,6 +75,13 @@ FRAME_OVERHEAD_S = 3.0e-4
 #: One-way propagation delay, seconds.  Negligible at Wi-Fi ranges but kept
 #: non-zero so event ordering between tx and rx is unambiguous.
 PROPAGATION_DELAY_S = 1.0e-6
+
+#: Below this many registered stations the scalar scan (with its cached
+#: candidate lists) beats the array round-trip, so the vector index engages
+#: only once the world is dense enough to pay for it.  Both paths are
+#: byte-identical, so the crossover may be chosen — and even crossed
+#: mid-run as stations register — purely on speed.
+VECTOR_MIN_STATIONS = 64
 
 
 def rssi_from_distance(distance_m: float) -> float:
@@ -129,11 +148,20 @@ class Medium:
         range_m: float = 100.0,
         loss_rate: float = 0.1,
         batch_delivery: Optional[bool] = None,
+        vector_delivery: Optional[bool] = None,
     ):
-        if not 0.0 <= loss_rate < 1.0:
+        # ``isfinite`` guards are explicit: ``nan`` slips through plain
+        # ``<=`` comparisons (every comparison with nan is False) and
+        # ``inf`` satisfies ``> 0``, yet both poison airtime and range
+        # arithmetic far from here.
+        if not math.isfinite(loss_rate) or not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1): {loss_rate!r}")
-        if data_rate_bps <= 0 or range_m <= 0:
-            raise ValueError("data_rate_bps and range_m must be positive")
+        if not math.isfinite(data_rate_bps) or data_rate_bps <= 0:
+            raise ValueError(
+                f"data_rate_bps must be positive and finite: {data_rate_bps!r}"
+            )
+        if not math.isfinite(range_m) or range_m <= 0:
+            raise ValueError(f"range_m must be positive and finite: {range_m!r}")
         self.sim = sim
         self.data_rate_bps = data_rate_bps
         self.range_m = range_m
@@ -189,6 +217,29 @@ class Medium:
         # place drops surface.  Cached here so the disabled path pays a
         # single no-op call on the (rare) loss branch.
         self._obs_drops = sim.telemetry.counter("medium.drops")
+        # Vectorized candidate selection (repro.sim.medium_vec): numpy
+        # arrays prune receiver candidates, the exact scalar predicates
+        # confirm survivors, and the shared apply loop below consumes the
+        # loss stream in registration order — byte-identical results, one
+        # array pass instead of a Python scan.  Created unconditionally so
+        # the counter appears (at zero) in every telemetry export and A/B
+        # runs stay byte-comparable; nondeterministic because its value
+        # reflects the host's installed packages, not the seed.
+        self._obs_vector_fallbacks = sim.telemetry.counter(
+            "medium.vector_fallbacks", deterministic=False
+        )
+        if vector_delivery is None:
+            vector_delivery = _vector_enabled_from_env()
+        self._vec = None
+        if vector_delivery:
+            from .medium_vec import make_index
+
+            self._vec = make_index(self)
+            if self._vec is None:
+                # numpy missing: graceful scalar fallback, surfaced only
+                # through the obs counter (per-Medium, so one per world).
+                self._obs_vector_fallbacks.inc()
+        self.vector_delivery = self._vec is not None
 
     # ------------------------------------------------------------------
     def _cell_of(self, channel: int, x: float, y: float) -> Tuple[int, int, int]:
@@ -208,14 +259,18 @@ class Medium:
             cell = self._cell_of(channel, x, y)
             self._static_bins.setdefault(cell, []).append(station)
             self._static_where[station.station_id] = cell
+            if self._vec is not None:
+                self._vec.add_static(station, channel, x, y)
         else:
             self._mobile[station.station_id] = station
+            if self._vec is not None:
+                self._vec.mobiles_changed()
 
     def unregister(self, station_id: str) -> None:
         """Remove a station from the medium."""
         self._stations.pop(station_id, None)
         self._reg_seq.pop(station_id, None)
-        self._mobile.pop(station_id, None)
+        was_mobile = self._mobile.pop(station_id, None) is not None
         self._cand_cache.clear()
         cell = self._static_where.pop(station_id, None)
         if cell is not None:
@@ -223,6 +278,10 @@ class Medium:
             self._static_bins[cell] = [
                 s for s in bucket if s.station_id != station_id
             ]
+            if self._vec is not None:
+                self._vec.remove_static(station_id, cell[0])
+        elif was_mobile and self._vec is not None:
+            self._vec.mobiles_changed()
 
     def stations(self) -> List[Station]:
         """All registered stations."""
@@ -420,6 +479,11 @@ class Medium:
         if sender is None:
             return  # sender vanished mid-flight (e.g., torn down)
         sx, sy = sender.position()
+        if self._vec is not None and len(self._stations) >= VECTOR_MIN_STATIONS:
+            self._apply(
+                sender, frame, self._vec.survivors(sender_id, frame, sx, sy)
+            )
+            return
         receiver_reachable = False
         loss_p = self._effective_loss(frame)
         channel = frame.channel
@@ -460,6 +524,47 @@ class Medium:
             # No eligible receiver: the link-layer ACK never comes back.
             # Senders that care (APs re-queueing toward sleeping clients)
             # implement on_delivery_failed.
+            failed = getattr(sender, "on_delivery_failed", None)
+            if failed is not None:
+                failed(frame)
+
+    def _apply(self, sender: Station, frame: Frame, survivors: List) -> None:
+        """Deliver to a pre-resolved receiver list (the vector path's tail).
+
+        ``survivors`` holds ``(seq, station, rssi, ignores_beacons)`` rows
+        in registration order, every row already past the exact channel,
+        ``accepts`` and range predicates — so the loss draws taken here
+        consume the ``medium.loss`` stream exactly as the scalar scan in
+        :meth:`_deliver` does: one draw per in-range receiver, in
+        registration order, interleaved with the receiver callbacks just
+        like the scalar loop.  Beacon deliveries to stations declaring
+        ``ignores_beacons`` skip the no-op ``on_frame`` call — counters,
+        hooks, and the loss draw still happen, keeping every observable
+        identical.
+        """
+        loss_p = self._effective_loss(frame)
+        rng_random = self._rng.random
+        hooks = self.delivery_hooks
+        beacon = frame.kind is FrameKind.BEACON
+        lost = 0
+        delivered = 0
+        for _seq, station, rssi, ignores_beacons in survivors:
+            if rng_random() < loss_p:
+                lost += 1
+                continue
+            delivered += 1
+            if hooks:
+                for hook in hooks:
+                    hook(frame, station.station_id)
+            if beacon and ignores_beacons:
+                continue
+            station.on_frame(frame, rssi)
+        if delivered:
+            self.frames_delivered += delivered
+        if lost:
+            self.frames_lost += lost
+            self._obs_drops.inc(lost)
+        if frame.dst != BROADCAST and not survivors:
             failed = getattr(sender, "on_delivery_failed", None)
             if failed is not None:
                 failed(frame)

@@ -116,6 +116,20 @@ PRESETS: Dict[str, TownConfig] = {
     "sparse": TownConfig(name="sparse", ap_density_per_km=3.0),
     # A dense downtown core.
     "dense": TownConfig(name="dense", ap_density_per_km=14.0),
+    # City scale: a 10 km core loop at downtown densities — over a
+    # thousand open APs in tight blocks.  This is the regime the
+    # vectorized medium (repro.sim.medium_vec) exists for; the cluster
+    # rate is raised so blocks stay ~10 APs rather than merging into one
+    # continuous wall of radios.
+    "city": TownConfig(
+        name="city",
+        loop_length_m=10_000.0,
+        ap_density_per_km=120.0,
+        cluster_rate_per_km=12.0,
+        aps_per_cluster_mean=10.0,
+        cluster_spread_m=150.0,
+        backhaul_range_bps=(2.0e6, 10.0e6),
+    ),
 }
 
 
