@@ -27,6 +27,9 @@ Every experiment shares one flag vocabulary, parsed here once:
 ``--telemetry-summary``
     capture telemetry and print the merged ASCII summary after the
     experiment's own rendering (combinable with ``--telemetry``),
+``--telemetry-deterministic``
+    strip wall-clock profiling instruments from the ``--telemetry``
+    export (the deterministic projection byte-equality gates compare),
 ``--cache`` / ``--no-cache``
     force the content-addressed trial-result cache on/off (default:
     the ``REPRO_CACHE`` environment variable; see :mod:`repro.cache`),
@@ -34,6 +37,15 @@ Every experiment shares one flag vocabulary, parsed here once:
     where the cache lives (default: ``REPRO_CACHE_DIR`` or
     ``.repro_cache``).  A warm re-run replays cached trials and is
     byte-identical — results and telemetry — to the cold run.
+``--fabric SPEC``
+    route trial fan-outs through the distributed sweep fabric
+    (``local``, ``local:N``, ``chaos:SEED``, or an ``http://host:port``
+    coordinator; default: the ``REPRO_FABRIC`` environment variable; see
+    :mod:`repro.fabric`).  Results are byte-identical to a local run.
+``--fabric-chaos SEED``
+    inject the seeded chaos preset (worker kills, stalls, dropped and
+    duplicated completions) into an in-process fabric — the
+    fault-tolerance proof knob: results still match serial exactly.
 
 Flags map onto the experiment's spec via
 :func:`repro.experiments.api.spec_from_options`, so fields a given spec
@@ -164,6 +176,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="capture telemetry and print the merged ASCII summary",
     )
     parser.add_argument(
+        "--telemetry-deterministic",
+        action="store_true",
+        help="strip wall-clock profiling instruments from the --telemetry "
+        "export so byte-equality holds across layouts/fabrics",
+    )
+    parser.add_argument(
         "--cache",
         dest="cache",
         action="store_const",
@@ -183,6 +201,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="cache directory (default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--fabric",
+        default=None,
+        metavar="SPEC",
+        help="route trial fan-outs through the sweep fabric: local[:N], "
+        "chaos:SEED, or http://host:port (default: $REPRO_FABRIC)",
+    )
+    parser.add_argument(
+        "--fabric-chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject the seeded chaos preset into the in-process fabric "
+        "(implies --fabric local if not given)",
     )
     return parser
 
@@ -230,9 +263,21 @@ def main(argv=None) -> int:
     from .cache import resolve_cache
 
     store = resolve_cache(args.cache, args.cache_dir)
-    envelope = run_experiment(args.experiment, spec)
+    from .fabric import resolve_fabric
+
+    fabric_spec = args.fabric
+    if fabric_spec is None and args.fabric_chaos is not None:
+        fabric_spec = "local"
+    try:
+        fabric = resolve_fabric(fabric_spec, chaos_seed=args.fabric_chaos)
+    except ValueError as exc:
+        print(f"bad --fabric spec: {exc}", file=sys.stderr)
+        return 2
+    envelope = run_experiment(args.experiment, spec, fabric=fabric)
     if store is not None:
         print(store.describe(), file=sys.stderr)
+    if fabric is not None and hasattr(fabric, "describe"):
+        print(fabric.describe(), file=sys.stderr)
     if args.json_out is not None:
         payload = json.dumps(to_jsonable(envelope), indent=2, sort_keys=True)
         if args.json_out == "-":
@@ -257,7 +302,9 @@ def main(argv=None) -> int:
     if args.telemetry is not None and snapshots:
         from .obs import write_payload
 
-        write_payload(args.telemetry, snapshots)
+        write_payload(
+            args.telemetry, snapshots, deterministic=args.telemetry_deterministic
+        )
         print(
             f"telemetry: {len(snapshots)} snapshot(s) -> {args.telemetry}",
             file=sys.stderr,

@@ -56,7 +56,12 @@ of those turns it on — a cold run's behavior is the contract, the cache
 only skips work whose outcome is already known byte-for-byte.
 
 ``python -m repro.cache stats|prune|verify`` operates on the store from
-the command line.
+the command line.  ``REPRO_CACHE_MAX_BYTES`` (or ``TrialCache(...,
+max_bytes=)``) puts the store on a size budget: after enough stores the
+cache prunes itself back under the cap, least-recently-used first (hits
+refresh mtime), under an advisory file lock (``cache_lock``) so
+concurrent coordinators/workers sharing a volume never race each other's
+maintenance scans.
 """
 
 from __future__ import annotations
@@ -77,7 +82,10 @@ from ..obs.telemetry import Telemetry, TelemetrySnapshot
 __all__ = [
     "CACHE_ENV",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
     "DEFAULT_CACHE_DIR",
+    "cache_lock",
+    "resolve_cache_max_bytes",
     "TrialCache",
     "CacheEntry",
     "canonical_token",
@@ -101,6 +109,11 @@ CACHE_ENV = "REPRO_CACHE"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default store location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+#: Size budget for the store (bytes; suffixes K/M/G accepted).  When set,
+#: every :class:`TrialCache` self-maintains: after enough stores it prunes
+#: least-recently-used entries back under the budget (under the file lock,
+#: skipped if another process is already maintaining).
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 #: Stamped into every entry; bump on any incompatible layout change.
 ENTRY_SCHEMA = "repro.cache/v1"
@@ -221,6 +234,79 @@ def code_fingerprint(
 
 
 # ---------------------------------------------------------------------------
+# Concurrency: the maintenance file lock
+# ---------------------------------------------------------------------------
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def resolve_cache_max_bytes(max_bytes: Optional[int] = None) -> Optional[int]:
+    """Explicit budget, else ``REPRO_CACHE_MAX_BYTES``, else ``None`` (no cap).
+
+    The environment form accepts a plain byte count or a ``K``/``M``/``G``
+    suffix (``512M``).  Garbage or non-positive values warn and disable the
+    cap — a bad environment variable must never delete a cache.
+    """
+    if max_bytes is not None:
+        return int(max_bytes) if max_bytes > 0 else None
+    raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip().lower()
+    if not raw:
+        return None
+    scale = _SIZE_SUFFIXES.get(raw[-1:], 1)
+    digits = raw[:-1] if scale != 1 else raw
+    try:
+        value = int(digits) * scale
+    except ValueError:
+        warnings.warn(f"ignoring non-numeric {CACHE_MAX_BYTES_ENV}={raw!r}")
+        return None
+    if value <= 0:
+        warnings.warn(f"ignoring non-positive {CACHE_MAX_BYTES_ENV}={raw!r}")
+        return None
+    return value
+
+
+@contextmanager
+def cache_lock(root: os.PathLike, blocking: bool = True):
+    """Exclusive advisory lock on ``<root>/.lock`` for store maintenance.
+
+    Entry writes are already safe unlocked (atomic ``os.replace``); the
+    lock exists so concurrent *maintenance* — two coordinators pruning the
+    same shared volume, a worker pruning while the CLI verifies — cannot
+    race each other's directory scans.  Yields ``True`` when the lock was
+    taken; with ``blocking=False`` yields ``False`` immediately if another
+    process holds it (auto-maintenance skips rather than stalls).  On
+    platforms without ``fcntl`` the lock degrades to a no-op ``True``.
+    """
+    root = Path(root)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        handle = open(root / ".lock", "a+b")
+    except OSError:
+        yield False
+        return
+    try:
+        try:
+            import fcntl
+        except ImportError:
+            yield True
+            return
+        flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+        try:
+            fcntl.flock(handle.fileno(), flags)
+        except OSError:
+            yield False
+            return
+        try:
+            yield True
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+    finally:
+        handle.close()
+
+
+# ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------
 class TrialCache:
@@ -237,12 +323,15 @@ class TrialCache:
         root: os.PathLike,
         fingerprint: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
+        max_bytes: Optional[int] = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.fingerprint = (
             fingerprint if fingerprint is not None else code_fingerprint()
         )
+        self.max_bytes = resolve_cache_max_bytes(max_bytes)
+        self._unmaintained_bytes = 0
         self.telemetry = (
             telemetry
             if telemetry is not None
@@ -327,7 +416,30 @@ class TrialCache:
             return False
         self._stores.inc()
         self._bytes_written.inc(len(blob))
+        if self.max_bytes is not None:
+            self._unmaintained_bytes += len(blob)
+            # Maintain once enough new bytes have landed to matter (an
+            # eighth of the budget), not on every store — directory scans
+            # on a large store are not free.
+            if self._unmaintained_bytes >= max(1, self.max_bytes // 8):
+                self.maintain()
         return True
+
+    def maintain(self) -> Optional[Dict[str, int]]:
+        """Prune LRU entries back under ``max_bytes`` (no cap: no-op).
+
+        Takes the maintenance lock non-blocking: if another process is
+        already pruning this store, skip — the budget is about to be
+        enforced anyway.  Returns the prune summary, or ``None`` when
+        skipped/uncapped.
+        """
+        if self.max_bytes is None:
+            return None
+        self._unmaintained_bytes = 0
+        with cache_lock(self.root, blocking=False) as held:
+            if not held:
+                return None
+            return prune_cache(self.root, max_bytes=self.max_bytes)
 
     # -- introspection -------------------------------------------------
     @property

@@ -21,7 +21,14 @@ import json
 import sys
 import time
 
-from . import cache_stats, prune_cache, resolve_cache_dir, verify_cache
+from . import (
+    cache_lock,
+    cache_stats,
+    prune_cache,
+    resolve_cache_dir,
+    resolve_cache_max_bytes,
+    verify_cache,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,7 +54,8 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="then evict least-recently-used entries until the store fits N bytes",
+        help="then evict least-recently-used entries until the store fits "
+        "N bytes (default: $REPRO_CACHE_MAX_BYTES)",
     )
     prune.add_argument(
         "--all", action="store_true", help="drop every entry (full reset)"
@@ -93,20 +101,27 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "prune":
-        if not args.all and args.max_age_days is None and args.max_bytes is None:
+        max_bytes = resolve_cache_max_bytes(args.max_bytes)
+        if not args.all and args.max_age_days is None and max_bytes is None:
             print(
-                "prune needs --max-age-days, --max-bytes, or --all",
+                "prune needs --max-age-days, --max-bytes, --all, or "
+                "$REPRO_CACHE_MAX_BYTES",
                 file=sys.stderr,
             )
             return 2
-        outcome = prune_cache(
-            root,
-            max_age_s=(
-                None if args.max_age_days is None else args.max_age_days * 86400.0
-            ),
-            max_bytes=args.max_bytes,
-            drop_all=args.all,
-        )
+        # The maintenance lock serializes concurrent pruners (two
+        # coordinators sharing a cache volume) without blocking readers.
+        with cache_lock(root):
+            outcome = prune_cache(
+                root,
+                max_age_s=(
+                    None
+                    if args.max_age_days is None
+                    else args.max_age_days * 86400.0
+                ),
+                max_bytes=max_bytes,
+                drop_all=args.all,
+            )
         print(
             f"pruned {outcome['removed']} entr(ies), freed "
             f"{outcome['freed_bytes']} bytes, kept {outcome['kept']}"
@@ -114,7 +129,8 @@ def main(argv=None) -> int:
         return 0
 
     # verify
-    problems = verify_cache(root, fix=args.fix)
+    with cache_lock(root):
+        problems = verify_cache(root, fix=args.fix)
     if not problems:
         print(f"cache {root}: all entries verify")
         return 0

@@ -145,8 +145,19 @@ def register(
     return decorate
 
 
-def _execute(experiment: Experiment, spec: Optional[ExperimentSpec]) -> TrialResult:
-    """Run one experiment, converting any raise into an error envelope."""
+def _execute(
+    experiment: Experiment,
+    spec: Optional[ExperimentSpec],
+    fabric: Any = None,
+) -> TrialResult:
+    """Run one experiment, converting any raise into an error envelope.
+
+    ``fabric`` routes the experiment's trial fan-outs through a sweep
+    fabric (a fabric instance, a ``--fabric`` spec string, or ``None`` for
+    the ambient/``REPRO_FABRIC`` default).  It is deliberately *not* a
+    spec field: the spec is serialized into the result envelope's tag, and
+    where a sweep ran must never change what it produced.
+    """
     if spec is None:
         spec = experiment.spec_cls()
     tag = (experiment.name, spec)
@@ -160,10 +171,13 @@ def _execute(experiment: Experiment, spec: Optional[ExperimentSpec]) -> TrialRes
             tag=tag,
         )
     from ..cache import activate, resolve_cache
+    from ..fabric import activate as activate_fabric
+    from ..fabric import resolve_fabric
 
     try:
         with activate(resolve_cache(spec.cache, spec.cache_dir)):
-            value = experiment.runner(spec)
+            with activate_fabric(resolve_fabric(fabric)):
+                value = experiment.runner(spec)
     except Exception as exc:  # envelope, never unwind the caller
         return TrialResult(
             ok=False, error=f"{type(exc).__name__}: {exc}", tag=tag
@@ -182,11 +196,15 @@ def experiment_names() -> List[str]:
 
 
 def run_experiment(
-    name: str, spec: Optional[ExperimentSpec] = None
+    name: str, spec: Optional[ExperimentSpec] = None, fabric: Any = None
 ) -> TrialResult:
-    """Run a registered experiment by name; raises ``KeyError`` if unknown."""
+    """Run a registered experiment by name; raises ``KeyError`` if unknown.
+
+    ``fabric`` (optional) routes the experiment's trial fan-outs through a
+    distributed sweep fabric — see :mod:`repro.fabric`.
+    """
     experiment = REGISTRY[name]
-    return _execute(experiment, spec)
+    return _execute(experiment, spec, fabric=fabric)
 
 
 def spec_from_options(spec_cls: Type[ExperimentSpec], **overrides: Any) -> ExperimentSpec:

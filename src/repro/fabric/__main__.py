@@ -1,0 +1,203 @@
+"""Command-line entry points for the distributed sweep fabric.
+
+Usage::
+
+    python -m repro.fabric coordinator [--host H] [--port P]
+                                       [--lease-ttl S] [--retries N]
+                                       [--timeout S] [--cache] [--cache-dir D]
+    python -m repro.fabric worker --coordinator URL [--id NAME]
+                                  [--max-jobs N] [--idle-exit S]
+    python -m repro.fabric run [--jobs N] [--workers W] [--chaos SEED]
+                               [--coordinator URL] [--check]
+
+``coordinator`` serves the leasing state machine over HTTP until killed
+(or POST ``/shutdown``); with ``--cache`` it consults/feeds the
+content-addressed trial cache, so restarting a coordinator mid-sweep
+resumes from cache hits instead of re-running finished trials.
+``worker`` drains leases from a coordinator, executing each job in a
+sandboxed subprocess with heartbeats.  ``run`` pushes a deterministic
+demo batch through the fabric — in-process by default (optionally under a
+seeded chaos plan), or through a remote coordinator with ``--coordinator``
+— and with ``--check`` verifies the envelopes are byte-identical to a
+serial run (exit 1 if not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pickle
+import sys
+
+from . import FabricChaosPlan, InProcessFabric, demo_jobs
+from .http import HttpFabric, serve_coordinator
+from .worker import WorkerAgent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fabric",
+        description="Coordinator/worker job-leasing fabric for trial sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    coord = sub.add_parser("coordinator", help="serve the leasing coordinator")
+    coord.add_argument("--host", default="127.0.0.1")
+    coord.add_argument("--port", type=int, default=8537)
+    coord.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds without a heartbeat before a lease is reassigned",
+    )
+    coord.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="genuine-failure budget per job (default: $REPRO_TRIAL_RETRIES)",
+    )
+    coord.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-trial wall-clock timeout shipped to workers",
+    )
+    coord.add_argument(
+        "--cache",
+        action="store_true",
+        help="consult/feed the trial-result cache (restart resumes from hits)",
+    )
+    coord.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    worker = sub.add_parser("worker", help="drain leases from a coordinator")
+    worker.add_argument(
+        "--coordinator", required=True, metavar="URL", help="http://host:port"
+    )
+    worker.add_argument("--id", default=None, metavar="NAME")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N")
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit after S seconds with nothing to lease",
+    )
+
+    run = sub.add_parser("run", help="push a demo batch through the fabric")
+    run.add_argument("--jobs", type=int, default=8, metavar="N")
+    run.add_argument("--workers", type=int, default=2, metavar="W")
+    run.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject the seeded chaos preset (kills/stalls/drops/duplicates)",
+    )
+    run.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="submit to a remote coordinator instead of running in-process",
+    )
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="verify envelopes byte-identical to a serial run (exit 1 if not)",
+    )
+    return parser
+
+
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    cache = None
+    if args.cache:
+        from ..cache import resolve_cache
+
+        cache = resolve_cache(True, args.cache_dir)
+
+    async def serve() -> None:
+        server = await serve_coordinator(
+            host=args.host,
+            port=args.port,
+            lease_ttl_s=args.lease_ttl,
+            retries=args.retries,
+            timeout_s=args.timeout,
+            cache=cache,
+        )
+        print(
+            f"coordinator listening on http://{server.host}:{server.port} "
+            f"(lease ttl {args.lease_ttl:g}s"
+            + (f", cache {cache.root}" if cache is not None else "")
+            + ")",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    agent = WorkerAgent(
+        args.coordinator,
+        worker_id=args.id,
+        max_jobs=args.max_jobs,
+        idle_exit_s=args.idle_exit,
+    )
+    try:
+        done = agent.run()
+    except KeyboardInterrupt:
+        done = agent.jobs_done
+    print(f"worker {agent.worker_id}: {done} job(s) executed", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    jobs = demo_jobs(args.jobs)
+    if args.coordinator is not None:
+        fabric = HttpFabric(args.coordinator)
+    else:
+        plan = (
+            FabricChaosPlan.preset(args.chaos) if args.chaos is not None else None
+        )
+        fabric = InProcessFabric(workers=args.workers, plan=plan)
+    results = fabric.run(jobs)
+    for envelope in results:
+        print(f"{envelope.tag}: ok={envelope.ok} value={envelope.value}")
+    print(fabric.describe(), file=sys.stderr)
+    if args.check:
+        from ..runner.pool import run_jobs
+
+        serial = run_jobs(demo_jobs(args.jobs), workers=1)
+        if results != serial:
+            print("MISMATCH: fabric envelopes differ from serial", file=sys.stderr)
+            return 1
+        fabric_bytes = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+        serial_bytes = pickle.dumps(serial, protocol=pickle.HIGHEST_PROTOCOL)
+        # Wire round-trips can reshuffle pickler memo references without
+        # changing content, so byte-level identity is reported, not required.
+        grade = (
+            "byte-identical" if fabric_bytes == serial_bytes else "value-identical"
+        )
+        print(f"{grade} to serial ({len(serial_bytes)} bytes)", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    """Command-line entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "coordinator":
+        return _cmd_coordinator(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

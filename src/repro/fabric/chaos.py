@@ -1,0 +1,300 @@
+"""Deterministic in-process chaos harness for the sweep fabric.
+
+Real multi-host failure testing needs machines to kill; CI does not have
+them.  This module gets the same coverage by running the whole fabric —
+coordinator, a simulated worker fleet, and an adversary — inside one
+process on a **virtual clock**: a tiny event heap totally orders every
+lease, heartbeat, expiry, kill, stall, and (possibly dropped or
+duplicated) completion, and every adversarial decision is drawn from a
+seeded RNG in that fixed order.  Job *values* are computed by really
+calling ``job.run()``, so the harness proves the load-bearing property
+end-to-end: for **any** :class:`FabricChaosPlan`, the merged envelopes are
+byte-identical to a clean serial run.
+
+Failure vocabulary (mirroring the empirical WiFi-connection failure taxonomy
+that motivates the realism knobs — processes die, stall, and messages are
+lost or replayed):
+
+* **kill** — the worker dies the instant it picks up a lease: no
+  heartbeat, no completion.  The lease expires and the job is reassigned,
+  uncharged.  A supervisor restarts the worker after a delay, so a plan
+  can never wedge the fleet permanently.
+* **stall** — the worker freezes past its lease TTL, then delivers late.
+  The coordinator has already reassigned the job; the late completion is
+  either salvaged (job still unfinished) or counted as a duplicate.
+* **drop** — the completion message is lost in flight.  Indistinguishable
+  from a kill to the coordinator, except the worker itself lives on.
+* **duplicate** — the completion is delivered twice (an at-least-once
+  transport retry).  The second copy must be a counted no-op.
+
+Chaos events are *bounded* — forced events are finite tuples and random
+events stop after ``max_random_events`` draws per category — which is what
+guarantees every plan eventually drains.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..obs.telemetry import Telemetry
+from ..runner.pool import TrialJob, TrialResult
+from .coordinator import CoordinatorState
+
+__all__ = ["FabricChaosPlan", "run_chaos_fabric"]
+
+#: Hard ceiling on processed harness events; a plan that somehow livelocks
+#: fails loudly instead of hanging the test run.
+_MAX_EVENTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class FabricChaosPlan:
+    """A frozen, seeded description of everything that goes wrong.
+
+    ``kill_leases`` / ``stall_leases`` / ``drop_completions`` /
+    ``duplicate_completions`` name global lease sequence numbers (0-based,
+    in lease-issue order — deterministic under the virtual clock), so a
+    plan can *guarantee* specific faults: ``kill_leases=(1,)`` kills
+    whichever worker is granted the second lease.  The ``*_rate`` fields
+    add seeded random faults on top, capped at ``max_random_events`` draws
+    per category so every plan terminates.
+
+    The empty plan injects nothing and consumes no randomness; it is how
+    the chaos-free in-process fabric runs.
+    """
+
+    seed: int = 0
+    kill_leases: Tuple[int, ...] = ()
+    stall_leases: Tuple[int, ...] = ()
+    drop_completions: Tuple[int, ...] = ()
+    duplicate_completions: Tuple[int, ...] = ()
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    max_random_events: int = 32
+
+    def is_noop(self) -> bool:
+        return not (
+            self.kill_leases
+            or self.stall_leases
+            or self.drop_completions
+            or self.duplicate_completions
+            or self.kill_rate
+            or self.stall_rate
+            or self.drop_rate
+            or self.duplicate_rate
+        )
+
+    @classmethod
+    def preset(cls, seed: int = 0) -> "FabricChaosPlan":
+        """The acceptance-scenario plan: at least one worker killed
+        mid-trial, one stalled past lease expiry, one completion dropped,
+        and one duplicated — plus mild seeded randomness on top."""
+        rng = random.Random(seed)
+        picks = rng.sample(range(8), 4)
+        return cls(
+            seed=seed,
+            kill_leases=(picks[0],),
+            stall_leases=(picks[1],),
+            drop_completions=(picks[2],),
+            duplicate_completions=(picks[3],),
+            kill_rate=0.05,
+            stall_rate=0.05,
+            drop_rate=0.05,
+            duplicate_rate=0.05,
+            max_random_events=8,
+        )
+
+
+class _Adversary:
+    """Draws the plan's decisions in deterministic (event-loop) order."""
+
+    def __init__(self, plan: FabricChaosPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self._used = {"kill": 0, "stall": 0, "drop": 0, "duplicate": 0}
+
+    def _decide(self, kind: str, forced: Tuple[int, ...], rate: float, seq: int) -> bool:
+        if seq in forced:
+            return True
+        if rate <= 0.0 or self._used[kind] >= self.plan.max_random_events:
+            return False
+        if self.rng.random() < rate:
+            self._used[kind] += 1
+            return True
+        return False
+
+    def kill(self, seq: int) -> bool:
+        return self._decide("kill", self.plan.kill_leases, self.plan.kill_rate, seq)
+
+    def stall(self, seq: int) -> bool:
+        return self._decide("stall", self.plan.stall_leases, self.plan.stall_rate, seq)
+
+    def drop(self, seq: int) -> bool:
+        return self._decide(
+            "drop", self.plan.drop_completions, self.plan.drop_rate, seq
+        )
+
+    def duplicate(self, seq: int) -> bool:
+        return self._decide(
+            "duplicate",
+            self.plan.duplicate_completions,
+            self.plan.duplicate_rate,
+            seq,
+        )
+
+
+class _Clock:
+    """A tiny deterministic event heap: (time, seq) totally orders firing."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def run(self) -> None:
+        processed = 0
+        while self._heap:
+            when, _seq, fn = heapq.heappop(self._heap)
+            self.now = max(self.now, when)
+            fn()
+            processed += 1
+            if processed > _MAX_EVENTS:
+                raise RuntimeError(
+                    "chaos harness exceeded its event budget (livelocked plan?)"
+                )
+
+
+@dataclass
+class _Worker:
+    name: str
+    alive: bool = True
+
+
+def _execute(job: TrialJob) -> Tuple[bool, Any, Optional[str]]:
+    """Run one job in-process, pool-style: value or a diagnosis string."""
+    try:
+        value = job.run()
+    except Exception as exc:
+        return False, None, f"{type(exc).__name__}: {exc}"
+    return True, value, None
+
+
+def run_chaos_fabric(
+    jobs: Sequence[TrialJob],
+    plan: Optional[FabricChaosPlan] = None,
+    workers: int = 2,
+    lease_ttl_s: float = 5.0,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    cache: Any = None,
+    telemetry: Optional[Telemetry] = None,
+    exec_cost_s: float = 1.0,
+    poll_s: float = 0.25,
+    restart_delay_s: Optional[float] = None,
+) -> List[TrialResult]:
+    """Drive ``jobs`` through a coordinator + simulated fleet under ``plan``.
+
+    Returns :class:`~repro.runner.TrialResult` envelopes in submission
+    order.  Values are computed by really executing each job in this
+    process; the virtual clock only decides *which* executions happen and
+    which messages arrive, so for deterministic jobs the envelopes are
+    byte-identical to ``run_jobs(jobs, workers=1)`` no matter the plan.
+
+    ``exec_cost_s`` is a job's virtual execution time (kept below the
+    lease TTL so healthy workers never need mid-job heartbeats; the
+    harness still sends them when the cost exceeds the heartbeat
+    interval).  Killed workers are restarted after ``restart_delay_s``
+    (default: 2x the lease TTL), so a partially dead fleet always drains
+    on survivors or replacements.
+    """
+    jobs = list(jobs)
+    plan = plan or FabricChaosPlan()
+    if restart_delay_s is None:
+        restart_delay_s = 2.0 * lease_ttl_s
+    state = CoordinatorState(
+        lease_ttl_s=lease_ttl_s,
+        retries=retries,
+        timeout_s=timeout_s,
+        cache=cache,
+        telemetry=telemetry,
+    )
+    if not jobs:
+        return []
+    batch = state.submit(jobs)
+    adversary = _Adversary(plan)
+    clock = _Clock()
+    fleet = [_Worker(name=f"w{i}") for i in range(max(1, workers))]
+    stall_factor = 1.6  # stalled completions land this far past the TTL
+
+    def tick() -> None:
+        if state.batch_done(batch):
+            return
+        state.tick(clock.now)
+        clock.schedule(lease_ttl_s / 4.0, tick)
+
+    def respawn(worker: _Worker) -> None:
+        worker.alive = True
+        poll(worker)
+
+    def poll(worker: _Worker) -> None:
+        if not worker.alive or state.batch_done(batch):
+            return
+        lease = state.lease(worker.name, clock.now)
+        if lease is None:
+            clock.schedule(poll_s, lambda w=worker: poll(w))
+            return
+        seq = lease.lease_id
+        if adversary.kill(seq):
+            # Died mid-trial: no heartbeat, no completion.  The
+            # supervisor brings a replacement up after a delay.
+            worker.alive = False
+            clock.schedule(restart_delay_s, lambda w=worker: respawn(w))
+            return
+        if adversary.stall(seq):
+            delay = lease_ttl_s * stall_factor  # silent past expiry
+        else:
+            delay = exec_cost_s
+            hb_at = lease.heartbeat_s
+            while hb_at < delay:
+                clock.schedule(
+                    hb_at,
+                    lambda w=worker, lid=seq: state.heartbeat(
+                        w.name, [lid], clock.now
+                    ),
+                )
+                hb_at += lease.heartbeat_s
+        clock.schedule(delay, lambda w=worker, ls=lease: deliver(w, ls))
+
+    def deliver(worker: _Worker, lease) -> None:
+        ok, value, error = _execute(lease.job)
+        seq = lease.lease_id
+        if not adversary.drop(seq):
+            state.complete(lease.lease_id, ok, value=value, error=error, now=clock.now)
+            if adversary.duplicate(seq):
+                clock.schedule(
+                    poll_s / 2.0,
+                    lambda lid=lease.lease_id, o=ok, v=value, e=error: state.complete(
+                        lid, o, value=v, error=e, now=clock.now
+                    ),
+                )
+        clock.schedule(0.0, lambda w=worker: poll(w))
+
+    for i, worker in enumerate(fleet):
+        clock.schedule(i * (poll_s / 10.0), lambda w=worker: poll(w))
+    clock.schedule(lease_ttl_s / 4.0, tick)
+    clock.run()
+    results = state.results(batch)
+    if results is None:
+        raise RuntimeError(
+            f"fabric did not drain: {state.pending_jobs()} job(s) unfinished"
+        )
+    return results

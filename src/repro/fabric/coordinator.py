@@ -1,0 +1,482 @@
+"""The fabric's brain: job leasing, heartbeats, retries, and quarantine.
+
+:class:`CoordinatorState` is a *pure* state machine: every transition is an
+explicit method call carrying the caller's clock (``now``), nothing inside
+reads wall time, spawns threads, or touches sockets.  That is what makes
+the fault paths testable deterministically — the in-process chaos harness
+(:mod:`repro.fabric.chaos`) drives the same object with a virtual clock,
+while the asyncio HTTP service (:mod:`repro.fabric.http`) is a thin shell
+that forwards requests and a ``time.monotonic`` tick into it.
+
+Lifecycle of one job
+--------------------
+``submit`` enqueues a batch of :class:`~repro.runner.TrialJob`s in
+submission order.  Each job is first checked against the trial-result
+cache (coordinator restarts resume from cache hits) and against in-flight
+work by content address (two identical jobs — same canonical token — lease
+once and fan the value out to both).  ``lease`` hands the earliest
+eligible job to a worker with a deadline; ``heartbeat`` extends the
+deadline; ``tick`` reclaims expired leases (a missed heartbeat, a killed
+worker, a network partition — the coordinator cannot tell and does not
+need to: the job simply goes back in the queue, *uncharged*, because an
+infrastructure failure is never the trial's fault).  ``complete`` is
+idempotent — a duplicated or stale completion for a finished job is
+counted and dropped, never double-applied.
+
+A job whose execution genuinely *fails* (the worker ran it and it raised)
+is charged one attempt and re-queued with exponential backoff; after the
+retry budget is spent it is quarantined as a poison job with the same
+``TrialResult(ok=False, ...)`` envelope the local pool would produce.
+Because kills/stalls/drops are uncharged and genuine failures follow the
+pool's retry accounting, a sweep that survives any amount of worker chaos
+yields envelopes *byte-identical* to a clean serial run.
+
+Results come back in **submission order**, never completion order — the
+same merge discipline as :func:`repro.runner.run_jobs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.telemetry import Telemetry, TelemetrySnapshot
+from ..runner.pool import TrialJob, TrialResult, resolve_trial_retries
+
+__all__ = [
+    "CoordinatorState",
+    "Lease",
+    "JobState",
+    "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_BACKOFF_BASE_S",
+    "DEFAULT_BACKOFF_CAP_S",
+]
+
+#: Default lease time-to-live: a worker that goes this long without a
+#: heartbeat forfeits its job.
+DEFAULT_LEASE_TTL_S = 30.0
+#: First-retry delay for a genuinely failing job; doubles per failure.
+DEFAULT_BACKOFF_BASE_S = 1.0
+#: Ceiling on the exponential backoff delay.
+DEFAULT_BACKOFF_CAP_S = 60.0
+
+# Job statuses.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+
+
+@dataclass
+class JobState:
+    """Bookkeeping for one submitted job (internal to the coordinator)."""
+
+    job_id: int
+    index: int  # position within its batch
+    batch_id: int
+    job: Optional[TrialJob]  # present in in-process mode
+    payload: Optional[bytes]  # pickled job, present in wire mode
+    key: Optional[str]  # content address for dedupe/cache (None: neither)
+    tag: Any
+    status: str = PENDING
+    failures: int = 0  # genuine execution failures (charged)
+    not_before: float = 0.0  # backoff gate for the next lease
+    result: Optional[TrialResult] = None
+    #: Job ids whose identical work this job's execution also satisfies.
+    followers: List[int] = field(default_factory=list)
+    #: Set when this job's execution is owned by an identical earlier job.
+    duplicate_of: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Lease:
+    """What a worker receives: one job, a deadline, and the trial knobs."""
+
+    lease_id: int
+    job_id: int
+    payload: Optional[bytes]
+    job: Optional[TrialJob]
+    deadline: float
+    timeout_s: Optional[float]
+    heartbeat_s: float
+
+
+@dataclass
+class _ActiveLease:
+    lease_id: int
+    job_id: int
+    worker_id: str
+    deadline: float
+
+
+class CoordinatorState:
+    """Leases canonical job tokens to workers; survives their failures.
+
+    ``retries`` is the genuine-failure budget per job (``None`` defers to
+    ``REPRO_TRIAL_RETRIES``, matching the pool); ``timeout_s`` is the
+    per-trial wall-clock bound shipped to workers inside each lease.
+    ``cache`` (a :class:`repro.cache.TrialCache` or ``None``) is consulted
+    at submit time and fed on success, so a restarted coordinator resumes
+    a sweep from cache hits instead of re-running it.
+    """
+
+    def __init__(
+        self,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        retries: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        cache: Any = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.retries = resolve_trial_retries(retries)
+        self.timeout_s = timeout_s
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.cache = cache
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(enabled=True, key=("fabric", "coordinator"))
+        )
+        self._jobs: Dict[int, JobState] = {}
+        self._queue: List[int] = []  # pending job ids, submission order
+        self._leases: Dict[int, _ActiveLease] = {}
+        self._expired: Dict[int, int] = {}  # expired lease id -> job id
+        self._batches: Dict[int, List[int]] = {}  # batch id -> job ids in order
+        self._by_key: Dict[str, int] = {}  # content address -> owning job id
+        self._next_job = 0
+        self._next_lease = 0
+        self._next_batch = 0
+        self._workers_seen: Dict[str, float] = {}
+        tele = self.telemetry
+        self._c_submitted = tele.counter("fabric.jobs_submitted")
+        self._c_leases = tele.counter("fabric.leases_issued")
+        self._c_expired = tele.counter("fabric.leases_expired")
+        self._c_reassigned = tele.counter("fabric.reassignments")
+        self._c_hb = tele.counter("fabric.heartbeats")
+        self._c_hb_miss = tele.counter("fabric.heartbeat_misses")
+        self._c_retries = tele.counter("fabric.retries")
+        self._c_quarantined = tele.counter("fabric.quarantined")
+        self._c_duplicates = tele.counter("fabric.duplicate_completions")
+        self._c_stale = tele.counter("fabric.stale_completions")
+        self._c_deduped = tele.counter("fabric.jobs_deduped")
+        self._c_cache_hits = tele.counter("fabric.cache_hits")
+        self._c_done = tele.counter("fabric.jobs_completed")
+
+    # -- submission ----------------------------------------------------
+    def _job_key(self, job: Optional[TrialJob], payload: Optional[bytes]) -> Optional[str]:
+        """Content address used for dedupe and the result cache."""
+        if self.cache is not None and job is not None:
+            return self.cache.key_for(job)
+        if job is not None:
+            from ..cache import canonical_token  # late: cache pulls in obs
+
+            try:
+                token = canonical_token(job)
+            except Exception:
+                return None
+            return hashlib.sha256(token.encode("utf-8")).hexdigest()
+        if payload is not None:
+            return hashlib.sha256(payload).hexdigest()
+        return None
+
+    def submit(
+        self,
+        jobs: Sequence[TrialJob] = (),
+        payloads: Optional[Sequence[Optional[bytes]]] = None,
+        tags: Optional[Sequence[Any]] = None,
+    ) -> int:
+        """Enqueue one batch; returns its id.  Results keep submission order.
+
+        In-process callers pass ``jobs``; the wire service passes pickled
+        ``payloads`` (with ``jobs`` unpickled lazily or not at all) plus
+        the ``tags`` to stamp on the result envelopes.
+        """
+        jobs = list(jobs)
+        count = len(jobs) if jobs else len(payloads or ())
+        batch_id = self._next_batch
+        self._next_batch += 1
+        ids: List[int] = []
+        for i in range(count):
+            job = jobs[i] if jobs else None
+            payload = payloads[i] if payloads is not None else None
+            tag = tags[i] if tags is not None else (job.tag if job else None)
+            state = JobState(
+                job_id=self._next_job,
+                index=i,
+                batch_id=batch_id,
+                job=job,
+                payload=payload,
+                key=self._job_key(job, payload),
+                tag=tag,
+            )
+            self._next_job += 1
+            self._jobs[state.job_id] = state
+            ids.append(state.job_id)
+            self._c_submitted.inc()
+            if not self._try_cache_hit(state) and not self._try_dedupe(state):
+                self._queue.append(state.job_id)
+        self._batches[batch_id] = ids
+        return batch_id
+
+    def _try_cache_hit(self, state: JobState) -> bool:
+        if self.cache is None or state.key is None:
+            return False
+        hit, value = self.cache.get(state.key)
+        if not hit:
+            return False
+        self._c_cache_hits.inc()
+        self._finish(state, TrialResult(ok=True, value=value, tag=state.tag))
+        return True
+
+    def _try_dedupe(self, state: JobState) -> bool:
+        """Attach to an identical in-flight job instead of queueing twice."""
+        if state.key is None:
+            return False
+        owner_id = self._by_key.get(state.key)
+        if owner_id is not None:
+            owner = self._jobs.get(owner_id)
+            if owner is not None and owner.status != DONE:
+                owner.followers.append(state.job_id)
+                state.duplicate_of = owner_id
+                self._c_deduped.inc()
+                return True
+        self._by_key[state.key] = state.job_id
+        return False
+
+    # -- leasing -------------------------------------------------------
+    def lease(self, worker_id: str, now: float) -> Optional[Lease]:
+        """Hand the earliest eligible pending job to ``worker_id``."""
+        self._workers_seen[worker_id] = now
+        chosen: Optional[int] = None
+        keep: List[int] = []
+        for job_id in self._queue:
+            state = self._jobs[job_id]
+            if state.status != PENDING:
+                continue  # finished by a late completion while queued
+            if chosen is None and state.not_before <= now:
+                chosen = job_id
+                continue
+            keep.append(job_id)
+        self._queue = keep
+        if chosen is None:
+            return None
+        state = self._jobs[chosen]
+        state.status = LEASED
+        lease = _ActiveLease(
+            lease_id=self._next_lease,
+            job_id=chosen,
+            worker_id=worker_id,
+            deadline=now + self.lease_ttl_s,
+        )
+        self._next_lease += 1
+        self._leases[lease.lease_id] = lease
+        self._c_leases.inc()
+        return Lease(
+            lease_id=lease.lease_id,
+            job_id=chosen,
+            payload=state.payload,
+            job=state.job,
+            deadline=lease.deadline,
+            timeout_s=self.timeout_s,
+            heartbeat_s=self.lease_ttl_s / 3.0,
+        )
+
+    def heartbeat(
+        self, worker_id: str, lease_ids: Sequence[int], now: float
+    ) -> Dict[int, bool]:
+        """Extend deadlines; ``False`` tells the worker to abandon that lease."""
+        self._workers_seen[worker_id] = now
+        acks: Dict[int, bool] = {}
+        for lease_id in lease_ids:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.worker_id != worker_id:
+                acks[lease_id] = False
+                continue
+            lease.deadline = now + self.lease_ttl_s
+            self._c_hb.inc()
+            acks[lease_id] = True
+        return acks
+
+    def tick(self, now: float) -> int:
+        """Reclaim expired leases; returns how many jobs were reassigned.
+
+        An expired lease is an infrastructure failure — a killed worker, a
+        stall past the TTL, a partition.  The job returns to the queue
+        *uncharged* so the surviving fleet drains it, and the eventual
+        envelope is indistinguishable from a first-try success.
+        """
+        reclaimed = 0
+        for lease_id in [
+            lid for lid, lease in self._leases.items() if lease.deadline <= now
+        ]:
+            lease = self._leases.pop(lease_id)
+            self._expired[lease_id] = lease.job_id
+            self._c_expired.inc()
+            self._c_hb_miss.inc()
+            state = self._jobs.get(lease.job_id)
+            if state is None or state.status != LEASED:
+                continue
+            state.status = PENDING
+            self._queue.append(state.job_id)
+            self._c_reassigned.inc()
+            reclaimed += 1
+        return reclaimed
+
+    # -- completion ----------------------------------------------------
+    def complete(
+        self,
+        lease_id: int,
+        ok: bool,
+        value: Any = None,
+        error: Optional[str] = None,
+        now: float = 0.0,
+    ) -> str:
+        """Apply one completion message; idempotent under duplication.
+
+        Returns a disposition string (``"accepted"``, ``"late"``,
+        ``"duplicate"``) — diagnostic only, workers need not act on it.
+        """
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            # The lease is gone: either it expired (and may have been
+            # re-run) or this is a duplicated delivery.  If the job is
+            # still unfinished, the value is salvageable — the job is a
+            # pure function, so a late result is a correct result.
+            job_id = self._expired.pop(lease_id, None)
+            state = self._jobs.get(job_id) if job_id is not None else None
+            if state is None or state.status == DONE:
+                self._c_duplicates.inc()
+                return "duplicate"
+            self._c_stale.inc()
+            if state.status == LEASED:
+                # The reassigned lease is now moot; retire it quietly so
+                # its own completion arrives as a counted duplicate.
+                for lid, active in list(self._leases.items()):
+                    if active.job_id == state.job_id:
+                        del self._leases[lid]
+            self._apply(state, ok, value, error, now)
+            return "late"
+        state = self._jobs[lease.job_id]
+        if state.status == DONE:  # fanned in from a duplicate sibling
+            self._c_duplicates.inc()
+            return "duplicate"
+        self._apply(state, ok, value, error, now)
+        return "accepted"
+
+    def _apply(
+        self, state: JobState, ok: bool, value: Any, error: Optional[str], now: float
+    ) -> None:
+        if ok:
+            attempts = state.failures + 1
+            if self.cache is not None and state.key is not None:
+                self.cache.put(state.key, value)
+            self._finish(
+                state,
+                TrialResult(ok=True, value=value, attempts=attempts, tag=state.tag),
+            )
+            return
+        state.failures += 1
+        if state.failures > self.retries:
+            self._c_quarantined.inc()
+            self._finish(
+                state,
+                TrialResult(
+                    ok=False, error=error, attempts=state.failures, tag=state.tag
+                ),
+            )
+            return
+        # Genuine failure with budget left: exponential backoff, then retry.
+        self._c_retries.inc()
+        delay = min(
+            self.backoff_base_s * (2.0 ** (state.failures - 1)), self.backoff_cap_s
+        )
+        state.not_before = now + delay
+        state.status = PENDING
+        self._queue.append(state.job_id)
+
+    def _finish(self, state: JobState, result: TrialResult) -> None:
+        state.status = DONE
+        state.result = result
+        self._c_done.inc()
+        if state.key is not None and self._by_key.get(state.key) == state.job_id:
+            del self._by_key[state.key]
+        for follower_id in state.followers:
+            follower = self._jobs.get(follower_id)
+            if follower is None or follower.status == DONE:
+                continue
+            self._finish(
+                follower,
+                TrialResult(
+                    ok=result.ok,
+                    value=result.value,
+                    error=result.error,
+                    attempts=result.attempts,
+                    tag=follower.tag,
+                ),
+            )
+
+    # -- harvest -------------------------------------------------------
+    def next_wakeup(self, now: float) -> Optional[float]:
+        """Earliest instant something becomes actionable (lease expiry or
+        backoff gate), or ``None`` when nothing is outstanding."""
+        times = [lease.deadline for lease in self._leases.values()]
+        times += [
+            self._jobs[j].not_before
+            for j in self._queue
+            if self._jobs[j].not_before > now
+        ]
+        return min(times) if times else None
+
+    def pending_jobs(self) -> int:
+        return sum(1 for s in self._jobs.values() if s.status != DONE)
+
+    def batch_done(self, batch_id: int) -> bool:
+        ids = self._batches.get(batch_id)
+        if ids is None:
+            raise KeyError(f"unknown batch {batch_id}")
+        return all(self._jobs[j].status == DONE for j in ids)
+
+    def results(self, batch_id: int) -> Optional[List[TrialResult]]:
+        """Envelopes in submission order once the batch drained, else None."""
+        if not self.batch_done(batch_id):
+            return None
+        return [self._jobs[j].result for j in self._batches[batch_id]]
+
+    # -- introspection -------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counter values keyed by short name (for /stats and the CLI)."""
+        return {
+            "jobs_submitted": int(self._c_submitted.value),
+            "leases_issued": int(self._c_leases.value),
+            "leases_expired": int(self._c_expired.value),
+            "reassignments": int(self._c_reassigned.value),
+            "heartbeats": int(self._c_hb.value),
+            "heartbeat_misses": int(self._c_hb_miss.value),
+            "retries": int(self._c_retries.value),
+            "quarantined": int(self._c_quarantined.value),
+            "duplicate_completions": int(self._c_duplicates.value),
+            "stale_completions": int(self._c_stale.value),
+            "jobs_deduped": int(self._c_deduped.value),
+            "cache_hits": int(self._c_cache_hits.value),
+            "jobs_completed": int(self._c_done.value),
+        }
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return self.telemetry.snapshot()
+
+    def describe(self) -> str:
+        """One-line summary the CLI prints after a fabric run."""
+        s = self.stats
+        return (
+            f"fabric: {s.get('jobs_completed', 0)} job(s) done, "
+            f"{s.get('leases_issued', 0)} lease(s), "
+            f"{s.get('reassignments', 0)} reassignment(s), "
+            f"{s.get('retries', 0)} retry(ies), "
+            f"{s.get('quarantined', 0)} quarantined, "
+            f"{s.get('duplicate_completions', 0)} duplicate completion(s)"
+        )

@@ -1,0 +1,401 @@
+"""The asyncio HTTP shell around :class:`~repro.fabric.coordinator.CoordinatorState`.
+
+The coordinator's brain is a pure state machine; this module is the thin
+wire around it: a minimal HTTP/1.1 JSON service (stdlib asyncio only — the
+container has no aiohttp and must not grow one) plus a synchronous client
+(:class:`CoordinatorClient`, ``http.client``) and the
+:class:`HttpFabric` adapter that lets ``run_jobs`` submit a batch to a
+remote coordinator and block for the merged envelopes.
+
+Endpoints (all bodies JSON; job/value blobs are base64-pickle):
+
+==============  ============================================================
+``POST /submit``      ``{jobs: [b64...]}`` → ``{batch: id, jobs: n}``
+``POST /lease``       ``{worker: id}`` → ``{lease: {...} | null, idle_s}``
+``POST /heartbeat``   ``{worker: id, leases: [...]}`` → ``{acks: {id: bool}}``
+``POST /complete``    ``{lease: id, ok, value?, error?}`` → ``{disposition}``
+``GET /results``      ``?batch=N`` → ``{done, results?: b64, stats}``
+``GET /stats``        → counters + pending
+``POST /shutdown``    → stops the server once the socket drains
+==============  ============================================================
+
+Pickled payloads mean the coordinator and its workers must trust each
+other — this fabric is lab infrastructure on a private network, the same
+trust model as the process pool it extends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import pickle
+import time
+import urllib.parse
+from http.client import HTTPConnection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..runner.pool import TrialJob, TrialResult
+from .coordinator import CoordinatorState
+
+__all__ = [
+    "CoordinatorServer",
+    "CoordinatorClient",
+    "HttpFabric",
+    "serve_coordinator",
+]
+
+_MAX_BODY = 256 * 1024 * 1024  # one batch of pickled sweep jobs fits easily
+
+
+def _b64(blob: bytes) -> str:
+    return base64.b64encode(blob).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+class CoordinatorServer:
+    """Serve one :class:`CoordinatorState` over HTTP on ``host:port``.
+
+    The server owns the wall clock: every state transition is stamped with
+    ``time.monotonic()`` and a background task ticks lease expiry at a
+    quarter of the TTL.  ``port=0`` binds an ephemeral port (tests);
+    ``self.port`` is the bound one after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        state: Optional[CoordinatorState] = None,
+        host: str = "127.0.0.1",
+        port: int = 8537,
+        **state_kwargs: Any,
+    ):
+        self.state = state if state is not None else CoordinatorState(**state_kwargs)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._ticker: Optional[asyncio.Task] = None
+        self._stop = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ticker = asyncio.ensure_future(self._tick_loop())
+
+    async def _tick_loop(self) -> None:
+        interval = max(0.05, self.state.lease_ttl_s / 4.0)
+        while not self._stop.is_set():
+            self.state.tick(time.monotonic())
+            try:
+                await asyncio.wait_for(self._stop.wait(), timeout=interval)
+            except asyncio.TimeoutError:
+                pass
+
+    async def serve_until_stopped(self) -> None:
+        await self._stop.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        self._stop.set()
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- request plumbing ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, reply = self._route(method, path, body)
+                blob = json.dumps(reply).encode("utf-8")
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(blob)}\r\n"
+                        "Connection: keep-alive\r\n\r\n"
+                    ).encode("ascii")
+                    + blob
+                )
+                await writer.drain()
+                if self._stop.is_set():
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, Any]]]:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not line:
+            return None
+        parts = line.decode("ascii", "replace").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("ascii", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        if length > _MAX_BODY:
+            return None
+        body: Dict[str, Any] = {}
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = {}
+        return method, path, body
+
+    # -- routing -------------------------------------------------------
+    def _route(
+        self, method: str, path: str, body: Dict[str, Any]
+    ) -> Tuple[str, Dict[str, Any]]:
+        now = time.monotonic()
+        parsed = urllib.parse.urlsplit(path)
+        route = (method, parsed.path)
+        try:
+            if route == ("POST", "/submit"):
+                return "200 OK", self._submit(body)
+            if route == ("POST", "/lease"):
+                return "200 OK", self._lease(body, now)
+            if route == ("POST", "/heartbeat"):
+                worker = str(body.get("worker", ""))
+                leases = [int(x) for x in body.get("leases", [])]
+                return "200 OK", {
+                    "acks": {
+                        str(k): v
+                        for k, v in self.state.heartbeat(worker, leases, now).items()
+                    }
+                }
+            if route == ("POST", "/complete"):
+                disposition = self.state.complete(
+                    int(body["lease"]),
+                    bool(body.get("ok")),
+                    value=(
+                        pickle.loads(_unb64(body["value"]))
+                        if body.get("value") is not None
+                        else None
+                    ),
+                    error=body.get("error"),
+                    now=now,
+                )
+                return "200 OK", {"disposition": disposition}
+            if route == ("GET", "/results"):
+                query = urllib.parse.parse_qs(parsed.query)
+                batch = int(query.get("batch", ["0"])[0])
+                results = self.state.results(batch)
+                reply: Dict[str, Any] = {
+                    "done": results is not None,
+                    "stats": self.state.stats,
+                }
+                if results is not None:
+                    reply["results"] = _b64(
+                        pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                return "200 OK", reply
+            if route == ("GET", "/stats"):
+                return "200 OK", {
+                    "stats": self.state.stats,
+                    "pending": self.state.pending_jobs(),
+                }
+            if route == ("GET", "/health"):
+                return "200 OK", {"ok": True}
+            if route == ("POST", "/shutdown"):
+                self._stop.set()
+                return "200 OK", {"ok": True}
+        except KeyError as exc:
+            return "400 Bad Request", {"error": f"missing field {exc}"}
+        except Exception as exc:  # a bad request must never kill the service
+            return "400 Bad Request", {"error": f"{type(exc).__name__}: {exc}"}
+        return "404 Not Found", {"error": f"no route {method} {parsed.path}"}
+
+    def _submit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        payloads = [_unb64(x) for x in body.get("jobs", [])]
+        # Unpickle so dedupe/cache use the real content address (the same
+        # TrialCache key a local run would compute), not the payload hash.
+        jobs: List[TrialJob] = [pickle.loads(p) for p in payloads]
+        batch = self.state.submit(jobs, payloads=payloads)
+        return {"batch": batch, "jobs": len(jobs)}
+
+    def _lease(self, body: Dict[str, Any], now: float) -> Dict[str, Any]:
+        worker = str(body.get("worker", "anonymous"))
+        lease = self.state.lease(worker, now)
+        if lease is None:
+            wake = self.state.next_wakeup(now)
+            idle = max(0.1, min(2.0, (wake - now) if wake is not None else 1.0))
+            return {"lease": None, "idle_s": idle}
+        return {
+            "lease": {
+                "lease": lease.lease_id,
+                "job": _b64(
+                    lease.payload
+                    if lease.payload is not None
+                    else pickle.dumps(lease.job, protocol=pickle.HIGHEST_PROTOCOL)
+                ),
+                "timeout_s": lease.timeout_s,
+                "heartbeat_s": lease.heartbeat_s,
+            }
+        }
+
+
+async def serve_coordinator(
+    host: str = "127.0.0.1", port: int = 8537, **state_kwargs: Any
+) -> CoordinatorServer:
+    """Start a coordinator service; returns once it is listening."""
+    server = CoordinatorServer(host=host, port=port, **state_kwargs)
+    await server.start()
+    return server
+
+
+# ---------------------------------------------------------------------------
+# Synchronous client side
+# ---------------------------------------------------------------------------
+class CoordinatorClient:
+    """Blocking JSON client for the coordinator service (workers + fabric)."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0):
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported coordinator scheme {parsed.scheme!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8537
+        self.timeout_s = timeout_s
+
+    def _call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            blob = json.dumps(body or {}).encode("utf-8")
+            conn.request(
+                method,
+                path,
+                body=blob if method == "POST" else None,
+                headers={"Content-Type": "application/json"}
+                if method == "POST"
+                else {},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise RuntimeError(
+                    f"coordinator {method} {path} -> {response.status}: "
+                    f"{data[:200]!r}"
+                )
+            return json.loads(data.decode("utf-8"))
+        finally:
+            conn.close()
+
+    # -- worker-facing -------------------------------------------------
+    def lease(self, worker_id: str) -> Dict[str, Any]:
+        return self._call("POST", "/lease", {"worker": worker_id})
+
+    def heartbeat(self, worker_id: str, lease_ids: Sequence[int]) -> Dict[str, bool]:
+        reply = self._call(
+            "POST", "/heartbeat", {"worker": worker_id, "leases": list(lease_ids)}
+        )
+        return {int(k): v for k, v in reply.get("acks", {}).items()}
+
+    def complete(
+        self,
+        lease_id: int,
+        ok: bool,
+        value: Any = None,
+        error: Optional[str] = None,
+    ) -> str:
+        body: Dict[str, Any] = {"lease": lease_id, "ok": ok, "error": error}
+        if ok:
+            body["value"] = _b64(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        return self._call("POST", "/complete", body).get("disposition", "?")
+
+    # -- submitter-facing ----------------------------------------------
+    def submit(self, jobs: Sequence[TrialJob]) -> int:
+        payload = [
+            _b64(pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL))
+            for job in jobs
+        ]
+        return int(self._call("POST", "/submit", {"jobs": payload})["batch"])
+
+    def results(self, batch: int) -> Optional[List[TrialResult]]:
+        reply = self._call("GET", f"/results?batch={batch}")
+        if not reply.get("done"):
+            return None
+        return pickle.loads(_unb64(reply["results"]))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def shutdown(self) -> None:
+        self._call("POST", "/shutdown")
+
+
+class HttpFabric:
+    """Adapter: ``run_jobs``-shaped execution against a remote coordinator.
+
+    Retry/timeout/lease policy lives on the coordinator (it is the one
+    accounting attempts fleet-wide); the caller's ``retries``/``timeout_s``
+    are ignored here by design.  Any transport failure raises, which the
+    runner's fabric hook catches to fall back to the local pool.
+    """
+
+    def __init__(self, url: str, poll_s: float = 0.25):
+        self.url = url
+        self.client = CoordinatorClient(url)
+        self.poll_s = poll_s
+
+    def run(
+        self,
+        jobs: Sequence[TrialJob],
+        workers: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+        cache: Any = None,
+    ) -> List[TrialResult]:
+        batch = self.client.submit(jobs)
+        while True:
+            results = self.client.results(batch)
+            if results is not None:
+                return results
+            time.sleep(self.poll_s)
+
+    def describe(self) -> str:
+        return f"fabric http://{self.client.host}:{self.client.port}"
+
+    def __repr__(self) -> str:
+        return f"HttpFabric({self.url!r})"

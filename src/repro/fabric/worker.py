@@ -1,0 +1,114 @@
+"""The worker agent: lease → execute sandboxed → heartbeat → complete.
+
+A worker is deliberately dumb: it holds no sweep state, so killing one at
+any instant loses at most the lease it was holding — which the coordinator
+reclaims and reassigns, uncharged.  Each job runs in a fresh single-worker
+subprocess pool (:func:`repro.runner.pool._run_isolated`), so a trial that
+crashes or hangs takes down the sandbox, not the agent: the agent reports
+the failure and leases the next job.  A background thread heartbeats every
+``lease.heartbeat_s`` while the sandbox runs; a NACKed heartbeat means the
+coordinator already gave the job away (we stalled past the TTL), so the
+eventual completion is delivered anyway and the coordinator's idempotent
+``complete`` either salvages it or counts the duplicate.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from typing import Any, Optional
+
+from ..runner.pool import TrialJob, TrialResult, _run_isolated
+from .http import CoordinatorClient
+
+__all__ = ["WorkerAgent", "run_worker"]
+
+
+class WorkerAgent:
+    """One agent process draining leases from a coordinator.
+
+    ``max_jobs`` bounds how many leases to execute (tests, canary runs);
+    ``idle_exit_s`` stops the loop after that long with nothing leased
+    (lets the EXPERIMENTS recipe's workers exit once the sweep drains).
+    """
+
+    def __init__(
+        self,
+        coordinator: str,
+        worker_id: Optional[str] = None,
+        max_jobs: Optional[int] = None,
+        idle_exit_s: Optional[float] = None,
+    ):
+        self.client = CoordinatorClient(coordinator)
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.max_jobs = max_jobs
+        self.idle_exit_s = idle_exit_s
+        self.jobs_done = 0
+
+    # -- one lease -----------------------------------------------------
+    def _execute(self, lease: dict) -> None:
+        import base64
+
+        payload = base64.b64decode(lease["job"])
+        job: TrialJob = pickle.loads(payload)
+        lease_id = int(lease["lease"])
+        heartbeat_s = float(lease.get("heartbeat_s") or 5.0)
+        stop = threading.Event()
+
+        def pump() -> None:
+            while not stop.wait(heartbeat_s):
+                try:
+                    self.client.heartbeat(self.worker_id, [lease_id])
+                except Exception:
+                    # A missed heartbeat is the coordinator's problem to
+                    # notice, not ours to crash on; keep executing.
+                    pass
+
+        pacemaker = threading.Thread(target=pump, daemon=True)
+        pacemaker.start()
+        try:
+            outcome: TrialResult = _run_isolated(
+                job, payload, lease.get("timeout_s")
+            )
+        finally:
+            stop.set()
+            pacemaker.join(timeout=1.0)
+        self.client.complete(
+            lease_id, outcome.ok, value=outcome.value, error=outcome.error
+        )
+        self.jobs_done += 1
+
+    # -- the loop ------------------------------------------------------
+    def run(self) -> int:
+        """Drain leases until told to stop; returns jobs executed."""
+        idle_since: Optional[float] = None
+        while self.max_jobs is None or self.jobs_done < self.max_jobs:
+            try:
+                reply = self.client.lease(self.worker_id)
+            except Exception:
+                # Coordinator unreachable (restarting?): back off and retry.
+                time.sleep(1.0)
+                continue
+            lease = reply.get("lease")
+            if lease is None:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                elif (
+                    self.idle_exit_s is not None
+                    and now - idle_since >= self.idle_exit_s
+                ):
+                    break
+                time.sleep(float(reply.get("idle_s") or 0.5))
+                continue
+            idle_since = None
+            self._execute(lease)
+        return self.jobs_done
+
+
+def run_worker(coordinator: str, **kwargs: Any) -> int:
+    """Convenience wrapper: build a :class:`WorkerAgent` and drain it."""
+    return WorkerAgent(coordinator, **kwargs).run()

@@ -184,10 +184,19 @@ def chrome_trace_events(snap: TelemetrySnapshot) -> List[Dict[str, Any]]:
 
 def build_payload(
     snapshots: Iterable[Optional[TelemetrySnapshot]],
+    deterministic: bool = False,
 ) -> Dict[str, Any]:
     """The full export payload: schema id, per-capture snapshots, the
-    deterministic merge, and the Chrome trace of the merge."""
+    deterministic merge, and the Chrome trace of the merge.
+
+    ``deterministic=True`` projects every snapshot through
+    :meth:`TelemetrySnapshot.deterministic` first, dropping wall-clock
+    profiling instruments — the projection byte-equality gates compare
+    across process layouts, worker counts, and sweep fabrics.
+    """
     kept = [s for s in snapshots if s is not None]
+    if deterministic:
+        kept = [s.deterministic() for s in kept]
     merged = merge_snapshots(kept)
     return {
         "schema": SCHEMA,
@@ -199,10 +208,12 @@ def build_payload(
 
 
 def write_payload(
-    path: str, snapshots: Iterable[Optional[TelemetrySnapshot]]
+    path: str,
+    snapshots: Iterable[Optional[TelemetrySnapshot]],
+    deterministic: bool = False,
 ) -> Dict[str, Any]:
     """Build the payload and write it to ``path``; returns the payload."""
-    payload = build_payload(snapshots)
+    payload = build_payload(snapshots, deterministic=deterministic)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -71,6 +71,7 @@ __all__ = [
     "TrialJob",
     "TrialResult",
     "TrialError",
+    "TrialInterrupted",
     "ShardedJob",
     "resolve_workers",
     "resolve_trial_timeout",
@@ -97,6 +98,20 @@ _RUNNING_POLL_S = 0.005
 
 class TrialError(RuntimeError):
     """A trial (or a suite of trials) failed and the caller demanded values."""
+
+
+class TrialInterrupted(TrialError):
+    """The suite was interrupted (Ctrl-C) with some trials still unfinished.
+
+    ``partial`` holds one slot per submitted job in submission order:
+    the finished envelopes, ``None`` for trials the interrupt cut short.
+    Worker processes are terminated before this is raised — an interrupted
+    sweep never leaks orphaned children.
+    """
+
+    def __init__(self, message: str, partial: Sequence[Optional["TrialResult"]] = ()):
+        super().__init__(message)
+        self.partial: List[Optional[TrialResult]] = list(partial)
 
 
 @dataclass(frozen=True)
@@ -274,26 +289,36 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _run_serial(jobs: Sequence[TrialJob], retries: int) -> List[TrialResult]:
-    results = []
-    for job in jobs:
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                value = job.run()
-            except Exception as exc:
-                if attempts <= retries:
-                    continue
-                results.append(
-                    TrialResult(
-                        ok=False, error=_describe(exc), attempts=attempts, tag=job.tag
+    results: List[TrialResult] = []
+    try:
+        for job in jobs:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    value = job.run()
+                except Exception as exc:
+                    if attempts <= retries:
+                        continue
+                    results.append(
+                        TrialResult(
+                            ok=False,
+                            error=_describe(exc),
+                            attempts=attempts,
+                            tag=job.tag,
+                        )
                     )
+                    break
+                results.append(
+                    TrialResult(ok=True, value=value, attempts=attempts, tag=job.tag)
                 )
                 break
-            results.append(
-                TrialResult(ok=True, value=value, attempts=attempts, tag=job.tag)
-            )
-            break
+    except KeyboardInterrupt as exc:
+        partial = list(results) + [None] * (len(jobs) - len(results))
+        raise TrialInterrupted(
+            f"interrupted with {len(results)}/{len(jobs)} trial(s) finished",
+            partial,
+        ) from exc
     return results
 
 
@@ -329,6 +354,11 @@ def _run_isolated(
         except Exception as exc:
             return TrialResult(ok=False, error=_describe(exc), tag=job.tag)
         return TrialResult(ok=True, value=pickle.loads(raw), tag=job.tag)
+    except BaseException:
+        # Ctrl-C (or any non-Exception) while the sandbox runs: terminate
+        # the worker before unwinding so no orphaned child outlives us.
+        _kill_pool(pool)
+        raise
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 
@@ -431,6 +461,12 @@ def _run_round(
             results[i] = TrialResult(
                 ok=True, value=pickle.loads(raw), attempts=attempts[i], tag=jobs[i].tag
             )
+    except BaseException:
+        # Ctrl-C mid-harvest: terminate the workers before unwinding so an
+        # interrupted sweep never leaks orphaned children (shutdown alone
+        # only abandons them).
+        _kill_pool(pool)
+        raise
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
     return retry, isolate
@@ -448,6 +484,29 @@ def _run_parallel(
     attempts = [0] * total
     pending: List[int] = list(range(total))
     isolate: Set[int] = set()
+    try:
+        return _drain_parallel(
+            jobs, payloads, count, timeout_s, retries, results, attempts,
+            pending, isolate,
+        )
+    except KeyboardInterrupt as exc:
+        done = sum(1 for r in results if r is not None)
+        raise TrialInterrupted(
+            f"interrupted with {done}/{total} trial(s) finished", list(results)
+        ) from exc
+
+
+def _drain_parallel(
+    jobs: Sequence[TrialJob],
+    payloads: Sequence[bytes],
+    count: int,
+    timeout_s: Optional[float],
+    retries: int,
+    results: List[Optional[TrialResult]],
+    attempts: List[int],
+    pending: List[int],
+    isolate: Set[int],
+) -> List[TrialResult]:
     while pending:
         if isolate:
             still_pending: List[int] = []
@@ -630,6 +689,39 @@ def _dispatch_jobs(
     return _run_parallel(jobs, payloads, count, timeout, tries)
 
 
+def _dispatch_or_fabric(
+    jobs: List[TrialJob],
+    workers: Optional[int],
+    timeout_s: Optional[float],
+    retries: Optional[int],
+) -> List[TrialResult]:
+    """Route a fan-out through the ambient sweep fabric, if one is active.
+
+    Graceful degradation is the contract: no fabric resolved (the common
+    case) or a fabric that fails outright both land on the local
+    :func:`_dispatch_jobs` path.  The fabric's merge discipline matches the
+    pool's (submission order, identical envelopes), so which path ran is
+    unobservable in the results.
+    """
+    from ..fabric import resolve_fabric  # late import: fabric pulls in obs
+
+    fabric = resolve_fabric()
+    if fabric is None:
+        return _dispatch_jobs(jobs, workers, timeout_s, retries)
+    try:
+        return fabric.run(
+            jobs, workers=workers, timeout_s=timeout_s, retries=retries
+        )
+    except (KeyboardInterrupt, TrialInterrupted):
+        raise
+    except Exception as exc:
+        warnings.warn(
+            f"sweep fabric {fabric!r} failed ({_describe(exc)}); "
+            "falling back to the local pool"
+        )
+        return _dispatch_jobs(jobs, workers, timeout_s, retries)
+
+
 def run_jobs(
     jobs: Sequence[TrialJob],
     workers: Optional[int] = None,
@@ -668,7 +760,7 @@ def run_jobs(
 
     store = resolve_cache(cache)
     if store is None:
-        return _dispatch_jobs(jobs, workers, timeout_s, retries)
+        return _dispatch_or_fabric(jobs, workers, timeout_s, retries)
 
     keys: List[Optional[str]] = [store.key_for(job) for job in jobs]
     results: List[Optional[TrialResult]] = [None] * len(jobs)
@@ -681,9 +773,17 @@ def run_jobs(
                 continue
         misses.append(i)
     if misses:
-        fresh = _dispatch_jobs(
-            [jobs[i] for i in misses], workers, timeout_s, retries
-        )
+        try:
+            fresh = _dispatch_or_fabric(
+                [jobs[i] for i in misses], workers, timeout_s, retries
+            )
+        except TrialInterrupted as exc:
+            # Bank what finished before re-raising: a resumed sweep replays
+            # these as cache hits instead of re-running them.
+            for i, envelope in zip(misses, exc.partial):
+                if envelope is not None and envelope.ok and keys[i] is not None:
+                    store.put(keys[i], envelope.value)
+            raise
         for i, envelope in zip(misses, fresh):
             results[i] = envelope
             if envelope.ok and keys[i] is not None:

@@ -539,3 +539,82 @@ class TestTownTrialsEndToEnd:
             assert json.dumps(
                 snapshot_to_jsonable(cm), sort_keys=True
             ) == json.dumps(snapshot_to_jsonable(wm), sort_keys=True)
+
+
+class TestSizeCap:
+    """The LRU size budget: env parsing, auto-maintenance, and the lock."""
+
+    def test_resolve_max_bytes_explicit_and_suffixes(self, monkeypatch):
+        from repro.cache import CACHE_MAX_BYTES_ENV, resolve_cache_max_bytes
+
+        assert resolve_cache_max_bytes(1234) == 1234
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "512k")
+        assert resolve_cache_max_bytes() == 512 * 1024
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "2M")
+        assert resolve_cache_max_bytes() == 2 * 1024 * 1024
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "1g")
+        assert resolve_cache_max_bytes() == 1 << 30
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV)
+        assert resolve_cache_max_bytes() is None
+
+    def test_resolve_max_bytes_garbage_warns(self, monkeypatch):
+        from repro.cache import CACHE_MAX_BYTES_ENV, resolve_cache_max_bytes
+
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "bogus")
+        with pytest.warns(UserWarning):
+            assert resolve_cache_max_bytes() is None
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "-5")
+        with pytest.warns(UserWarning):
+            assert resolve_cache_max_bytes() is None
+
+    def test_put_auto_maintains_within_budget(self, tmp_path):
+        cache = TrialCache(tmp_path / "c", fingerprint="fp", max_bytes=2000)
+        for i in range(40):
+            cache.put(cache.key_for(TrialJob(_double, (i,))), list(range(20)))
+        cache.maintain()  # flush the tail below the maintenance threshold
+        assert cache_stats(tmp_path / "c")["bytes"] <= 2000
+        # The cache stayed useful: recent entries survive the evictions.
+        assert cache_stats(tmp_path / "c")["entries"] > 0
+
+    def test_uncapped_cache_never_maintains(self, tmp_path):
+        cache = TrialCache(tmp_path / "c", fingerprint="fp")
+        assert cache.max_bytes is None
+        for i in range(10):
+            cache.put(cache.key_for(TrialJob(_double, (i,))), i)
+        assert cache.maintain() is None
+        assert cache_stats(tmp_path / "c")["entries"] == 10
+
+    def test_cache_lock_serializes_maintainers(self, tmp_path):
+        from repro.cache import cache_lock
+
+        root = tmp_path / "c"
+        root.mkdir()
+        with cache_lock(root) as held:
+            assert held
+            # flock is per-fd: a second non-blocking acquire (another
+            # pruner) must report contention, not deadlock.
+            with cache_lock(root, blocking=False) as second:
+                assert second is False
+        with cache_lock(root, blocking=False) as again:
+            assert again is True
+
+    def test_prune_cli_uses_env_budget(self, tmp_path, monkeypatch, capsys):
+        from repro.cache import CACHE_MAX_BYTES_ENV
+        from repro.cache.__main__ import main as cache_main
+
+        cache = TrialCache(tmp_path / "c", fingerprint="fp")
+        for i in range(6):
+            cache.put(cache.key_for(TrialJob(_double, (i,))), list(range(50)))
+        before = cache_stats(tmp_path / "c")["bytes"]
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, str(before // 2))
+        assert cache_main(["prune", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert cache_stats(tmp_path / "c")["bytes"] <= before // 2
+        assert "pruned" in capsys.readouterr().out
+
+    def test_prune_cli_without_any_budget_errors(self, tmp_path, monkeypatch, capsys):
+        from repro.cache import CACHE_MAX_BYTES_ENV
+        from repro.cache.__main__ import main as cache_main
+
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV, raising=False)
+        assert cache_main(["prune", "--cache-dir", str(tmp_path / "c")]) == 2
+        assert "REPRO_CACHE_MAX_BYTES" in capsys.readouterr().err

@@ -1,0 +1,141 @@
+"""Loopback tests for the HTTP coordinator service and worker agents.
+
+These drive the real wire: an asyncio coordinator on an ephemeral port,
+``http.client`` workers executing leased jobs in sandbox subprocesses, and
+the :class:`HttpFabric` adapter a ``--fabric http://...`` run uses.  Wire
+round-trips repickle envelopes, so equality here is object equality (the
+byte-identity contract lives on the results JSON, exercised in CI).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.cache import TrialCache
+from repro.fabric import demo_jobs
+from repro.fabric.http import CoordinatorClient, CoordinatorServer, HttpFabric
+from repro.fabric.worker import WorkerAgent
+from repro.runner.pool import run_jobs
+
+
+class _ServerThread:
+    """A coordinator service running on its own event loop in a thread."""
+
+    def __init__(self, **state_kwargs):
+        self.loop = asyncio.new_event_loop()
+        self.server = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, kwargs=state_kwargs, daemon=True
+        )
+        self._thread.start()
+        assert self._started.wait(timeout=10.0), "coordinator failed to start"
+
+    def _run(self, **state_kwargs):
+        asyncio.set_event_loop(self.loop)
+        self.server = CoordinatorServer(port=0, **state_kwargs)
+        self.loop.run_until_complete(self.server.start())
+        self._started.set()
+        self.loop.run_until_complete(self.server.serve_until_stopped())
+        self.loop.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.server.port}"
+
+    def stop(self):
+        try:
+            CoordinatorClient(self.url, timeout_s=5.0).shutdown()
+        except Exception:
+            pass
+        self._thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def coordinator():
+    made = []
+
+    def factory(**state_kwargs):
+        server = _ServerThread(**state_kwargs)
+        made.append(server)
+        return server
+
+    yield factory
+    for server in made:
+        server.stop()
+
+
+def _drain_with_workers(url, count, jobs_each=None):
+    agents = [
+        WorkerAgent(url, worker_id=f"test-w{i}", max_jobs=jobs_each, idle_exit_s=0.5)
+        for i in range(count)
+    ]
+    threads = [threading.Thread(target=a.run, daemon=True) for a in agents]
+    for t in threads:
+        t.start()
+    return agents, threads
+
+
+class TestLoopback:
+    def test_fleet_drains_batch_to_serial_results(self, coordinator):
+        server = coordinator(lease_ttl_s=10.0)
+        jobs = demo_jobs(6)
+        fabric = HttpFabric(server.url, poll_s=0.05)
+        agents, threads = _drain_with_workers(server.url, count=2)
+        results = fabric.run(jobs)
+        for t in threads:
+            t.join(timeout=15.0)
+        assert results == run_jobs(demo_jobs(6), workers=1)
+        assert sum(a.jobs_done for a in agents) == 6
+
+    def test_abandoned_lease_is_reclaimed_and_reassigned(self, coordinator):
+        server = coordinator(lease_ttl_s=0.4)
+        client = CoordinatorClient(server.url, timeout_s=5.0)
+        batch = server.server.state.submit(demo_jobs(1))
+        first = client.lease("crasher")["lease"]
+        assert first is not None  # ...and "crasher" now dies silently
+        deadline = threading.Event()
+        lease = None
+        for _ in range(60):  # the tick loop expires it within ~2 TTLs
+            deadline.wait(0.1)
+            lease = client.lease("survivor")["lease"]
+            if lease is not None:
+                break
+        assert lease is not None, "expired lease was never reassigned"
+        import base64
+        import pickle
+
+        job = pickle.loads(base64.b64decode(lease["job"]))
+        client.complete(int(lease["lease"]), True, value=job.run())
+        assert client.results(batch) == run_jobs(demo_jobs(1), workers=1)
+        stats = client.stats()["stats"]
+        assert stats["reassignments"] >= 1
+
+    def test_coordinator_restart_resumes_from_cache(self, coordinator, tmp_path):
+        cache = TrialCache(tmp_path, fingerprint="pin")
+        jobs = demo_jobs(4)
+        first = coordinator(lease_ttl_s=10.0, cache=cache)
+        fabric = HttpFabric(first.url, poll_s=0.05)
+        _drain_with_workers(first.url, count=1)
+        finished = fabric.run(jobs)
+        first.stop()  # the coordinator "crashes"
+        # A replacement with the same cache volume needs no workers at all:
+        # every job is a cache hit at submit time.
+        second = coordinator(lease_ttl_s=10.0, cache=TrialCache(tmp_path, fingerprint="pin"))
+        resumed = HttpFabric(second.url, poll_s=0.05).run(demo_jobs(4))
+        assert resumed == finished
+        stats = CoordinatorClient(second.url, timeout_s=5.0).stats()["stats"]
+        assert stats["cache_hits"] == 4
+        assert stats["leases_issued"] == 0
+
+    def test_bad_requests_never_kill_the_service(self, coordinator):
+        server = coordinator(lease_ttl_s=10.0)
+        client = CoordinatorClient(server.url, timeout_s=5.0)
+        with pytest.raises(RuntimeError):
+            client._call("POST", "/complete", {})  # missing fields -> 400
+        with pytest.raises(RuntimeError):
+            client._call("GET", "/nope")  # -> 404
+        assert client._call("GET", "/health") == {"ok": True}

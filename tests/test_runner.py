@@ -8,6 +8,7 @@ alone and results merge in submission order.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
 import time
@@ -35,7 +36,12 @@ from repro.runner import (
     run_jobs,
     unwrap_all,
 )
-from repro.runner.pool import RETRIES_ENV, TIMEOUT_ENV, WORKERS_ENV
+from repro.runner.pool import (
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    WORKERS_ENV,
+    TrialInterrupted,
+)
 
 # Trials in this module are deliberately short; determinism does not need
 # long drives, only identical event sequences.
@@ -423,3 +429,67 @@ class TestSuiteSalvage:
         baseline = run_town_trial_specs(good, workers=1)
         for (_spec, salvaged_trial), reference in zip(salvaged, baseline):
             _assert_trials_identical(salvaged_trial, reference)
+
+
+def _interrupt(x):
+    raise KeyboardInterrupt
+
+
+class TestInterruptHandling:
+    """Ctrl-C teardown: no orphaned workers, partial results preserved."""
+
+    def test_serial_interrupt_raises_with_partial(self):
+        jobs = [
+            TrialJob(_double, (1,), tag="a"),
+            TrialJob(_interrupt, (0,), tag="b"),
+            TrialJob(_double, (2,), tag="c"),
+        ]
+        with pytest.raises(TrialInterrupted) as excinfo:
+            run_jobs(jobs, workers=1)
+        partial = excinfo.value.partial
+        assert len(partial) == 3  # one slot per job, submission order
+        assert partial[0] is not None and partial[0].value == 2
+        assert partial[1] is None and partial[2] is None
+        assert "1/3" in str(excinfo.value)
+
+    def test_parallel_interrupt_raises_and_reaps_workers(self):
+        jobs = [
+            TrialJob(_double, (1,), tag="a"),
+            TrialJob(_interrupt, (0,), tag="b"),
+            TrialJob(_double, (2,), tag="c"),
+        ]
+        children_before = len(multiprocessing.active_children())
+        with pytest.raises(TrialInterrupted) as excinfo:
+            run_jobs(jobs, workers=2)
+        assert len(excinfo.value.partial) == 3
+        # The finished sibling harvested before the interrupt is preserved.
+        assert excinfo.value.partial[0] is not None
+        assert excinfo.value.partial[0].value == 2
+        # No orphaned pool processes survive the unwind.
+        deadline = time.monotonic() + 10.0
+        while (
+            len(multiprocessing.active_children()) > children_before
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        assert len(multiprocessing.active_children()) <= children_before
+
+    def test_interrupt_banks_finished_results_in_cache(self, tmp_path):
+        from repro.cache import TrialCache
+
+        store = TrialCache(tmp_path, fingerprint="pin")
+        jobs = [
+            TrialJob(_double, (1,), tag="a"),
+            TrialJob(_interrupt, (0,), tag="b"),
+        ]
+        with pytest.raises(TrialInterrupted):
+            run_jobs(jobs, workers=1, cache=store)
+        # The finished trial's value was stored before the re-raise, so a
+        # resumed sweep replays it instead of re-running.
+        key = store.key_for(jobs[0])
+        hit, value = store.get(key)
+        assert hit and value == 2
+
+    def test_interrupted_is_a_trial_error(self):
+        # Callers catching TrialError for cleanup also see interrupts.
+        assert issubclass(TrialInterrupted, TrialError)
