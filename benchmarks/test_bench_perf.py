@@ -26,6 +26,10 @@ Measured workloads:
                          preset, vectorized vs scalar medium, recording
                          events/sec for both, the speedup, peak RSS, and
                          row bit-equality
+* ``transport_matrix`` — four cells of the transport grid (Reno/CUBIC/
+                         BBR-lite end-to-end plus Reno behind the AP
+                         split proxy) on one Spider policy, with the
+                         aggregate events/sec across the cells
 
 Scale knobs are the bench-suite ones (``REPRO_BENCH_SEEDS``,
 ``REPRO_BENCH_DURATION``, ``REPRO_BENCH_WORKERS``); the perf harness
@@ -500,6 +504,54 @@ def test_perf_fabric_overhead(report):
         f"fabric bookkeeping costs {per_job_overhead_ms:.2f} ms/job "
         f"({serial_wall:.3f}s -> {fabric_wall:.3f}s for {jobs_n} jobs)"
     )
+
+
+def test_perf_transport_matrix(report):
+    """A reduced transport-matrix column: CC strategies + split proxying.
+
+    Four cells of the ``transport-matrix`` grid on one Spider policy —
+    Reno end-to-end (the refactored default path), CUBIC, BBR-lite, and
+    Reno behind the AP split proxy.  ``events_per_sec`` is the aggregate
+    simulator rate across all four, so the gate catches both a slowdown
+    in the extracted CC strategy hot path (on_ack per segment) and relay
+    overhead in the split proxy.
+    """
+    from repro.sim.cc import TransportSpec
+
+    factory = spider_factory(OperationMode.equal_split((1, 6, 11), 0.6), 7)
+    duration = min(_duration(), 120.0)
+    cells = [
+        ("reno", False),
+        ("cubic", False),
+        ("bbr", False),
+        ("reno", True),
+    ]
+    total_events = 0
+    throughputs = {}
+    t0 = time.perf_counter()
+    for cc, split in cells:
+        metrics = run_town_trial(
+            factory,
+            f"perf cc={cc} split={'on' if split else 'off'}",
+            seed=0,
+            duration_s=duration,
+            transport=TransportSpec(cc=cc, split=split),
+        )
+        total_events += metrics.events_processed
+        key = f"{cc}_{'split' if split else 'e2e'}_kBps"
+        throughputs[key] = metrics.average_throughput_kBps
+    wall = time.perf_counter() - t0
+    _record(
+        "transport_matrix",
+        wall_s=wall,
+        cells=len(cells),
+        events=total_events,
+        events_per_sec=total_events / wall,
+        **throughputs,
+    )
+    report("perf/transport_matrix", json.dumps(_PERF["transport_matrix"], indent=2))
+    assert total_events > 0
+    assert all(v >= 0.0 for v in throughputs.values())
 
 
 def test_perf_persist_results():

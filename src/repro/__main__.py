@@ -46,6 +46,13 @@ Every experiment shares one flag vocabulary, parsed here once:
     inject the seeded chaos preset (worker kills, stalls, dropped and
     duplicated completions) into an in-process fabric — the
     fault-tolerance proof knob: results still match serial exactly.
+``--cc {reno,cubic,bbr,quic0rtt}``
+    congestion controller for every TCP flow the experiment spawns
+    (default: the ``REPRO_CC`` environment variable, else Reno;
+    ``--cc reno`` is byte-identical to the default),
+``--split`` / ``--no-split``
+    terminate TCP at the AP and relay over a split connection (see
+    :class:`repro.sim.ap.SplitTcpProxy`; default: ``REPRO_SPLIT``).
 
 Flags map onto the experiment's spec via
 :func:`repro.experiments.api.spec_from_options`, so fields a given spec
@@ -83,6 +90,7 @@ from .experiments import (
     table2_configs,
     table3_dhcp_failures,
     table4_channels,
+    transport_matrix,
 )
 from .experiments.api import (
     REGISTRY,
@@ -90,6 +98,7 @@ from .experiments.api import (
     spec_from_options,
     to_jsonable,
 )
+from .sim.cc import CC_NAMES, resolve_transport
 
 #: Compatibility table: artifact id -> the module's ``main()``.  Dispatch
 #: goes through :data:`repro.experiments.api.REGISTRY`; this dict remains
@@ -117,6 +126,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "dense-town": dense_town.main,
     "fleet": fleet.main,
     "knapsack": appendix_knapsack.main,
+    "transport-matrix": transport_matrix.main,
 }
 
 
@@ -217,6 +227,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject the seeded chaos preset into the in-process fabric "
         "(implies --fabric local if not given)",
     )
+    parser.add_argument(
+        "--cc",
+        choices=CC_NAMES,
+        default=None,
+        help="congestion controller for every TCP flow; experiments "
+        "without TCP traffic (analytic figures, table1) ignore it "
+        "(default: $REPRO_CC, else reno)",
+    )
+    parser.add_argument(
+        "--split",
+        dest="split",
+        action="store_const",
+        const=True,
+        default=None,
+        help="terminate TCP at the AP and relay over a split connection",
+    )
+    parser.add_argument(
+        "--no-split",
+        dest="split",
+        action="store_const",
+        const=False,
+        help="force split-TCP off (overrides REPRO_SPLIT)",
+    )
     return parser
 
 
@@ -257,6 +290,7 @@ def main(argv=None) -> int:
         telemetry=True if want_telemetry else None,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        transport=resolve_transport(args.cc, args.split),
     )
     # Resolve the cache here too (same shared instance the experiment
     # registry will activate) so its hit/miss stats can be reported below.

@@ -2,7 +2,7 @@
 
 from .stats import Summary, bootstrap_mean_ci, cdf_at, ecdf, percentile, summarize
 from .reporting import format_cdf, format_series, format_table, kv_block
-from .ascii_plot import bar_chart, cdf_plot, histogram, sparkline
+from .ascii_plot import bar_chart, cdf_plot, heatmap, histogram, sparkline
 
 __all__ = [
     "Summary",
@@ -17,6 +17,7 @@ __all__ = [
     "kv_block",
     "bar_chart",
     "cdf_plot",
+    "heatmap",
     "histogram",
     "sparkline",
 ]

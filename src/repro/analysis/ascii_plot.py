@@ -10,10 +10,11 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["bar_chart", "sparkline", "histogram", "cdf_plot"]
+__all__ = ["bar_chart", "sparkline", "histogram", "cdf_plot", "heatmap"]
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 _BAR = "█"
+_HEAT_LEVELS = " ░▒▓█"
 
 
 def _finite(values: Sequence[float]) -> List[float]:
@@ -98,6 +99,50 @@ def histogram(
         edge_hi = low + (high - low) * (index + 1) / bins
         labels.append(f"[{edge_lo:8.2f}, {edge_hi:8.2f})")
     return bar_chart(labels, [float(c) for c in counts], width=width, title=title)
+
+
+def heatmap(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    unit: str = "",
+    title: str = "",
+    cell_width: int = 9,
+) -> str:
+    """Shaded grid: each cell is an intensity block plus its value.
+
+    Intensity is scaled over the whole grid (global min..max), so shades
+    are comparable across rows *and* columns — the point of a matrix view.
+    NaN/inf cells render blank.
+    """
+    if len(values) != len(row_labels):
+        raise ValueError("one value row per row label required")
+    for row in values:
+        if len(row) != len(col_labels):
+            raise ValueError("one value per column label required in every row")
+    flat = _finite([v for row in values for v in row])
+    low = min(flat) if flat else 0.0
+    high = max(flat) if flat else 0.0
+    span = high - low
+    label_width = max((len(l) for l in row_labels), default=0)
+    width = max(cell_width, max((len(c) for c in col_labels), default=0) + 3)
+
+    def cell(value: float) -> str:
+        if value != value or abs(value) == math.inf:
+            return "-".rjust(width)
+        if span == 0:
+            shade = _HEAT_LEVELS[-1] if high > 0 else _HEAT_LEVELS[0]
+        else:
+            index = int((value - low) / span * (len(_HEAT_LEVELS) - 1))
+            shade = _HEAT_LEVELS[index]
+        return f"{shade}{shade} {value:,.1f}{unit}".rjust(width)
+
+    lines: List[str] = [title] if title else []
+    header = " " * label_width + "".join(c.rjust(width) for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        lines.append(label.ljust(label_width) + "".join(cell(v) for v in row))
+    return "\n".join(lines)
 
 
 def cdf_plot(

@@ -254,12 +254,26 @@ class _JoinPipeline:
         self.attempt.join_time_s = self.manager.sim.now - self.attempt.started_at
         if self._dhcp_span is not None:
             self._dhcp_span.end("ok", used_cache=used_cache)
-        self.manager._obs_dhcp_time.observe(elapsed)
-        self._verify_span = self.manager.obs.begin_span("join.verify", ap=self.bssid)
-        self.manager.lease_cache.put(self.bssid, ip, gateway, lease_time_s=600.0)
+        manager = self.manager
+        manager._obs_dhcp_time.observe(elapsed)
+        manager.lease_cache.put(self.bssid, ip, gateway, lease_time_s=600.0)
+        # The ping service outlives the pipeline either way: a successful
+        # join hands it to the established link's liveness monitor.
         self._verify_service = PingService(
-            self.manager.sim, self.iface, target_ip=self.manager.world.server.ip
+            manager.sim, self.iface, target_ip=manager.world.server.ip
         )
+        if manager.world.transport.zero_rtt and self.bssid in manager._resumable:
+            # 0-RTT resumption: this client verified this AP before, so the
+            # session resumes without the probe — no join.verify span is
+            # ever begun (the skip is what the span's absence measures).
+            self.attempt.verified = True
+            self._end_spans("ok")
+            manager._obs_join_time.observe(self.attempt.join_time_s or 0.0)
+            if manager._obs_zero_rtt is not None:
+                manager._obs_zero_rtt.inc()
+            manager._join_succeeded(self)
+            return
+        self._verify_span = manager.obs.begin_span("join.verify", ap=self.bssid)
         self._verify_tries = 0
         self._verify_once()
 
@@ -345,6 +359,17 @@ class LinkManager:
         self._obs_assoc_time = self.obs.histogram("join.assoc_time_s")
         self._obs_dhcp_time = self.obs.histogram("join.dhcp_time_s")
         self._obs_join_time = self.obs.histogram("join.join_time_s")
+        # QUIC-style 0-RTT resumption: with a zero-RTT transport selected,
+        # rejoining an AP this client has already verified end-to-end skips
+        # the verify phase outright (a resumed session needs no probe
+        # before first payload).  The instrument is registered only in that
+        # non-default mode so default telemetry stays byte-identical.
+        self._resumable: Set[str] = set()
+        self._obs_zero_rtt = (
+            self.obs.counter("join.zero_rtt_resumes")
+            if world.transport.zero_rtt
+            else None
+        )
         self.on_link_up = on_link_up
         self.on_link_down = on_link_down
         self.tracker = UtilityTracker()
@@ -511,6 +536,7 @@ class LinkManager:
 
     def _join_succeeded(self, pipeline: _JoinPipeline) -> None:
         self.tracker.record(pipeline.bssid, JoinOutcome.VERIFIED)
+        self._resumable.add(pipeline.bssid)
         self._fail_streak.pop(pipeline.bssid, None)
         self._pipelines.pop(pipeline.iface.index, None)
         iface = pipeline.iface

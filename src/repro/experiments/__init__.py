@@ -40,6 +40,7 @@ from . import (
     table4_channels,
     timeout_grid,
     town_runs,
+    transport_matrix,
 )
 
 __all__ = [
@@ -69,4 +70,5 @@ __all__ = [
     "table4_channels",
     "timeout_grid",
     "town_runs",
+    "transport_matrix",
 ]

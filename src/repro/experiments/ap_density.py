@@ -13,12 +13,13 @@ Two observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
 from ..core.link_manager import SpiderConfig
 from ..core.spider import SpiderClient
+from ..sim.cc import TransportSpec
 from ..sim.engine import PeriodicProcess, Simulator
 from ..workloads.town import build_town
 from .api import ExperimentSpec, register, warn_deprecated
@@ -62,9 +63,15 @@ class DensityResult:
         )
 
 
-def _run_one(town: str, seed: int, duration_s: float, channel: int = 1) -> DensityRow:
+def _run_one(
+    town: str,
+    seed: int,
+    duration_s: float,
+    channel: int = 1,
+    transport: Optional[TransportSpec] = None,
+) -> DensityRow:
     sim = Simulator(seed=seed)
-    instance = build_town(sim, preset=town)
+    instance = build_town(sim, preset=town, transport=transport)
     mobility = instance.make_vehicle_mobility(10.0)
     config = SpiderConfig.spider_defaults(
         OperationMode.single_channel(channel), num_interfaces=7
@@ -99,11 +106,17 @@ class DensitySpec(ExperimentSpec):
 
 
 def _run(
-    towns: Sequence[str], seeds: Sequence[int], duration_s: float
+    towns: Sequence[str],
+    seeds: Sequence[int],
+    duration_s: float,
+    transport: Optional[TransportSpec] = None,
 ) -> DensityResult:
     rows = []
     for town in towns:
-        per_seed = [_run_one(town, seed, duration_s) for seed in seeds]
+        per_seed = [
+            _run_one(town, seed, duration_s, transport=transport)
+            for seed in seeds
+        ]
         merged_share: Dict[int, float] = {}
         for row in per_seed:
             for k, v in row.link_share.items():
@@ -122,7 +135,7 @@ def _run(
 
 @register("density", DensitySpec, summary="AP density vs Spider performance")
 def run_spec(spec: DensitySpec) -> DensityResult:
-    return _run(spec.towns, spec.seeds, spec.duration_s)
+    return _run(spec.towns, spec.seeds, spec.duration_s, transport=spec.transport)
 
 
 def run(

@@ -36,6 +36,7 @@ from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..runner import TrialResult
+from ..sim.cc import TransportSpec
 from .common import DEFAULT_TRIAL_DURATION_S
 
 __all__ = [
@@ -85,6 +86,12 @@ class ExperimentSpec:
     cache: Optional[bool] = None
     #: Cache directory (``None``: ``REPRO_CACHE_DIR`` or ``.repro_cache``).
     cache_dir: Optional[str] = None
+    #: Transport selection (congestion controller + split-TCP proxying)
+    #: for every trial the experiment spawns.  ``None`` keeps the
+    #: historical Reno / no-split behaviour byte-identical; the CLI fills
+    #: it from ``--cc``/``--split`` (or ``REPRO_CC``/``REPRO_SPLIT``) via
+    #: :func:`repro.sim.cc.resolve_transport`.
+    transport: Optional[TransportSpec] = None
 
     @property
     def seed(self) -> int:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs.telemetry import Telemetry, TelemetrySnapshot, merge_snapshots
 from ..runner import TrialJob, TrialResult, run_jobs, unwrap_all
+from ..sim.cc import TransportSpec
 from ..sim.engine import Simulator
 from ..sim.faults import FaultPlan, install_faults
 from ..sim.metrics import JoinLog
@@ -88,6 +89,7 @@ def run_town_trial(
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
     faults: Optional[FaultPlan] = None,
     telemetry: bool = False,
+    transport: Optional[TransportSpec] = None,
 ) -> TownRunMetrics:
     """Build a town, drive one client around it, and collect metrics.
 
@@ -100,13 +102,17 @@ def run_town_trial(
     the simulator and returns its snapshot on the metrics object.
     Telemetry neither schedules events nor consumes RNG, so the metric
     fields are bit-identical with it on or off.
+
+    ``transport`` selects the world-wide congestion controller and AP
+    connection-splitting (``None`` keeps the historical Reno/no-split
+    default, byte-identical to runs predating the transport subsystem).
     """
     tele = Telemetry(enabled=True, key=("town", label, seed)) if telemetry else None
     sim = Simulator(seed=seed, telemetry=tele)
     if isinstance(town, TownConfig):
-        instance = build_town(sim, config=town)
+        instance = build_town(sim, config=town, transport=transport)
     else:
-        instance = build_town(sim, preset=town or "amherst")
+        instance = build_town(sim, preset=town or "amherst", transport=transport)
     mobility = instance.make_vehicle_mobility(speed_mps)
     install_faults(sim, instance.world, faults)
     client = factory(sim, instance.world, mobility)
@@ -209,6 +215,10 @@ class TownTrialSpec:
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS
     faults: Optional[FaultPlan] = None
     telemetry: bool = False
+    #: ``None`` (the default) leaves the world on its historical Reno /
+    #: no-split transport, producing results byte-identical to specs that
+    #: predate the field.
+    transport: Optional[TransportSpec] = None
 
 
 def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
@@ -222,6 +232,7 @@ def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
         speed_mps=spec.speed_mps,
         faults=spec.faults,
         telemetry=spec.telemetry,
+        transport=spec.transport,
     )
 
 
@@ -232,6 +243,7 @@ def run_town_trial_envelopes(
     retries: Optional[int] = None,
     telemetry: Optional[bool] = None,
     cache: Optional[object] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> List[TrialResult]:
     """Fan trial specs across workers; envelopes in spec order.
 
@@ -244,7 +256,9 @@ def run_town_trial_envelopes(
     ``telemetry`` (non-``None``) overrides every spec's ``telemetry``
     field, which is how experiments thread the shared
     ``ExperimentSpec.telemetry`` flag through an existing grid without
-    each module rebuilding its specs.
+    each module rebuilding its specs.  ``transport`` (non-``None``)
+    overrides every spec's ``transport`` the same way — the path behind
+    the shared ``--cc``/``--split`` CLI flags.
 
     ``cache`` resolves via :func:`repro.cache.resolve_cache`; because a
     trial spec is frozen and picklable, its content address covers the
@@ -254,6 +268,8 @@ def run_town_trial_envelopes(
     """
     if telemetry is not None:
         specs = [replace(spec, telemetry=telemetry) for spec in specs]
+    if transport is not None:
+        specs = [replace(spec, transport=transport) for spec in specs]
     jobs = [
         TrialJob(run_town_trial_spec, (spec,), tag=(spec.label, spec.seed))
         for spec in specs
@@ -305,6 +321,7 @@ def aggregate_town_trials(
     strict: bool = False,
     telemetry: Optional[bool] = None,
     cache: Optional[object] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> Dict[str, AggregatedMetrics]:
     """Fan specs out and regroup the results per label, in spec order.
 
@@ -324,6 +341,7 @@ def aggregate_town_trials(
             retries=retries,
             telemetry=telemetry,
             cache=cache,
+            transport=transport,
         )
     if strict:
         pairs = list(zip(specs, unwrap_all(envelopes)))
@@ -346,6 +364,7 @@ def run_town_trials(
     speed_mps: float = DEFAULT_VEHICLE_SPEED_MPS,
     workers: Optional[int] = None,
     telemetry: bool = False,
+    transport: Optional[TransportSpec] = None,
 ) -> AggregatedMetrics:
     """Repeat :func:`run_town_trial` over seeds and aggregate.
 
@@ -363,6 +382,7 @@ def run_town_trials(
             town=town,
             speed_mps=speed_mps,
             telemetry=telemetry,
+            transport=transport,
         )
         for seed in seeds
     ]

@@ -170,7 +170,7 @@ def run_dense_trial(
             else None
         )
         sim = Simulator(seed=seed, telemetry=tele)
-        town = build_town(sim, config=spec.town_config())
+        town = build_town(sim, config=spec.town_config(), transport=spec.transport)
         spacing = town.config.loop_length_m / max(spec.n_vehicles, 1)
         clients = []
         for index in range(spec.n_vehicles):

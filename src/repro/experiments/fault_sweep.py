@@ -33,6 +33,7 @@ from ..sim.faults import (
     RandomOutages,
 )
 from ..obs.telemetry import TelemetrySnapshot
+from ..sim.cc import TransportSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 from .town_runs import spider_factory, stock_factory
@@ -224,6 +225,7 @@ def _run(
     retries: Optional[int],
     scenario_names: Optional[Sequence[str]],
     telemetry: bool = False,
+    transport: Optional[TransportSpec] = None,
 ) -> FaultSweepResult:
     """The full ``scenario x client x seed`` grid fans out as one batch;
     trials that crash or hang are dropped with a warning (the envelope
@@ -252,6 +254,7 @@ def _run(
             duration_s=duration_s,
             town=town,
             faults=plan,
+            transport=transport,
         )
         for scenario, client_label, factory, plan in grid
         for seed in seeds
@@ -303,6 +306,7 @@ def run_spec(spec: FaultSweepSpec) -> FaultSweepResult:
         spec.retries,
         spec.scenario_names,
         telemetry=spec.telemetry,
+        transport=spec.transport,
     )
 
 

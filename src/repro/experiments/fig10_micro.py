@@ -16,12 +16,13 @@ overhead, with the faster schedule winning at high backhaul bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
+from ..sim.cc import TransportSpec
 from ..sim.engine import Simulator
 from ..sim.stock_client import StockClient
 from ..workloads.town import lab_topology
@@ -48,6 +49,7 @@ def _measure(
     label: str,
     seed: int,
     measure_s: float,
+    transport: Optional[TransportSpec] = None,
 ) -> float:
     """Mean aggregate throughput (bytes/s) for one configuration."""
     sim = Simulator(seed=seed)
@@ -62,6 +64,7 @@ def _measure(
         dhcp_delay_s=0.2,
         wired_latency_s=LAB_WIRED_LATENCY_S,
         data_rate_bps=24e6,
+        transport=transport,
     )
     recorders = []
     clients: List[object] = []
@@ -130,12 +133,14 @@ def _run(
     labels: Sequence[str],
     seeds: Sequence[int],
     measure_s: float,
+    transport: Optional[TransportSpec] = None,
 ) -> Fig10Result:
     series: Dict[str, List[float]] = {label: [] for label in labels}
     for backhaul in backhauls_mbps:
         for label in labels:
             values = [
-                _measure(backhaul * 1e6, label, seed, measure_s) for seed in seeds
+                _measure(backhaul * 1e6, label, seed, measure_s, transport)
+                for seed in seeds
             ]
             series[label].append(sum(values) / len(values) / 1e3)
     return Fig10Result(backhauls_mbps=list(backhauls_mbps), throughput_kBps=series)
@@ -143,7 +148,13 @@ def _run(
 
 @register("fig10", Fig10Spec, summary="aggregate throughput vs backhaul (lab)")
 def run_spec(spec: Fig10Spec) -> Fig10Result:
-    return _run(spec.backhauls_mbps, spec.labels, spec.seeds, spec.measure_s)
+    return _run(
+        spec.backhauls_mbps,
+        spec.labels,
+        spec.seeds,
+        spec.measure_s,
+        transport=spec.transport,
+    )
 
 
 def run(

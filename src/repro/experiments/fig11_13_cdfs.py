@@ -90,6 +90,7 @@ def _run(
     suite: Optional[ConfigurationSuite],
     labels: Sequence[str],
     workers: Optional[int] = None,
+    transport=None,
 ) -> Fig11to13Result:
     if suite is None:
         suite = run_configuration_suite(
@@ -98,6 +99,7 @@ def _run(
             include_cambridge=False,
             labels=labels,
             workers=workers,
+            transport=transport,
         )
     connection: Dict[str, List[float]] = {}
     disruption: Dict[str, List[float]] = {}
@@ -117,7 +119,12 @@ def _run(
 @register("fig11-13", Fig11to13Spec, summary="connection/disruption/bandwidth CDFs")
 def run_spec(spec: Fig11to13Spec) -> Fig11to13Result:
     return _run(
-        spec.seeds, spec.duration_s, None, spec.labels, workers=spec.workers
+        spec.seeds,
+        spec.duration_s,
+        None,
+        spec.labels,
+        workers=spec.workers,
+        transport=spec.transport,
     )
 
 

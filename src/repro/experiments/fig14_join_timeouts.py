@@ -64,10 +64,15 @@ def _run(
     duration_s: float,
     grid: Optional[Dict[str, AggregatedMetrics]],
     workers: Optional[int] = None,
+    transport=None,
 ) -> Fig14Result:
     if grid is None:
         grid = run_grid(
-            labels=labels, seeds=seeds, duration_s=duration_s, workers=workers
+            labels=labels,
+            seeds=seeds,
+            duration_s=duration_s,
+            workers=workers,
+            transport=transport,
         )
     return Fig14Result(
         join_times={label: grid[label].pooled_join_times() for label in labels}
@@ -76,7 +81,14 @@ def _run(
 
 @register("fig14", Fig14Spec, summary="join time CDFs vs DHCP timeout")
 def run_spec(spec: Fig14Spec) -> Fig14Result:
-    return _run(spec.labels, spec.seeds, spec.duration_s, None, workers=spec.workers)
+    return _run(
+        spec.labels,
+        spec.seeds,
+        spec.duration_s,
+        None,
+        workers=spec.workers,
+        transport=spec.transport,
+    )
 
 
 def run(

@@ -73,10 +73,15 @@ def _run(
     duration_s: float,
     grid: Optional[Dict[str, AggregatedMetrics]],
     workers: Optional[int] = None,
+    transport=None,
 ) -> Fig15Result:
     if grid is None:
         grid = run_grid(
-            labels=labels, seeds=seeds, duration_s=duration_s, workers=workers
+            labels=labels,
+            seeds=seeds,
+            duration_s=duration_s,
+            workers=workers,
+            transport=transport,
         )
     return Fig15Result(
         join_times={label: grid[label].pooled_join_times() for label in labels}
@@ -85,7 +90,14 @@ def _run(
 
 @register("fig15", Fig15Spec, summary="join delay across scheduling policies")
 def run_spec(spec: Fig15Spec) -> Fig15Result:
-    return _run(spec.labels, spec.seeds, spec.duration_s, None, workers=spec.workers)
+    return _run(
+        spec.labels,
+        spec.seeds,
+        spec.duration_s,
+        None,
+        workers=spec.workers,
+        transport=spec.transport,
+    )
 
 
 def run(

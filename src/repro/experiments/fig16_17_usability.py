@@ -88,6 +88,7 @@ def _run(
     mesh_seed: int,
     suite: Optional[ConfigurationSuite],
     workers: Optional[int] = None,
+    transport=None,
 ) -> UsabilityResult:
     labels = (CONFIG_CH1_MULTI_AP, CONFIG_MULTI_CH_MULTI_AP)
     if suite is None:
@@ -97,6 +98,7 @@ def _run(
             include_cambridge=False,
             labels=labels,
             workers=workers,
+            transport=transport,
         )
     trace = generate_mesh_trace(mesh_config, seed=mesh_seed)
     return UsabilityResult(
@@ -116,6 +118,7 @@ def run_spec(spec: UsabilitySpec) -> UsabilityResult:
         spec.mesh_seed,
         None,
         workers=spec.workers,
+        transport=spec.transport,
     )
 
 

@@ -17,6 +17,7 @@ from ..analysis.stats import cdf_at
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
+from ..sim.cc import TransportSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 
@@ -128,6 +129,7 @@ def _run(
     duration_s: float,
     town: str,
     workers: Optional[int] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> Fig5Result:
     curves: Dict[float, Fig5Curve] = {}
     for fraction in fractions:
@@ -138,6 +140,7 @@ def _run(
             duration_s=duration_s,
             town=town,
             workers=workers,
+            transport=transport,
         )
         times: List[float] = []
         attempts = 0
@@ -157,7 +160,12 @@ def _run(
 @register("fig5", Fig5Spec, summary="association success vs schedule fraction")
 def run_spec(spec: Fig5Spec) -> Fig5Result:
     return _run(
-        spec.fractions, spec.seeds, spec.duration_s, spec.town, workers=spec.workers
+        spec.fractions,
+        spec.seeds,
+        spec.duration_s,
+        spec.town,
+        workers=spec.workers,
+        transport=spec.transport,
     )
 
 

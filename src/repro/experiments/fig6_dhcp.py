@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.stats import cdf_at, percentile
 from ..core.link_manager import SpiderConfig
 from ..core.spider import SpiderClient
+from ..sim.cc import TransportSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 from .fig5_association import schedule_for_fraction
@@ -122,6 +123,7 @@ def _run(
     duration_s: float,
     town: str,
     workers: Optional[int] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> Fig6Result:
     curves: Dict[str, Fig6Curve] = {}
     for config in configs:
@@ -132,6 +134,7 @@ def _run(
             duration_s=duration_s,
             town=town,
             workers=workers,
+            transport=transport,
         )
         times: List[float] = []
         attempts = 0
@@ -151,7 +154,12 @@ def _run(
 @register("fig6", Fig6Spec, summary="DHCP lease acquisition vs schedule/timeout")
 def run_spec(spec: Fig6Spec) -> Fig6Result:
     return _run(
-        spec.configs, spec.seeds, spec.duration_s, spec.town, workers=spec.workers
+        spec.configs,
+        spec.seeds,
+        spec.duration_s,
+        spec.town,
+        workers=spec.workers,
+        transport=spec.transport,
     )
 
 

@@ -47,6 +47,7 @@ def measure_lab_throughput(
     tcp_params: TcpParams = TcpParams(),
     num_aps: int = 1,
     wired_latency_s: float = LAB_WIRED_LATENCY_S,
+    transport=None,
 ) -> float:
     """Average TCP throughput (bits/s) of a static Spider client.
 
@@ -60,6 +61,7 @@ def measure_lab_throughput(
         loss_rate=loss_rate,
         dhcp_delay_s=0.2,
         wired_latency_s=wired_latency_s,
+        transport=transport,
     )
     # The paper's indoor protocol measures an *established* connection under
     # the varied schedule: join on the primary channel first, then apply the
@@ -115,12 +117,17 @@ def _run(
     backhaul_bps: float,
     seed: int,
     measure_s: float,
+    transport=None,
 ) -> Fig7Result:
     throughputs = []
     for fraction in fractions:
         mode = schedule_for_fraction(fraction, period_s=PERIOD_S)
         bps = measure_lab_throughput(
-            mode, backhaul_bps=backhaul_bps, seed=seed, measure_s=measure_s
+            mode,
+            backhaul_bps=backhaul_bps,
+            seed=seed,
+            measure_s=measure_s,
+            transport=transport,
         )
         throughputs.append(bps / 1e3)
     return Fig7Result(fractions=list(fractions), throughput_kbps=throughputs)
@@ -128,7 +135,13 @@ def _run(
 
 @register("fig7", Fig7Spec, summary="TCP throughput vs primary-channel fraction")
 def run_spec(spec: Fig7Spec) -> Fig7Result:
-    return _run(spec.fractions, spec.backhaul_bps, spec.seed, spec.measure_s)
+    return _run(
+        spec.fractions,
+        spec.backhaul_bps,
+        spec.seed,
+        spec.measure_s,
+        transport=spec.transport,
+    )
 
 
 def run(

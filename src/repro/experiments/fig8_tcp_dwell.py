@@ -63,6 +63,7 @@ def _run(
     backhaul_bps: float,
     seed: int,
     measure_s: float,
+    transport=None,
 ) -> Fig8Result:
     throughputs = []
     for dwell_ms in dwells_ms:
@@ -74,6 +75,7 @@ def _run(
             seed=seed,
             measure_s=measure_s,
             primary_channel=PRIMARY_CHANNEL,
+            transport=transport,
         )
         throughputs.append(bps / 1e3)
     return Fig8Result(dwell_ms=list(dwells_ms), throughput_kbps=throughputs)
@@ -81,7 +83,13 @@ def _run(
 
 @register("fig8", Fig8Spec, summary="TCP throughput vs per-channel dwell")
 def run_spec(spec: Fig8Spec) -> Fig8Result:
-    return _run(spec.dwells_ms, spec.backhaul_bps, spec.seed, spec.measure_s)
+    return _run(
+        spec.dwells_ms,
+        spec.backhaul_bps,
+        spec.seed,
+        spec.measure_s,
+        transport=spec.transport,
+    )
 
 
 def run(

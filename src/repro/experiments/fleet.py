@@ -20,6 +20,7 @@ from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
 from ..obs.telemetry import Telemetry, TelemetrySnapshot
 from ..runner import ShardedJob, TrialJob, run_jobs, run_sharded
+from ..sim.cc import TransportSpec
 from ..sim.engine import Simulator
 from ..workloads.town import build_town
 from .api import ExperimentSpec, register, warn_deprecated
@@ -90,6 +91,7 @@ def _vehicle_stats(
     duration_s: float,
     town_preset: str,
     telemetry: bool = False,
+    transport: Optional[TransportSpec] = None,
 ) -> List[Tuple]:
     """Drive the full ``n_vehicles`` fleet, extract stats for a subset.
 
@@ -113,7 +115,7 @@ def _vehicle_stats(
         else None
     )
     sim = Simulator(seed=seed, telemetry=tele)
-    town = build_town(sim, preset=town_preset)
+    town = build_town(sim, preset=town_preset, transport=transport)
     spacing = town.config.loop_length_m / max(n_vehicles, 1)
     clients = []
     for index in range(n_vehicles):
@@ -172,11 +174,13 @@ def _run_fleet(
     duration_s: float,
     town_preset: str,
     telemetry: bool = False,
+    transport: Optional[TransportSpec] = None,
 ) -> FleetRow:
     return _row_from_stats(
         n_vehicles,
         _vehicle_stats(
-            range(n_vehicles), n_vehicles, seed, duration_s, town_preset, telemetry
+            range(n_vehicles), n_vehicles, seed, duration_s, town_preset,
+            telemetry, transport,
         ),
     )
 
@@ -190,6 +194,7 @@ def run_sharded_trial(
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
     telemetry: bool = False,
+    transport: Optional[TransportSpec] = None,
 ) -> FleetRow:
     """One fleet trial with its vehicles sharded across worker processes.
 
@@ -206,7 +211,7 @@ def run_sharded_trial(
     job = ShardedJob(
         fn=_vehicle_stats,
         items=tuple(range(n_vehicles)),
-        args=(n_vehicles, seed, duration_s, town_preset, telemetry),
+        args=(n_vehicles, seed, duration_s, town_preset, telemetry, transport),
         tag=("fleet", n_vehicles, seed),
     )
     envelope = run_sharded(
@@ -230,6 +235,7 @@ def _run(
     town_preset: str,
     workers: Optional[int],
     telemetry: bool = False,
+    transport: Optional[TransportSpec] = None,
 ) -> FleetResult:
     """Every ``(fleet size, seed)`` drive is an independent simulation, so
     the whole grid fans out through :mod:`repro.runner`; per-size
@@ -238,7 +244,7 @@ def _run(
     jobs = [
         TrialJob(
             _run_fleet,
-            (size, seed, duration_s, town_preset, telemetry),
+            (size, seed, duration_s, town_preset, telemetry, transport),
             tag=(size, seed),
         )
         for size in fleet_sizes
@@ -278,6 +284,7 @@ def run_spec(spec: FleetSpec) -> FleetResult:
         spec.town,
         spec.workers,
         telemetry=spec.telemetry,
+        transport=spec.transport,
     )
 
 

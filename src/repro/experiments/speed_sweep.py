@@ -82,6 +82,7 @@ def _run(
     duration_s: float,
     town: str,
     workers: Optional[int],
+    transport=None,
 ) -> SpeedSweepResult:
     """The full ``speed x policy x seed`` grid fans out as one batch through
     :mod:`repro.runner`, then regroups into per-policy series in sweep
@@ -104,7 +105,7 @@ def _run(
         for speed, name, mode in grid
         for seed in seeds
     ]
-    per_label = aggregate_town_trials(specs, workers=workers)
+    per_label = aggregate_town_trials(specs, workers=workers, transport=transport)
     series: Dict[str, List[Tuple[float, float]]] = {name: [] for name in POLICIES}
     for speed, name, _mode in grid:
         label = f"{name}@{speed}"
@@ -117,7 +118,14 @@ def _run(
 
 @register("speed-sweep", SpeedSweepSpec, summary="single vs multi channel across speeds")
 def run_spec(spec: SpeedSweepSpec) -> SpeedSweepResult:
-    return _run(spec.speeds_mps, spec.seeds, spec.duration_s, spec.town, spec.workers)
+    return _run(
+        spec.speeds_mps,
+        spec.seeds,
+        spec.duration_s,
+        spec.town,
+        spec.workers,
+        transport=spec.transport,
+    )
 
 
 def run(

@@ -122,6 +122,7 @@ def _run(
     suite: Optional[ConfigurationSuite],
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    transport=None,
 ) -> Table2Result:
     if suite is None:
         suite = run_configuration_suite(
@@ -130,6 +131,7 @@ def _run(
             include_cambridge=include_cambridge,
             workers=workers,
             telemetry=telemetry,
+            transport=transport,
         )
     rows = []
     for label in suite.labels():
@@ -156,6 +158,7 @@ def run_spec(spec: Table2Spec) -> Table2Result:
         None,
         workers=spec.workers,
         telemetry=spec.telemetry or None,
+        transport=spec.transport,
     )
 
 

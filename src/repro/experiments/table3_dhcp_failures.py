@@ -112,17 +112,29 @@ def _run(
     duration_s: float,
     grid: Optional[Dict[str, AggregatedMetrics]],
     workers: Optional[int] = None,
+    transport=None,
 ) -> Table3Result:
     if grid is None:
         grid = run_grid(
-            labels=labels, seeds=seeds, duration_s=duration_s, workers=workers
+            labels=labels,
+            seeds=seeds,
+            duration_s=duration_s,
+            workers=workers,
+            transport=transport,
         )
     return Table3Result(rows=[_row(label, grid[label]) for label in labels])
 
 
 @register("table3", Table3Spec, summary="DHCP failure probability per timeout")
 def run_spec(spec: Table3Spec) -> Table3Result:
-    return _run(spec.labels, spec.seeds, spec.duration_s, None, workers=spec.workers)
+    return _run(
+        spec.labels,
+        spec.seeds,
+        spec.duration_s,
+        None,
+        workers=spec.workers,
+        transport=spec.transport,
+    )
 
 
 def run(

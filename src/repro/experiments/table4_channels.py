@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
+from ..sim.cc import TransportSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 from .town_runs import spider_factory
@@ -90,7 +91,10 @@ class Table4Spec(ExperimentSpec):
 
 
 def _run(
-    seeds: Sequence[int], duration_s: float, workers: Optional[int] = None
+    seeds: Sequence[int],
+    duration_s: float,
+    workers: Optional[int] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> Table4Result:
     rows = []
     for label, mode in SCHEDULES.items():
@@ -100,6 +104,7 @@ def _run(
             seeds=seeds,
             duration_s=duration_s,
             workers=workers,
+            transport=transport,
         )
         rows.append(
             Table4Row(
@@ -114,7 +119,12 @@ def _run(
 
 @register("table4", Table4Spec, summary="static schedules vs throughput/connectivity")
 def run_spec(spec: Table4Spec) -> Table4Result:
-    return _run(spec.seeds, spec.duration_s, workers=spec.workers)
+    return _run(
+        spec.seeds,
+        spec.duration_s,
+        workers=spec.workers,
+        transport=spec.transport,
+    )
 
 
 def run(

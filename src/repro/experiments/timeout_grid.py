@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS, SpiderClient
+from ..sim.cc import TransportSpec
 from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 
 __all__ = ["TimeoutConfig", "run_grid", "STANDARD_GRID"]
@@ -102,6 +103,7 @@ def run_grid(
     duration_s: float = 300.0,
     town: str = "amherst",
     workers: Optional[int] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> Dict[str, AggregatedMetrics]:
     """Run the selected grid cells and return join-log aggregates.
 
@@ -117,6 +119,7 @@ def run_grid(
             seed=seed,
             duration_s=duration_s,
             town=town,
+            transport=transport,
         )
         for label in selected
         for seed in seeds

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS, SpiderClient
+from ..sim.cc import TransportSpec
 from ..sim.engine import Simulator
 from ..sim.mobility import MobilityModel
 from ..sim.stock_client import StockClient
@@ -163,6 +164,7 @@ def run_configuration_suite(
     labels: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> ConfigurationSuite:
     """Run the whole configuration grid (the expensive shared step).
 
@@ -196,5 +198,7 @@ def run_configuration_suite(
         for label, (factory, town) in factories.items()
         for seed in seeds
     ]
-    results = aggregate_town_trials(specs, workers=workers, telemetry=telemetry)
+    results = aggregate_town_trials(
+        specs, workers=workers, telemetry=telemetry, transport=transport
+    )
     return ConfigurationSuite(results=results, duration_s=duration_s, seeds=seeds)

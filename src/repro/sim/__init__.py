@@ -2,9 +2,10 @@
 
 Everything the paper's testbed provided in hardware, rebuilt as a
 timing-faithful simulator: an event engine, an 802.11 medium with channels
-and loss, APs with DHCP servers / PSM buffering / backhaul bottlenecks, a
-packet-level TCP Reno model, mobility, client NIC virtualization, and the
-stock-driver baseline.
+and loss, APs with DHCP servers / PSM buffering / backhaul bottlenecks
+(plus optional split-connection TCP proxies), a packet-level TCP model with
+pluggable congestion control (Reno/CUBIC/BBR-lite/QUIC-0RTT), mobility,
+client NIC virtualization, and the stock-driver baseline.
 """
 
 from .engine import EventHandle, PeriodicProcess, Simulator
@@ -22,7 +23,18 @@ from .radio import Medium, rssi_from_distance
 from .nic import ScanEntry, ScanTable, VirtualInterface, WifiNic
 from .mac import Associator, AssociationState
 from .dhcp import DhcpClient, DhcpServer, LeaseCache
-from .ap import AccessPoint, BackhaulLink
+from .ap import AccessPoint, BackhaulLink, SplitTcpProxy
+from .cc import (
+    BbrLiteCC,
+    CC_NAMES,
+    CongestionController,
+    CubicCC,
+    QuicZeroRttCC,
+    RenoCC,
+    TransportSpec,
+    make_controller,
+    resolve_transport,
+)
 from .tcp import TcpParams, TcpReceiver, TcpSender
 from .world import ServerHost, World
 from .faults import (
@@ -72,6 +84,16 @@ __all__ = [
     "LeaseCache",
     "AccessPoint",
     "BackhaulLink",
+    "SplitTcpProxy",
+    "BbrLiteCC",
+    "CC_NAMES",
+    "CongestionController",
+    "CubicCC",
+    "QuicZeroRttCC",
+    "RenoCC",
+    "TransportSpec",
+    "make_controller",
+    "resolve_transport",
     "TcpParams",
     "TcpReceiver",
     "TcpSender",

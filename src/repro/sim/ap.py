@@ -21,8 +21,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
+from .cc import TransportSpec
 from .engine import PeriodicProcess, Simulator
 from .frames import (
+    ACK_FRAME_BYTES,
     BROADCAST,
     DHCP_FRAME_BYTES,
     MGMT_FRAME_BYTES,
@@ -30,11 +32,13 @@ from .frames import (
     DhcpMessage,
     Frame,
     FrameKind,
+    TcpSegment,
 )
 from .dhcp import DhcpServer
 from .radio import Medium
+from .tcp import TCP_HEADER_BYTES, TcpReceiver, TcpSender
 
-__all__ = ["BackhaulLink", "AccessPoint", "BEACON_PERIOD_S"]
+__all__ = ["BackhaulLink", "AccessPoint", "SplitTcpProxy", "BEACON_PERIOD_S"]
 
 logger = logging.getLogger(__name__)
 
@@ -132,6 +136,9 @@ class AccessPoint:
         self.backhaul_rate_bps = backhaul_rate_bps
         self.uplink_handler: Optional[Callable[["AccessPoint", FrameKind, Any, str], None]] = None
         self.clients: Dict[str, _ClientState] = {}
+        #: Split-connection proxies terminating the wireless side of TCP
+        #: flows at this AP, keyed by flow id (see :class:`SplitTcpProxy`).
+        self.split_proxies: Dict[str, "SplitTcpProxy"] = {}
         self.frames_dropped_unassociated = 0
         self.frames_dropped_psm_overflow = 0
         self.beacon_period_s = beacon_period_s
@@ -201,6 +208,12 @@ class AccessPoint:
         self._beacons.stop()
         self.medium.unregister(self.bssid)
         self.clients.clear()
+        # Proxy state is RAM at the AP; a power cycle loses it.  Any wired
+        # segments still arriving fall through to the ordinary downlink
+        # path (both split halves share the origin's byte offsets, so the
+        # end-to-end stream stays coherent).
+        for proxy in list(self.split_proxies.values()):
+            proxy.close()
 
     def recover(self) -> None:
         """Power the AP back on with a fresh beacon phase."""
@@ -344,6 +357,15 @@ class AccessPoint:
         if frame.src not in self.clients:
             self.frames_dropped_unassociated += 1
             return
+        if self.split_proxies:
+            payload = frame.payload
+            if isinstance(payload, TcpSegment) and payload.is_ack:
+                proxy = self.split_proxies.get(payload.flow_id)
+                if proxy is not None:
+                    # ACK for the wireless side of a split flow: terminate
+                    # it here instead of crossing the backhaul.
+                    proxy.on_wireless_ack(payload)
+                    return
         self.uplink.send(
             frame.size, self._dispatch_uplink, FrameKind.DATA, frame.payload, frame.src
         )
@@ -360,6 +382,14 @@ class AccessPoint:
         self.downlink.send(size, self._downlink_arrived, dst_ip, kind, payload, size)
 
     def _downlink_arrived(self, dst_ip: str, kind: FrameKind, payload: Any, size: int) -> None:
+        if self.split_proxies and kind is FrameKind.DATA and isinstance(payload, TcpSegment):
+            proxy = self.split_proxies.get(payload.flow_id)
+            if proxy is not None:
+                # Wired half of a split flow terminates at the AP — even
+                # while the client is off-channel, which is the point: the
+                # origin connection never sees the wireless gap.
+                proxy.on_wired_segment(payload)
+                return
         client_mac = self.dhcp.mac_for_ip(dst_ip)
         if client_mac is None or client_mac not in self.clients:
             self.frames_dropped_unassociated += 1
@@ -419,3 +449,160 @@ class AccessPoint:
 
     def __repr__(self) -> str:
         return f"AccessPoint({self.bssid}, ch{self.channel}, {len(self.clients)} clients)"
+
+
+class _WirelessRelaySender(TcpSender):
+    """Wireless-side sender of a split connection.
+
+    Unlike an origin sender, its ``total_bytes`` grows dynamically as the
+    wired-side receiver delivers in-order bytes (``supply``), and the flow
+    completes only once the upstream has signalled EOF (``mark_eof``) *and*
+    every supplied byte is ACKed by the client.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        kwargs.setdefault("total_bytes", 0)
+        super().__init__(*args, **kwargs)
+        self._eof = False
+
+    def supply(self, nbytes: int) -> None:
+        """More in-order bytes arrived from the wired side; extend and send."""
+        if self.closed or nbytes <= 0:
+            return
+        self.total_bytes = (self.total_bytes or 0) + nbytes
+        self._fill_window()
+
+    def mark_eof(self) -> None:
+        """The wired side has delivered everything the origin will send."""
+        self._eof = True
+        self._check_complete()
+
+    def _check_complete(self) -> bool:
+        if not self._eof:
+            return False
+        return super()._check_complete()
+
+
+class SplitTcpProxy:
+    """Split-connection TCP proxy at the AP (one per flow).
+
+    Terminates the wired-side connection with a :class:`TcpReceiver` (its
+    ACKs ride the uplink backhaul back to the origin server) and relays the
+    delivered byte stream over a fresh wireless-side
+    :class:`_WirelessRelaySender` whose segments go straight onto the air
+    via the AP's normal downlink/PSM machinery.  Both halves share the
+    origin flow's byte offsets, so the client's receiver — and its
+    cumulative ACKs — need no awareness that the path was split.
+
+    The payoff is the paper's Figs. 7/8 pathology in reverse: an
+    off-channel dwell now times out only the last-hop connection, whose
+    RTO/cwnd state rebuilds over one wireless RTT, while the origin
+    connection keeps streaming into the proxy across the clean wired path.
+    """
+
+    def __init__(
+        self,
+        ap: AccessPoint,
+        flow_id: str,
+        server_ip: str,
+        client_ip: str,
+        transport: Optional[TransportSpec] = None,
+        expected_bytes: Optional[int] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+    ):
+        self.ap = ap
+        self.sim = ap.sim
+        self.flow_id = flow_id
+        self.client_ip = client_ip
+        self.transport = transport or TransportSpec()
+        self.expected_bytes = expected_bytes
+        self.on_complete = on_complete
+        self.closed = False
+        self.wired_bytes_in = 0
+        # Split instruments exist only on split flows (a non-default mode),
+        # keeping default-path telemetry byte-identical to the seed.
+        tele = self.sim.telemetry
+        tele.counter("tcp.split.flows_opened").inc()
+        tele.event("tcp.split.open", flow=flow_id, ap=ap.bssid)
+        self._obs_relayed = tele.counter("tcp.split.relayed_bytes")
+        self.relay = _WirelessRelaySender(
+            self.sim,
+            flow_id=flow_id,
+            src_ip=server_ip,
+            dst_ip=client_ip,
+            transmit=self._transmit_wireless,
+            transport=self.transport,
+            on_complete=self._relay_complete,
+        )
+        self.receiver = TcpReceiver(
+            self.sim,
+            flow_id=flow_id,
+            src_ip=client_ip,
+            dst_ip=server_ip,
+            send_ack=self._send_wired_ack,
+            on_deliver=self._on_wired_deliver,
+        )
+        ap.split_proxies[flow_id] = self
+        self.relay.start()
+
+    # -- wired side ----------------------------------------------------
+    def on_wired_segment(self, segment: TcpSegment) -> None:
+        """Origin data arriving over the downlink backhaul."""
+        if not self.closed:
+            self.receiver.on_segment(segment)
+
+    def _send_wired_ack(self, segment: TcpSegment) -> None:
+        if self.closed:
+            return
+        self.ap.uplink.send(
+            ACK_FRAME_BYTES, self.ap._dispatch_uplink, FrameKind.DATA, segment, self.ap.bssid
+        )
+
+    def _on_wired_deliver(self, nbytes: int) -> None:
+        self.wired_bytes_in += nbytes
+        self._obs_relayed.inc(nbytes)
+        self.relay.supply(nbytes)
+        if self.expected_bytes is not None and self.wired_bytes_in >= self.expected_bytes:
+            self.relay.mark_eof()
+
+    # -- wireless side -------------------------------------------------
+    def _transmit_wireless(self, segment: TcpSegment) -> None:
+        if self.closed:
+            return
+        client_mac = self.ap.dhcp.mac_for_ip(self.client_ip)
+        if client_mac is None or client_mac not in self.ap.clients:
+            # Client off this AP right now; the relay's own RTO recovers.
+            self.ap.frames_dropped_unassociated += 1
+            return
+        self.ap.send_downlink_to_mac(
+            client_mac,
+            Frame(
+                kind=FrameKind.DATA,
+                src=self.ap.bssid,
+                dst=client_mac,
+                size=segment.payload_bytes + TCP_HEADER_BYTES,
+                channel=self.ap.channel,
+                bssid=self.ap.bssid,
+                payload=segment,
+            ),
+        )
+
+    def on_wireless_ack(self, segment: TcpSegment) -> None:
+        """Client ACK for relayed data (terminated here, not forwarded)."""
+        if not self.closed:
+            self.relay.on_ack(segment)
+
+    # -- lifecycle -----------------------------------------------------
+    def _relay_complete(self) -> None:
+        finished_cb = self.on_complete
+        self.close()
+        if finished_cb is not None:
+            finished_cb()
+
+    def close(self) -> None:
+        """Tear down both halves (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.relay.close()
+        self.ap.split_proxies.pop(self.flow_id, None)

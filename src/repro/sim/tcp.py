@@ -15,19 +15,32 @@ receiver with out-of-order reassembly and cumulative ACKs.
 Senders and receivers are transport endpoints only: the caller supplies a
 ``transmit`` function, and the :mod:`repro.sim.world` plumbing routes
 segments across the wired core, AP backhaul, and wireless hop.
+
+Congestion control itself is pluggable: the window arithmetic lives in
+:mod:`repro.sim.cc` strategy objects (Reno by default and byte-identical to
+the historical inline code; CUBIC / BBR-lite / QUIC-0RTT selectable via
+:class:`repro.sim.cc.TransportSpec`), while this module keeps the sequence
+state, timers, and retransmission machinery that drive them.
 """
 
 from __future__ import annotations
 
 import logging
 import math
-from dataclasses import dataclass
+import warnings
 from typing import Callable, Dict, Optional
 
+from .cc import RenoCC, TcpParams, TransportSpec
 from .engine import EventHandle, Simulator
 from .frames import TcpSegment
 
-__all__ = ["TcpParams", "TcpSender", "TcpReceiver", "TCP_HEADER_BYTES"]
+__all__ = [
+    "TcpParams",
+    "TransportSpec",
+    "TcpSender",
+    "TcpReceiver",
+    "TCP_HEADER_BYTES",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -35,27 +48,14 @@ logger = logging.getLogger(__name__)
 TCP_HEADER_BYTES = 52
 
 
-@dataclass
-class TcpParams:
-    """Tunable constants for a sender."""
-
-    mss: int = 1400
-    initial_cwnd_segments: float = 2.0
-    initial_ssthresh_segments: float = 64.0
-    max_cwnd_segments: float = 128.0  # models the receiver window
-    #: Linux's RTO floor (200 ms), the value that makes off-channel gaps
-    #: longer than ~2 RTTs expensive — the mechanism behind Figs. 7/8.
-    rto_min_s: float = 0.2
-    rto_max_s: float = 60.0
-    rto_initial_s: float = 1.0
-    dupack_threshold: int = 3
-
-
 class TcpSender:
-    """Bulk-data Reno sender.
+    """Bulk-data sender; congestion control is a pluggable strategy.
 
     ``transmit(segment)`` hands a segment to the network.  ``on_complete``
     fires once when ``total_bytes`` (if given) are cumulatively ACKed.
+    The window lives in a :class:`repro.sim.cc.CongestionController`
+    (Reno by default, byte-identical to the historical inline code);
+    select another via ``transport=TransportSpec(cc=...)``.
     """
 
     def __init__(
@@ -68,20 +68,30 @@ class TcpSender:
         params: Optional[TcpParams] = None,
         total_bytes: Optional[int] = None,
         on_complete: Optional[Callable[[], None]] = None,
+        transport: Optional[TransportSpec] = None,
     ):
         self.sim = sim
         self.flow_id = flow_id
         self.src_ip = src_ip
         self.dst_ip = dst_ip
         self.transmit = transmit
-        self.p = params or TcpParams()
+        if transport is None:
+            if params is not None:
+                warnings.warn(
+                    "TcpSender(params=TcpParams(...)) is deprecated; pass "
+                    "transport=TransportSpec(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            transport = TransportSpec.from_params(params)
+        self.transport = transport
+        self.p = transport.params()
+        self.cc = transport.controller()
         self.total_bytes = total_bytes
         self.on_complete = on_complete
 
         self.snd_una = 0
         self.snd_nxt = 0
-        self.cwnd = self.p.initial_cwnd_segments
-        self.ssthresh = self.p.initial_ssthresh_segments
         self.srtt: Optional[float] = None
         self.rttvar = 0.0
         self.rto = self.p.rto_initial_s
@@ -98,6 +108,21 @@ class TcpSender:
         self._obs_rto = tele.counter("tcp.rto_fired")
         self._obs_fast_rtx = tele.counter("tcp.fast_retransmits")
         tele.event("tcp.flow_open", flow=flow_id, dst=dst_ip)
+        # Per-CC instruments exist only for non-default controllers, so the
+        # default path — and an *explicit* --cc reno — export exactly the
+        # seed's telemetry (the CI byte-identity gate depends on this).
+        if self.cc.name != RenoCC.name:
+            prefix = f"tcp.cc.{self.cc.name}"
+            self._obs_cc_rto = tele.counter(f"{prefix}.rto_fired")
+            self._obs_cc_fast_rtx = tele.counter(f"{prefix}.fast_retransmits")
+            self._obs_cc_cwnd_at_loss = tele.histogram(
+                f"{prefix}.cwnd_at_loss",
+                bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+            )
+        else:
+            self._obs_cc_rto = None
+            self._obs_cc_fast_rtx = None
+            self._obs_cc_cwnd_at_loss = None
 
         self._timer: Optional[EventHandle] = None
         # Lazy RTO timer: the *logical* deadline lives here (+inf = not
@@ -118,6 +143,35 @@ class TcpSender:
     def flight_bytes(self) -> int:
         """Bytes sent but not yet cumulatively ACKed."""
         return self.snd_nxt - self.snd_una
+
+    @property
+    def flight_segments(self) -> float:
+        """Flight size in segments, floored at one.
+
+        The single flight estimate every CC hook sees.  Historically
+        ``_on_rto`` and ``_fast_retransmit`` each recomputed this inline —
+        centralizing it here guarantees pluggable controllers can't observe
+        divergent flight values on the two loss paths.
+        """
+        return max(self.flight_bytes / self.p.mss, 1.0)
+
+    @property
+    def cwnd(self) -> float:
+        """Congestion window (segments); owned by the controller."""
+        return self.cc.cwnd
+
+    @cwnd.setter
+    def cwnd(self, value: float) -> None:
+        self.cc.cwnd = value
+
+    @property
+    def ssthresh(self) -> float:
+        """Slow-start threshold (segments); owned by the controller."""
+        return self.cc.ssthresh
+
+    @ssthresh.setter
+    def ssthresh(self, value: float) -> None:
+        self.cc.ssthresh = value
 
     def start(self) -> None:
         """Start the component."""
@@ -221,9 +275,10 @@ class TcpSender:
         self._rto_deadline = math.inf
         self.timeouts += 1
         self._obs_rto.inc()
-        flight_segments = max(self.flight_bytes / self.p.mss, 1.0)
-        self.ssthresh = max(flight_segments / 2.0, 2.0)
-        self.cwnd = 1.0
+        if self._obs_cc_rto is not None:
+            self._obs_cc_rto.inc()
+            self._obs_cc_cwnd_at_loss.observe(self.cc.cwnd)
+        self.cc.on_rto(self.flight_segments, self.sim.now)
         self.rto = min(self.rto * 2.0, self.p.rto_max_s)
         self.dupacks = 0
         self._rtt_probe_ack = None  # Karn: no samples from retransmits
@@ -260,35 +315,42 @@ class TcpSender:
             self._take_rtt_sample(self.sim.now - self._rtt_probe_sent_at)
             self._rtt_probe_ack = None
         acked_segments = acked_bytes / self.p.mss
-        if self.cwnd < self.ssthresh:
-            self.cwnd = min(self.cwnd + acked_segments, self.p.max_cwnd_segments)
-        else:
-            self.cwnd = min(
-                self.cwnd + acked_segments / max(self.cwnd, 1.0),
-                self.p.max_cwnd_segments,
-            )
+        self.cc.on_ack(acked_segments, self.flight_segments, self.sim.now)
         self.snd_una = ack
         self._restart_timer()
+        if self._check_complete():
+            return
+        self._fill_window()
+
+    def _check_complete(self) -> bool:
+        """Close and fire ``on_complete`` once all bytes are ACKed.
+
+        Split out (and overridable) so relay senders with a dynamically
+        growing ``total_bytes`` can defer completion until their upstream
+        signals EOF.
+        """
         if self.total_bytes is not None and self.snd_una >= self.total_bytes:
             finished_cb = self.on_complete
             self.close()
             if finished_cb is not None:
                 finished_cb()
-            return
-        self._fill_window()
+            return True
+        return False
 
     def _fast_retransmit(self) -> None:
         self.fast_retransmits += 1
         self._obs_fast_rtx.inc()
-        flight_segments = max(self.flight_bytes / self.p.mss, 1.0)
-        self.ssthresh = max(flight_segments / 2.0, 2.0)
-        self.cwnd = self.ssthresh
+        if self._obs_cc_fast_rtx is not None:
+            self._obs_cc_fast_rtx.inc()
+            self._obs_cc_cwnd_at_loss.observe(self.cc.cwnd)
+        self.cc.on_fast_retransmit(self.flight_segments, self.sim.now)
         self._rtt_probe_ack = None
         length = min(self.p.mss, self.flight_bytes)
         self._send_segment(self.snd_una, length, retransmit=True)
         self._restart_timer()
 
     def _take_rtt_sample(self, sample: float) -> None:
+        self.cc.on_rtt_sample(sample, self.sim.now)
         if self.srtt is None:
             self.srtt = sample
             self.rttvar = sample / 2.0

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional
 
 from .engine import EventHandle, PeriodicProcess, Simulator
 from .frames import ACK_FRAME_BYTES, PING_FRAME_BYTES, Frame, FrameKind, TcpSegment
+from .cc import TransportSpec
 from .nic import VirtualInterface
 from .tcp import TcpParams, TcpReceiver
 from .world import World
@@ -170,6 +171,7 @@ class ClientFlow:
         on_bytes: Optional[Callable[[int], None]] = None,
         tcp_params: Optional[TcpParams] = None,
         total_bytes: Optional[int] = None,
+        transport: Optional[TransportSpec] = None,
     ):
         if iface.ip is None or iface.bssid is None:
             raise RuntimeError("ClientFlow requires a joined interface")
@@ -210,6 +212,7 @@ class ClientFlow:
             client_ip=iface.ip,
             params=tcp_params,
             total_bytes=total_bytes,
+            transport=transport,
         )
 
     def _on_data(self, frame: Frame, rssi: float) -> None:

@@ -13,7 +13,8 @@ from __future__ import annotations
 import logging
 from typing import Callable, Dict, Optional, Tuple
 
-from .ap import AccessPoint
+from .ap import AccessPoint, SplitTcpProxy
+from .cc import TransportSpec
 from .engine import Simulator
 from .frames import PING_FRAME_BYTES, FrameKind, TcpSegment
 from .radio import Medium
@@ -36,6 +37,7 @@ class ServerHost:
         self.world = world
         self.ip = SERVER_IP
         self.flows: Dict[str, TcpSender] = {}
+        self._split_proxies: Dict[str, SplitTcpProxy] = {}
         self.pings_echoed = 0
 
     def open_download(
@@ -45,10 +47,27 @@ class ServerHost:
         params: Optional[TcpParams] = None,
         total_bytes: Optional[int] = None,
         on_complete: Optional[Callable[[], None]] = None,
+        transport: Optional[TransportSpec] = None,
     ) -> TcpSender:
-        """Start a bulk download toward ``client_ip`` and return the sender."""
+        """Start a bulk download toward ``client_ip`` and return the sender.
+
+        Transport selection: an explicit ``transport`` wins; otherwise the
+        world's transport supplies CC/split and a legacy ``params`` (if
+        given) overrides the numeric TCP knobs.  In split mode the flow is
+        terminated by a :class:`~repro.sim.ap.SplitTcpProxy` at the
+        client's AP, and ``on_complete`` keeps its end-to-end meaning (it
+        fires when the *client* has ACKed every byte).
+        """
         if flow_id in self.flows:
             raise ValueError(f"duplicate flow id {flow_id!r}")
+        if transport is None:
+            base = self.world.transport
+            if params is None:
+                transport = base
+            else:
+                transport = TransportSpec.from_params(
+                    params, cc=base.cc, split=base.split
+                )
 
         def transmit(segment: TcpSegment) -> None:
             """Hand a segment to the network."""
@@ -59,15 +78,32 @@ class ServerHost:
                 segment.payload_bytes + TCP_HEADER_BYTES,
             )
 
+        origin_on_complete = on_complete
+        if transport.split:
+            ap = self.world.ap_for_ip(client_ip)
+            if ap is not None:
+                # The wireless relay owns end-to-end completion; the origin
+                # sender merely finishes its wired half into the proxy.
+                self._split_proxies[flow_id] = SplitTcpProxy(
+                    ap,
+                    flow_id=flow_id,
+                    server_ip=self.ip,
+                    client_ip=client_ip,
+                    transport=transport,
+                    expected_bytes=total_bytes,
+                    on_complete=on_complete,
+                )
+                origin_on_complete = None
+
         sender = TcpSender(
             self.world.sim,
             flow_id=flow_id,
             src_ip=self.ip,
             dst_ip=client_ip,
             transmit=transmit,
-            params=params,
+            transport=transport,
             total_bytes=total_bytes,
-            on_complete=on_complete,
+            on_complete=origin_on_complete,
         )
         self.flows[flow_id] = sender
         sender.start()
@@ -78,6 +114,9 @@ class ServerHost:
         sender = self.flows.pop(flow_id, None)
         if sender is not None:
             sender.close()
+        proxy = self._split_proxies.pop(flow_id, None)
+        if proxy is not None:
+            proxy.close()
 
     def on_segment(self, segment: TcpSegment) -> None:
         """Segment arriving from the wired core (normally a client ACK)."""
@@ -98,12 +137,16 @@ class World:
         range_m: float = 100.0,
         loss_rate: float = 0.1,
         wired_latency_s: float = DEFAULT_WIRED_LATENCY_S,
+        transport: Optional[TransportSpec] = None,
     ):
         self.sim = sim
         self.medium = Medium(
             sim, data_rate_bps=data_rate_bps, range_m=range_m, loss_rate=loss_rate
         )
         self.wired_latency_s = wired_latency_s
+        #: World-wide transport defaults (CC selection, AP splitting, TCP
+        #: knobs); the frozen default reproduces the seed exactly.
+        self.transport = transport or TransportSpec()
         self.server = ServerHost(self)
         self.aps: Dict[str, AccessPoint] = {}
         self._ap_by_subnet: Dict[str, AccessPoint] = {}

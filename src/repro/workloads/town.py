@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..sim.cc import TransportSpec
 from ..sim.engine import Simulator
 from ..sim.ap import AccessPoint
 from ..sim.mobility import LoopMobility, StaticPosition, circle_point
@@ -137,11 +138,13 @@ def build_town(
     sim: Simulator,
     config: Optional[TownConfig] = None,
     preset: Optional[str] = None,
+    transport: Optional[TransportSpec] = None,
 ) -> TownInstance:
     """Instantiate a town into a fresh :class:`World`.
 
     AP placement uses the simulator's seeded ``town.placement`` stream, so
-    the same seed reproduces the same town exactly.
+    the same seed reproduces the same town exactly.  ``transport`` sets the
+    world-wide CC/split selection (None keeps the historical Reno default).
     """
     if config is not None and preset is not None:
         raise ValueError("pass either config or preset, not both")
@@ -153,6 +156,7 @@ def build_town(
         range_m=config.radio_range_m,
         loss_rate=config.loss_rate,
         wired_latency_s=config.wired_latency_s,
+        transport=transport,
     )
     rng = sim.rng("town.placement")
     channels = sorted(config.channel_mix)
@@ -246,6 +250,7 @@ def lab_topology(
     wired_latency_s: float = 0.01,
     backhaul_latency_s: float = 0.02,
     data_rate_bps: float = 11e6,
+    transport: Optional[TransportSpec] = None,
 ) -> Tuple[World, List[AccessPoint], StaticPosition]:
     """The indoor testbed: APs near a static client, clean channel.
 
@@ -260,6 +265,7 @@ def lab_topology(
         loss_rate=loss_rate,
         wired_latency_s=wired_latency_s,
         data_rate_bps=data_rate_bps,
+        transport=transport,
     )
     aps = []
     for index, (channel, backhaul) in enumerate(ap_specs):

@@ -6,7 +6,13 @@ import math
 
 import pytest
 
-from repro.analysis.ascii_plot import bar_chart, cdf_plot, histogram, sparkline
+from repro.analysis.ascii_plot import (
+    bar_chart,
+    cdf_plot,
+    heatmap,
+    histogram,
+    sparkline,
+)
 
 
 class TestSparkline:
@@ -81,6 +87,43 @@ class TestHistogram:
 
     def test_constant_data_does_not_crash(self):
         assert histogram([5.0] * 10, bins=4)
+
+
+class TestHeatmap:
+    def test_extremes_get_min_and_max_shades(self):
+        text = heatmap(["a", "b"], ["x", "y"], [[0.0, 10.0], [5.0, 10.0]])
+        lines = text.splitlines()
+        assert "██" in lines[2]  # both 10.0 cells shade full
+        assert "██" not in lines[1].split()[0]
+
+    def test_shading_is_global_across_rows(self):
+        # Row maxima differ; the single global max must be the only full
+        # shade.
+        text = heatmap(["a", "b"], ["x"], [[1.0], [100.0]])
+        assert text.count("██") == 1
+
+    def test_values_rendered_in_cells(self):
+        text = heatmap(["row"], ["col"], [[42.5]], unit="K")
+        assert "42.5K" in text
+
+    def test_nan_cell_is_dash(self):
+        text = heatmap(["r"], ["x", "y"], [[math.nan, 1.0]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_title_and_header(self):
+        text = heatmap(["r"], ["c1", "c2"], [[1.0, 2.0]], title="grid")
+        lines = text.splitlines()
+        assert lines[0] == "grid"
+        assert "c1" in lines[1] and "c2" in lines[1]
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap(["a"], ["x"], [[1.0], [2.0]])
+        with pytest.raises(ValueError):
+            heatmap(["a"], ["x", "y"], [[1.0]])
+
+    def test_constant_grid_does_not_crash(self):
+        assert heatmap(["a"], ["x", "y"], [[2.0, 2.0]])
 
 
 class TestCdfPlot:

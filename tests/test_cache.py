@@ -380,6 +380,39 @@ class TestInvalidation:
             ("repro.core",)
         )
 
+    def test_cc_module_is_inside_the_fingerprinted_tree(self):
+        """The CC subsystem must invalidate cached trials when edited."""
+        import repro.sim as sim_pkg
+        from repro.cache import DEFAULT_FINGERPRINT_PACKAGES
+
+        assert "repro.sim" in DEFAULT_FINGERPRINT_PACKAGES
+        assert (Path(sim_pkg.__path__[0]) / "cc.py").is_file()
+
+    def test_cc_byte_change_alters_fingerprint(self, tmp_path):
+        import repro.sim as sim_pkg
+
+        source = Path(sim_pkg.__path__[0]) / "cc.py"
+        copy = tmp_path / "cc.py"
+        copy.write_bytes(source.read_bytes())
+        before = fingerprint_sources([copy])
+        copy.write_bytes(source.read_bytes() + b"\n# behavioral tweak\n")
+        assert fingerprint_sources([copy]) != before
+
+    def test_transport_spec_changes_canonical_token(self):
+        from repro.experiments.common import TownTrialSpec
+        from repro.sim.cc import TransportSpec
+
+        def spec(transport):
+            return TownTrialSpec(
+                factory=_double, label="t", seed=0, transport=transport
+            )
+
+        default = canonical_token(spec(None))
+        reno = canonical_token(spec(TransportSpec()))
+        cubic = canonical_token(spec(TransportSpec(cc="cubic")))
+        split = canonical_token(spec(TransportSpec(split=True)))
+        assert len({default, reno, cubic, split}) == 4
+
 
 # ---------------------------------------------------------------------------
 # Maintenance helpers (stats / prune / verify)

@@ -61,3 +61,58 @@ class TestCliTelemetry:
         assert main(["fig3", "--telemetry", str(path)]) == 0
         assert "produced no telemetry" in capsys.readouterr().err
         assert not path.exists()
+
+
+class TestCliTransportFlags:
+    """--cc/--split thread a TransportSpec into every experiment's spec."""
+
+    def capture_spec(self, monkeypatch, argv):
+        import repro.__main__ as cli
+        from repro.runner import TrialResult
+
+        captured = {}
+
+        def fake_run(name, spec, fabric=None):
+            captured["spec"] = spec
+            return TrialResult(ok=True, value="done", tag=(name, spec))
+
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        assert main(argv) == 0
+        return captured["spec"]
+
+    def test_cc_and_split_flags_build_transport(self, monkeypatch):
+        from repro.sim.cc import TransportSpec
+
+        spec = self.capture_spec(
+            monkeypatch, ["table2", "--cc", "cubic", "--split"]
+        )
+        assert spec.transport == TransportSpec(cc="cubic", split=True)
+
+    def test_no_flags_leave_transport_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CC", raising=False)
+        monkeypatch.delenv("REPRO_SPLIT", raising=False)
+        spec = self.capture_spec(monkeypatch, ["table2"])
+        assert spec.transport is None
+
+    def test_env_knobs_fill_transport(self, monkeypatch):
+        from repro.sim.cc import TransportSpec
+
+        monkeypatch.setenv("REPRO_CC", "bbr")
+        monkeypatch.setenv("REPRO_SPLIT", "1")
+        spec = self.capture_spec(monkeypatch, ["table2"])
+        assert spec.transport == TransportSpec(cc="bbr", split=True)
+
+    def test_no_split_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPLIT", "1")
+        monkeypatch.delenv("REPRO_CC", raising=False)
+        spec = self.capture_spec(monkeypatch, ["table2", "--no-split"])
+        assert spec.transport is not None and not spec.transport.split
+
+    def test_unknown_cc_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table2", "--cc", "vegas"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_transport_matrix_registered(self, capsys):
+        assert main(["list"]) == 0
+        assert "transport-matrix" in capsys.readouterr().out

@@ -27,6 +27,7 @@ from repro.experiments import (
     table3_dhcp_failures,
     table4_channels,
     timeout_grid,
+    transport_matrix,
 )
 
 
@@ -145,6 +146,35 @@ class TestStandaloneTownExperiments:
         result = table4_channels.run(seeds=(0,), duration_s=100.0)
         assert len(result.rows) == 3
         assert "Table 4" in result.render()
+
+    def test_transport_matrix(self):
+        from repro.experiments.town_runs import CONFIG_MULTI_CH_SINGLE_AP
+
+        spec = transport_matrix.TransportMatrixSpec(
+            seeds=(0,),
+            duration_s=40.0,
+            policies=(CONFIG_MULTI_CH_SINGLE_AP,),
+            ccs=("reno", "bbr"),
+            splits=(False, True),
+        )
+        result = transport_matrix.run_spec(spec).unwrap()
+        assert len(result.cells) == 4
+        cell = result.cell(CONFIG_MULTI_CH_SINGLE_AP, "reno", True)
+        assert cell.throughput_kBps >= 0.0
+        assert result.best_cell() in result.cells
+        assert result.split_gain(CONFIG_MULTI_CH_SINGLE_AP, "bbr") >= 0.0
+        text = result.render()
+        assert "split=on" in text and "split=off" in text
+        assert "Transport matrix" in text
+
+    def test_transport_matrix_rejects_unknown_policy(self):
+        from repro.runner.pool import TrialError
+
+        spec = transport_matrix.TransportMatrixSpec(
+            seeds=(0,), duration_s=10.0, policies=("nope",)
+        )
+        with pytest.raises(TrialError, match="unknown policies"):
+            transport_matrix.run_spec(spec).unwrap()
 
     def test_ap_density(self):
         result = ap_density.run(towns=("amherst",), seeds=(0,), duration_s=100.0)

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.sim.engine import Simulator
 from repro.sim.frames import TcpSegment
-from repro.sim.tcp import TcpParams, TcpReceiver, TcpSender
+from repro.sim.tcp import TcpParams, TcpReceiver, TcpSender, TransportSpec
 
 
 class Pipe:
@@ -23,14 +23,16 @@ class Pipe:
         self.delivered_bytes = 0
         self.segments_seen = []
 
-    def build(self, total_bytes=None, params=None, on_complete=None):
+    def build(self, total_bytes=None, params=None, transport=None, on_complete=None):
+        if transport is None:
+            transport = TransportSpec.from_params(params or TcpParams())
         self.sender = TcpSender(
             self.sim,
             flow_id="f1",
             src_ip="server",
             dst_ip="client",
             transmit=self._down,
-            params=params or TcpParams(),
+            transport=transport,
             total_bytes=total_bytes,
             on_complete=on_complete,
         )
@@ -189,9 +191,8 @@ class TestLossRecovery:
 
     def test_late_cumulative_ack_above_rewound_snd_nxt_accepted(self, sim):
         """Regression: the go-back-N deadlock."""
-        params = TcpParams()
         sender = TcpSender(
-            sim, "f", "s", "c", transmit=lambda seg: None, params=params
+            sim, "f", "s", "c", transmit=lambda seg: None, transport=TransportSpec()
         )
         sender.start()
         sent_high = sender.snd_nxt
@@ -286,6 +287,29 @@ class TestReceiver:
             )
         assert receiver.rcv_nxt == 1000
         assert sum(delivered) == 1000
+
+
+class TestDeprecationShim:
+    def test_params_kwarg_warns_and_maps_to_transport(self, sim):
+        params = TcpParams(mss=1000)
+        with pytest.warns(DeprecationWarning, match="TcpSender.*deprecated"):
+            sender = TcpSender(
+                sim, "f", "s", "c", transmit=lambda seg: None, params=params
+            )
+        assert sender.transport == TransportSpec.from_params(params)
+        assert sender.p.mss == 1000
+        assert sender.cc.name == "reno"
+
+    def test_transport_kwarg_does_not_warn(self, sim):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sender = TcpSender(
+                sim, "f", "s", "c", transmit=lambda seg: None,
+                transport=TransportSpec(cc="cubic"),
+            )
+        assert sender.cc.name == "cubic"
 
 
 class TestLazyRtoTimer:
