@@ -30,6 +30,12 @@ Measured workloads:
                          BBR-lite end-to-end plus Reno behind the AP
                          split proxy) on one Spider policy, with the
                          aggregate events/sec across the cells
+* ``contention_dense_town`` — a 100-vehicle city fleet with the CSMA/CA
+                         contention model on vs the global-FIFO
+                         baseline, asserting the acceptance bars
+                         (join completion > 0.5, goodput >= 3x)
+* ``channel_assign``   — a reduced strategy x policy grid of the
+                         channel-assignment experiment under contention
 
 Scale knobs are the bench-suite ones (``REPRO_BENCH_SEEDS``,
 ``REPRO_BENCH_DURATION``, ``REPRO_BENCH_WORKERS``); the perf harness
@@ -552,6 +558,115 @@ def test_perf_transport_matrix(report):
     report("perf/transport_matrix", json.dumps(_PERF["transport_matrix"], indent=2))
     assert total_events > 0
     assert all(v >= 0.0 for v in throughputs.values())
+
+
+def test_perf_contention_dense_town(report):
+    """The contention model's acceptance bar on the city world.
+
+    Under the legacy global per-channel FIFO the dense world starves:
+    every join handshake on a channel serializes behind the entire
+    city's traffic, so the fleet completes essentially nothing.  With
+    CSMA/CA spatial reuse the same world comes back to life.  The bar:
+
+    * join completion rate > 0.5 with contention on, and
+    * aggregate goodput >= 3x the global-serialization baseline.
+
+    The fleet is pinned at 100 vehicles — the scale where the contention
+    model (not the DHCP lottery or sheer client count) is the binding
+    constraint; the 250-vehicle point stays the vector bench's workload.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.dense_town import DenseTownSpec, run_dense_trial
+    from repro.sim.contention import ContentionSpec
+
+    spec = DenseTownSpec(n_vehicles=100)
+    t0 = time.perf_counter()
+    baseline = run_dense_trial(replace(spec, contention=None), seed=0)
+    baseline_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    contended = run_dense_trial(
+        replace(spec, contention=ContentionSpec()), seed=0
+    )
+    contended_wall = time.perf_counter() - t0
+    goodput_gain = (
+        contended.aggregate_kBps / baseline.aggregate_kBps
+        if baseline.aggregate_kBps > 0
+        else float("inf")
+    )
+    _record(
+        "contention_dense_town",
+        wall_s=contended_wall,
+        baseline_wall_s=baseline_wall,
+        events=contended.events_processed,
+        events_per_sec=contended.events_processed / contended_wall,
+        vehicles=contended.vehicles,
+        ap_count=contended.ap_count,
+        join_completion_rate=contended.join_completion_rate,
+        baseline_join_completion_rate=baseline.join_completion_rate,
+        aggregate_kBps=contended.aggregate_kBps,
+        baseline_aggregate_kBps=baseline.aggregate_kBps,
+        frames_collided=contended.frames_collided,
+    )
+    report(
+        "perf/contention_dense_town",
+        json.dumps(_PERF["contention_dense_town"], indent=2),
+    )
+    assert contended.join_completion_rate > 0.5, (
+        f"contended join completion {contended.join_completion_rate:.3f} "
+        f"({contended.joins_completed}/{contended.join_attempts})"
+    )
+    assert goodput_gain >= 3.0, (
+        f"contention goodput only {goodput_gain:.2f}x the serialized "
+        f"baseline ({baseline.aggregate_kBps:.1f} -> "
+        f"{contended.aggregate_kBps:.1f} kB/s)"
+    )
+
+
+def test_perf_channel_assign(report):
+    """A reduced channel-assignment grid: strategy x policy under CSMA/CA.
+
+    Two strategies (the as-built map and the all-on-6 adversarial blob)
+    against both client policies on a shrunken city — enough cells to
+    exercise retuning, the greedy-coloring scan is covered by the unit
+    suite.  ``events_per_sec`` aggregates the simulator rate across the
+    cells; the adversarial map must show the collision-rate signature
+    that motivates the experiment.
+    """
+    from repro.experiments.channel_assign import ChannelAssignSpec, run_spec
+
+    spec = ChannelAssignSpec(
+        seeds=(0,),
+        duration_s=4.0,
+        n_vehicles=8,
+        strategies=("measured", "adversarial"),
+        loop_length_m=2000.0,
+        ap_density_per_km=60.0,
+        workers=1,
+    )
+    t0 = time.perf_counter()
+    result = run_spec(spec).unwrap()
+    wall = time.perf_counter() - t0
+    total_events = sum(r.events_processed for r in result.rows)
+    measured = result.cell("measured", "spider-3ch")[0]
+    adversarial = result.cell("adversarial", "spider-3ch")[0]
+    _record(
+        "channel_assign",
+        wall_s=wall,
+        cells=len(result.rows),
+        events=total_events,
+        events_per_sec=total_events / wall,
+        measured_kBps=measured.aggregate_kBps,
+        adversarial_kBps=adversarial.aggregate_kBps,
+        measured_collision_rate=measured.collision_rate,
+        adversarial_collision_rate=adversarial.collision_rate,
+    )
+    report("perf/channel_assign", json.dumps(_PERF["channel_assign"], indent=2))
+    assert total_events > 0
+    assert adversarial.collision_rate >= measured.collision_rate, (
+        "the all-on-6 map should collide at least as often as the "
+        "measured mix"
+    )
 
 
 def test_perf_persist_results():

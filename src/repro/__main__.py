@@ -53,6 +53,13 @@ Every experiment shares one flag vocabulary, parsed here once:
 ``--split`` / ``--no-split``
     terminate TCP at the AP and relay over a split connection (see
     :class:`repro.sim.ap.SplitTcpProxy`; default: ``REPRO_SPLIT``).
+``--contention MODE``
+    replace the global per-channel airtime FIFO with the CSMA/CA
+    multi-cell MAC (:mod:`repro.sim.contention`) in every world the
+    experiment builds: ``on``/``off``/``stagger`` (comma-separable;
+    ``stagger`` additionally staggers AP beacon phases).  Default: the
+    ``REPRO_CONTENTION`` environment variable, else the historical
+    global FIFO.
 
 Flags map onto the experiment's spec via
 :func:`repro.experiments.api.spec_from_options`, so fields a given spec
@@ -82,6 +89,7 @@ from .experiments import (
     fig14_join_timeouts,
     fig15_join_policies,
     fig16_17_usability,
+    channel_assign,
     dense_town,
     fault_sweep,
     fleet,
@@ -99,6 +107,7 @@ from .experiments.api import (
     to_jsonable,
 )
 from .sim.cc import CC_NAMES, resolve_transport
+from .sim.contention import resolve_contention
 
 #: Compatibility table: artifact id -> the module's ``main()``.  Dispatch
 #: goes through :data:`repro.experiments.api.REGISTRY`; this dict remains
@@ -127,6 +136,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fleet": fleet.main,
     "knapsack": appendix_knapsack.main,
     "transport-matrix": transport_matrix.main,
+    "channel-assign": channel_assign.main,
 }
 
 
@@ -250,6 +260,13 @@ def _build_parser() -> argparse.ArgumentParser:
         const=False,
         help="force split-TCP off (overrides REPRO_SPLIT)",
     )
+    parser.add_argument(
+        "--contention",
+        default=None,
+        metavar="MODE",
+        help="CSMA/CA multi-cell MAC: on/off/stagger, comma-separable "
+        "(default: $REPRO_CONTENTION, else the global airtime FIFO)",
+    )
     return parser
 
 
@@ -282,6 +299,11 @@ def main(argv=None) -> int:
         print("--trials must be >= 1", file=sys.stderr)
         return 2
     want_telemetry = args.telemetry is not None or args.telemetry_summary
+    try:
+        contention = resolve_contention(args.contention)
+    except ValueError as exc:
+        print(f"bad --contention mode: {exc}", file=sys.stderr)
+        return 2
     spec = spec_from_options(
         experiment.spec_cls,
         seeds=_seeds_from_flags(args.seed, args.trials),
@@ -291,6 +313,7 @@ def main(argv=None) -> int:
         cache=args.cache,
         cache_dir=args.cache_dir,
         transport=resolve_transport(args.cc, args.split),
+        contention=contention,
     )
     # Resolve the cache here too (same shared instance the experiment
     # registry will activate) so its hit/miss stats can be reported below.

@@ -20,6 +20,7 @@ from ..core.schedule import OperationMode
 from ..core.link_manager import SpiderConfig
 from ..core.spider import SpiderClient
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from ..sim.engine import PeriodicProcess, Simulator
 from ..workloads.town import build_town
 from .api import ExperimentSpec, register, warn_deprecated
@@ -69,9 +70,10 @@ def _run_one(
     duration_s: float,
     channel: int = 1,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> DensityRow:
     sim = Simulator(seed=seed)
-    instance = build_town(sim, preset=town, transport=transport)
+    instance = build_town(sim, preset=town, transport=transport, contention=contention)
     mobility = instance.make_vehicle_mobility(10.0)
     config = SpiderConfig.spider_defaults(
         OperationMode.single_channel(channel), num_interfaces=7
@@ -110,11 +112,12 @@ def _run(
     seeds: Sequence[int],
     duration_s: float,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> DensityResult:
     rows = []
     for town in towns:
         per_seed = [
-            _run_one(town, seed, duration_s, transport=transport)
+            _run_one(town, seed, duration_s, transport=transport, contention=contention)
             for seed in seeds
         ]
         merged_share: Dict[int, float] = {}
@@ -135,7 +138,7 @@ def _run(
 
 @register("density", DensitySpec, summary="AP density vs Spider performance")
 def run_spec(spec: DensitySpec) -> DensityResult:
-    return _run(spec.towns, spec.seeds, spec.duration_s, transport=spec.transport)
+    return _run(spec.towns, spec.seeds, spec.duration_s, transport=spec.transport, contention=spec.contention)
 
 
 def run(

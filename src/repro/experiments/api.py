@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from ..runner import TrialResult
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from .common import DEFAULT_TRIAL_DURATION_S
 
 __all__ = [
@@ -92,6 +93,13 @@ class ExperimentSpec:
     #: it from ``--cc``/``--split`` (or ``REPRO_CC``/``REPRO_SPLIT``) via
     #: :func:`repro.sim.cc.resolve_transport`.
     transport: Optional[TransportSpec] = None
+    #: Contention selection (CSMA/CA multi-cell MAC with per-cell spatial
+    #: airtime reuse + optional beacon stagger) for every world the
+    #: experiment builds.  ``None`` keeps the historical global
+    #: per-channel airtime FIFO byte-identical; the CLI fills it from
+    #: ``--contention`` (or ``REPRO_CONTENTION``) via
+    #: :func:`repro.sim.contention.resolve_contention`.
+    contention: Optional[ContentionSpec] = None
 
     @property
     def seed(self) -> int:

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..obs.telemetry import Telemetry, TelemetrySnapshot, merge_snapshots
 from ..runner import TrialJob, TrialResult, run_jobs, unwrap_all
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from ..sim.engine import Simulator
 from ..sim.faults import FaultPlan, install_faults
 from ..sim.metrics import JoinLog
@@ -90,6 +91,7 @@ def run_town_trial(
     faults: Optional[FaultPlan] = None,
     telemetry: bool = False,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> TownRunMetrics:
     """Build a town, drive one client around it, and collect metrics.
 
@@ -106,13 +108,24 @@ def run_town_trial(
     ``transport`` selects the world-wide congestion controller and AP
     connection-splitting (``None`` keeps the historical Reno/no-split
     default, byte-identical to runs predating the transport subsystem).
+
+    ``contention`` selects the CSMA/CA multi-cell MAC (``None`` keeps the
+    historical global per-channel airtime FIFO, byte-identical to runs
+    predating the contention subsystem).
     """
     tele = Telemetry(enabled=True, key=("town", label, seed)) if telemetry else None
     sim = Simulator(seed=seed, telemetry=tele)
     if isinstance(town, TownConfig):
-        instance = build_town(sim, config=town, transport=transport)
+        instance = build_town(
+            sim, config=town, transport=transport, contention=contention
+        )
     else:
-        instance = build_town(sim, preset=town or "amherst", transport=transport)
+        instance = build_town(
+            sim,
+            preset=town or "amherst",
+            transport=transport,
+            contention=contention,
+        )
     mobility = instance.make_vehicle_mobility(speed_mps)
     install_faults(sim, instance.world, faults)
     client = factory(sim, instance.world, mobility)
@@ -219,6 +232,10 @@ class TownTrialSpec:
     #: no-split transport, producing results byte-identical to specs that
     #: predate the field.
     transport: Optional[TransportSpec] = None
+    #: ``None`` (the default) keeps the historical global per-channel
+    #: airtime FIFO; a :class:`~repro.sim.contention.ContentionSpec`
+    #: switches the trial's medium to the CSMA/CA multi-cell MAC.
+    contention: Optional[ContentionSpec] = None
 
 
 def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
@@ -233,6 +250,7 @@ def run_town_trial_spec(spec: TownTrialSpec) -> TownRunMetrics:
         faults=spec.faults,
         telemetry=spec.telemetry,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 
@@ -244,6 +262,7 @@ def run_town_trial_envelopes(
     telemetry: Optional[bool] = None,
     cache: Optional[object] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> List[TrialResult]:
     """Fan trial specs across workers; envelopes in spec order.
 
@@ -258,7 +277,9 @@ def run_town_trial_envelopes(
     ``ExperimentSpec.telemetry`` flag through an existing grid without
     each module rebuilding its specs.  ``transport`` (non-``None``)
     overrides every spec's ``transport`` the same way — the path behind
-    the shared ``--cc``/``--split`` CLI flags.
+    the shared ``--cc``/``--split`` CLI flags — and ``contention``
+    (non-``None``) overrides every spec's ``contention`` (the
+    ``--contention`` flag's path).
 
     ``cache`` resolves via :func:`repro.cache.resolve_cache`; because a
     trial spec is frozen and picklable, its content address covers the
@@ -270,6 +291,8 @@ def run_town_trial_envelopes(
         specs = [replace(spec, telemetry=telemetry) for spec in specs]
     if transport is not None:
         specs = [replace(spec, transport=transport) for spec in specs]
+    if contention is not None:
+        specs = [replace(spec, contention=contention) for spec in specs]
     jobs = [
         TrialJob(run_town_trial_spec, (spec,), tag=(spec.label, spec.seed))
         for spec in specs
@@ -322,6 +345,7 @@ def aggregate_town_trials(
     telemetry: Optional[bool] = None,
     cache: Optional[object] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> Dict[str, AggregatedMetrics]:
     """Fan specs out and regroup the results per label, in spec order.
 
@@ -342,6 +366,7 @@ def aggregate_town_trials(
             telemetry=telemetry,
             cache=cache,
             transport=transport,
+            contention=contention,
         )
     if strict:
         pairs = list(zip(specs, unwrap_all(envelopes)))
@@ -365,6 +390,7 @@ def run_town_trials(
     workers: Optional[int] = None,
     telemetry: bool = False,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> AggregatedMetrics:
     """Repeat :func:`run_town_trial` over seeds and aggregate.
 
@@ -383,6 +409,7 @@ def run_town_trials(
             speed_mps=speed_mps,
             telemetry=telemetry,
             transport=transport,
+            contention=contention,
         )
         for seed in seeds
     ]

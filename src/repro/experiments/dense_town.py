@@ -98,11 +98,24 @@ class DenseTownRow:
     frames_lost: int
     aggregate_kBps: float
     mean_connectivity_pct: float
+    #: Fleet-wide join funnel: attempts started / joins completed.  The
+    #: contention model's acceptance metric — under the global airtime
+    #: FIFO the city world starves joins (completion ~0); with CSMA/CA
+    #: spatial reuse the completion rate recovers past 0.5.
+    join_attempts: int = 0
+    joins_completed: int = 0
+    #: Frames destroyed by hidden-terminal collisions (contention only).
+    frames_collided: int = 0
     #: Deterministic telemetry projection when the trial ran with
     #: telemetry.  Wall-clock profiling instruments are dropped at capture
     #: so the exported artifact is a pure function of (spec, seed) — the
     #: scalar/vector byte-identity bar covers it.
     telemetry: Optional[TelemetrySnapshot] = None
+
+    @property
+    def join_completion_rate(self) -> float:
+        """Completed joins over attempts (0.0 when nothing was attempted)."""
+        return self.joins_completed / self.join_attempts if self.join_attempts else 0.0
 
 
 @dataclass
@@ -114,7 +127,17 @@ class DenseTownResult:
     def render(self) -> str:
         """Render the result as printable text."""
         return format_table(
-            ["seed", "APs", "vehicles", "events", "delivered", "aggregate", "connectivity"],
+            [
+                "seed",
+                "APs",
+                "vehicles",
+                "events",
+                "delivered",
+                "collided",
+                "joins",
+                "aggregate",
+                "connectivity",
+            ],
             [
                 (
                     r.seed,
@@ -122,6 +145,8 @@ class DenseTownResult:
                     r.vehicles,
                     r.events_processed,
                     r.frames_delivered,
+                    r.frames_collided,
+                    f"{r.joins_completed}/{r.join_attempts}",
                     f"{r.aggregate_kBps:.1f} kB/s",
                     f"{r.mean_connectivity_pct:.1f}%",
                 )
@@ -170,7 +195,12 @@ def run_dense_trial(
             else None
         )
         sim = Simulator(seed=seed, telemetry=tele)
-        town = build_town(sim, config=spec.town_config(), transport=spec.transport)
+        town = build_town(
+            sim,
+            config=spec.town_config(),
+            transport=spec.transport,
+            contention=spec.contention,
+        )
         spacing = town.config.loop_length_m / max(spec.n_vehicles, 1)
         clients = []
         for index in range(spec.n_vehicles):
@@ -188,6 +218,13 @@ def run_dense_trial(
         sim.run(until=spec.duration_s)
     n = max(spec.n_vehicles, 1)
     medium = town.world.medium
+    if tele is not None and medium.contention is not None:
+        # Surface the per-AP/per-channel airtime-share and collision-rate
+        # gauges in the row's deterministic telemetry projection (the
+        # PR-4 "per-AP/channel airtime telemetry" hook).
+        medium.contention.export_telemetry(spec.duration_s)
+    join_attempts = sum(len(c.join_log.attempts) for c in clients)
+    joins_completed = sum(len(c.join_log.join_times()) for c in clients)
     return DenseTownRow(
         seed=seed,
         ap_count=len(town.aps),
@@ -201,6 +238,9 @@ def run_dense_trial(
         mean_connectivity_pct=sum(
             c.connectivity_percent(spec.duration_s) for c in clients
         ) / n,
+        join_attempts=join_attempts,
+        joins_completed=joins_completed,
+        frames_collided=medium.frames_collided,
         telemetry=tele.snapshot().deterministic() if tele is not None else None,
     )
 

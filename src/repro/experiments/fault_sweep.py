@@ -34,6 +34,7 @@ from ..sim.faults import (
 )
 from ..obs.telemetry import TelemetrySnapshot
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 from .town_runs import spider_factory, stock_factory
@@ -226,6 +227,7 @@ def _run(
     scenario_names: Optional[Sequence[str]],
     telemetry: bool = False,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> FaultSweepResult:
     """The full ``scenario x client x seed`` grid fans out as one batch;
     trials that crash or hang are dropped with a warning (the envelope
@@ -255,6 +257,7 @@ def _run(
             town=town,
             faults=plan,
             transport=transport,
+            contention=contention,
         )
         for scenario, client_label, factory, plan in grid
         for seed in seeds
@@ -307,6 +310,7 @@ def run_spec(spec: FaultSweepSpec) -> FaultSweepResult:
         spec.scenario_names,
         telemetry=spec.telemetry,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -23,6 +23,7 @@ from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from ..sim.engine import Simulator
 from ..sim.stock_client import StockClient
 from ..workloads.town import lab_topology
@@ -50,6 +51,7 @@ def _measure(
     seed: int,
     measure_s: float,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> float:
     """Mean aggregate throughput (bytes/s) for one configuration."""
     sim = Simulator(seed=seed)
@@ -65,6 +67,7 @@ def _measure(
         wired_latency_s=LAB_WIRED_LATENCY_S,
         data_rate_bps=24e6,
         transport=transport,
+        contention=contention,
     )
     recorders = []
     clients: List[object] = []
@@ -134,6 +137,7 @@ def _run(
     seeds: Sequence[int],
     measure_s: float,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> Fig10Result:
     series: Dict[str, List[float]] = {label: [] for label in labels}
     for backhaul in backhauls_mbps:
@@ -154,6 +158,7 @@ def run_spec(spec: Fig10Spec) -> Fig10Result:
         spec.seeds,
         spec.measure_s,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -91,6 +91,7 @@ def _run(
     labels: Sequence[str],
     workers: Optional[int] = None,
     transport=None,
+    contention=None,
 ) -> Fig11to13Result:
     if suite is None:
         suite = run_configuration_suite(
@@ -100,6 +101,7 @@ def _run(
             labels=labels,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
     connection: Dict[str, List[float]] = {}
     disruption: Dict[str, List[float]] = {}
@@ -125,6 +127,7 @@ def run_spec(spec: Fig11to13Spec) -> Fig11to13Result:
         spec.labels,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

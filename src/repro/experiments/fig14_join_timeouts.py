@@ -65,6 +65,7 @@ def _run(
     grid: Optional[Dict[str, AggregatedMetrics]],
     workers: Optional[int] = None,
     transport=None,
+    contention=None,
 ) -> Fig14Result:
     if grid is None:
         grid = run_grid(
@@ -73,6 +74,7 @@ def _run(
             duration_s=duration_s,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
     return Fig14Result(
         join_times={label: grid[label].pooled_join_times() for label in labels}
@@ -88,6 +90,7 @@ def run_spec(spec: Fig14Spec) -> Fig14Result:
         None,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -74,6 +74,7 @@ def _run(
     grid: Optional[Dict[str, AggregatedMetrics]],
     workers: Optional[int] = None,
     transport=None,
+    contention=None,
 ) -> Fig15Result:
     if grid is None:
         grid = run_grid(
@@ -82,6 +83,7 @@ def _run(
             duration_s=duration_s,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
     return Fig15Result(
         join_times={label: grid[label].pooled_join_times() for label in labels}
@@ -97,6 +99,7 @@ def run_spec(spec: Fig15Spec) -> Fig15Result:
         None,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

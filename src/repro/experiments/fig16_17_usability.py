@@ -89,6 +89,7 @@ def _run(
     suite: Optional[ConfigurationSuite],
     workers: Optional[int] = None,
     transport=None,
+    contention=None,
 ) -> UsabilityResult:
     labels = (CONFIG_CH1_MULTI_AP, CONFIG_MULTI_CH_MULTI_AP)
     if suite is None:
@@ -99,6 +100,7 @@ def _run(
             labels=labels,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
     trace = generate_mesh_trace(mesh_config, seed=mesh_seed)
     return UsabilityResult(
@@ -119,6 +121,7 @@ def run_spec(spec: UsabilitySpec) -> UsabilityResult:
         None,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

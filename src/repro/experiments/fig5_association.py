@@ -18,6 +18,7 @@ from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import SpiderClient
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 
@@ -130,6 +131,7 @@ def _run(
     town: str,
     workers: Optional[int] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> Fig5Result:
     curves: Dict[float, Fig5Curve] = {}
     for fraction in fractions:
@@ -141,6 +143,7 @@ def _run(
             town=town,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
         times: List[float] = []
         attempts = 0
@@ -166,6 +169,7 @@ def run_spec(spec: Fig5Spec) -> Fig5Result:
         spec.town,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -17,6 +17,7 @@ from ..analysis.stats import cdf_at, percentile
 from ..core.link_manager import SpiderConfig
 from ..core.spider import SpiderClient
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 from .fig5_association import schedule_for_fraction
@@ -124,6 +125,7 @@ def _run(
     town: str,
     workers: Optional[int] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> Fig6Result:
     curves: Dict[str, Fig6Curve] = {}
     for config in configs:
@@ -135,6 +137,7 @@ def _run(
             town=town,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
         times: List[float] = []
         attempts = 0
@@ -160,6 +163,7 @@ def run_spec(spec: Fig6Spec) -> Fig6Result:
         spec.town,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -48,6 +48,7 @@ def measure_lab_throughput(
     num_aps: int = 1,
     wired_latency_s: float = LAB_WIRED_LATENCY_S,
     transport=None,
+    contention=None,
 ) -> float:
     """Average TCP throughput (bits/s) of a static Spider client.
 
@@ -62,6 +63,7 @@ def measure_lab_throughput(
         dhcp_delay_s=0.2,
         wired_latency_s=wired_latency_s,
         transport=transport,
+        contention=contention,
     )
     # The paper's indoor protocol measures an *established* connection under
     # the varied schedule: join on the primary channel first, then apply the
@@ -118,6 +120,7 @@ def _run(
     seed: int,
     measure_s: float,
     transport=None,
+    contention=None,
 ) -> Fig7Result:
     throughputs = []
     for fraction in fractions:
@@ -128,6 +131,7 @@ def _run(
             seed=seed,
             measure_s=measure_s,
             transport=transport,
+            contention=contention,
         )
         throughputs.append(bps / 1e3)
     return Fig7Result(fractions=list(fractions), throughput_kbps=throughputs)
@@ -141,6 +145,7 @@ def run_spec(spec: Fig7Spec) -> Fig7Result:
         spec.seed,
         spec.measure_s,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -64,6 +64,7 @@ def _run(
     seed: int,
     measure_s: float,
     transport=None,
+    contention=None,
 ) -> Fig8Result:
     throughputs = []
     for dwell_ms in dwells_ms:
@@ -76,6 +77,7 @@ def _run(
             measure_s=measure_s,
             primary_channel=PRIMARY_CHANNEL,
             transport=transport,
+            contention=contention,
         )
         throughputs.append(bps / 1e3)
     return Fig8Result(dwell_ms=list(dwells_ms), throughput_kbps=throughputs)
@@ -89,6 +91,7 @@ def run_spec(spec: Fig8Spec) -> Fig8Result:
         spec.seed,
         spec.measure_s,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

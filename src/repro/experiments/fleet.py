@@ -21,6 +21,7 @@ from ..core.spider import SpiderClient
 from ..obs.telemetry import Telemetry, TelemetrySnapshot
 from ..runner import ShardedJob, TrialJob, run_jobs, run_sharded
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from ..sim.engine import Simulator
 from ..workloads.town import build_town
 from .api import ExperimentSpec, register, warn_deprecated
@@ -92,6 +93,7 @@ def _vehicle_stats(
     town_preset: str,
     telemetry: bool = False,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> List[Tuple]:
     """Drive the full ``n_vehicles`` fleet, extract stats for a subset.
 
@@ -115,7 +117,7 @@ def _vehicle_stats(
         else None
     )
     sim = Simulator(seed=seed, telemetry=tele)
-    town = build_town(sim, preset=town_preset, transport=transport)
+    town = build_town(sim, preset=town_preset, transport=transport, contention=contention)
     spacing = town.config.loop_length_m / max(n_vehicles, 1)
     clients = []
     for index in range(n_vehicles):
@@ -175,6 +177,7 @@ def _run_fleet(
     town_preset: str,
     telemetry: bool = False,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> FleetRow:
     return _row_from_stats(
         n_vehicles,
@@ -195,6 +198,7 @@ def run_sharded_trial(
     retries: Optional[int] = None,
     telemetry: bool = False,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> FleetRow:
     """One fleet trial with its vehicles sharded across worker processes.
 
@@ -236,6 +240,7 @@ def _run(
     workers: Optional[int],
     telemetry: bool = False,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> FleetResult:
     """Every ``(fleet size, seed)`` drive is an independent simulation, so
     the whole grid fans out through :mod:`repro.runner`; per-size
@@ -285,6 +290,7 @@ def run_spec(spec: FleetSpec) -> FleetResult:
         spec.workers,
         telemetry=spec.telemetry,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

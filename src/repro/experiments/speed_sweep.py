@@ -83,6 +83,7 @@ def _run(
     town: str,
     workers: Optional[int],
     transport=None,
+    contention=None,
 ) -> SpeedSweepResult:
     """The full ``speed x policy x seed`` grid fans out as one batch through
     :mod:`repro.runner`, then regroups into per-policy series in sweep
@@ -105,7 +106,7 @@ def _run(
         for speed, name, mode in grid
         for seed in seeds
     ]
-    per_label = aggregate_town_trials(specs, workers=workers, transport=transport)
+    per_label = aggregate_town_trials(specs, workers=workers, transport=transport, contention=contention)
     series: Dict[str, List[Tuple[float, float]]] = {name: [] for name in POLICIES}
     for speed, name, _mode in grid:
         label = f"{name}@{speed}"
@@ -125,6 +126,7 @@ def run_spec(spec: SpeedSweepSpec) -> SpeedSweepResult:
         spec.town,
         spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -123,6 +123,7 @@ def _run(
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
     transport=None,
+    contention=None,
 ) -> Table2Result:
     if suite is None:
         suite = run_configuration_suite(
@@ -132,6 +133,7 @@ def _run(
             workers=workers,
             telemetry=telemetry,
             transport=transport,
+            contention=contention,
         )
     rows = []
     for label in suite.labels():
@@ -159,6 +161,7 @@ def run_spec(spec: Table2Spec) -> Table2Result:
         workers=spec.workers,
         telemetry=spec.telemetry or None,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -113,6 +113,7 @@ def _run(
     grid: Optional[Dict[str, AggregatedMetrics]],
     workers: Optional[int] = None,
     transport=None,
+    contention=None,
 ) -> Table3Result:
     if grid is None:
         grid = run_grid(
@@ -121,6 +122,7 @@ def _run(
             duration_s=duration_s,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
     return Table3Result(rows=[_row(label, grid[label]) for label in labels])
 
@@ -134,6 +136,7 @@ def run_spec(spec: Table3Spec) -> Table3Result:
         None,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.reporting import format_table
 from ..core.schedule import OperationMode
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from .api import ExperimentSpec, register, warn_deprecated
 from .common import run_town_trials
 from .town_runs import spider_factory
@@ -95,6 +96,7 @@ def _run(
     duration_s: float,
     workers: Optional[int] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> Table4Result:
     rows = []
     for label, mode in SCHEDULES.items():
@@ -105,6 +107,7 @@ def _run(
             duration_s=duration_s,
             workers=workers,
             transport=transport,
+            contention=contention,
         )
         rows.append(
             Table4Row(
@@ -124,6 +127,7 @@ def run_spec(spec: Table4Spec) -> Table4Result:
         spec.duration_s,
         workers=spec.workers,
         transport=spec.transport,
+        contention=spec.contention,
     )
 
 

@@ -16,6 +16,7 @@ from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS, SpiderClient
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from .common import AggregatedMetrics, TownTrialSpec, aggregate_town_trials
 
 __all__ = ["TimeoutConfig", "run_grid", "STANDARD_GRID"]
@@ -104,6 +105,7 @@ def run_grid(
     town: str = "amherst",
     workers: Optional[int] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> Dict[str, AggregatedMetrics]:
     """Run the selected grid cells and return join-log aggregates.
 
@@ -120,6 +122,7 @@ def run_grid(
             duration_s=duration_s,
             town=town,
             transport=transport,
+            contention=contention,
         )
         for label in selected
         for seed in seeds

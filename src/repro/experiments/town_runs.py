@@ -16,6 +16,7 @@ from ..core.link_manager import SpiderConfig
 from ..core.schedule import OperationMode
 from ..core.spider import ORTHOGONAL_CHANNELS, SpiderClient
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from ..sim.engine import Simulator
 from ..sim.mobility import MobilityModel
 from ..sim.stock_client import StockClient
@@ -165,6 +166,7 @@ def run_configuration_suite(
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> ConfigurationSuite:
     """Run the whole configuration grid (the expensive shared step).
 

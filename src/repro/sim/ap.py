@@ -119,6 +119,7 @@ class AccessPoint:
         dhcp_response_delay: Optional[Callable[[], float]] = None,
         ssid: Optional[str] = None,
         beacon_period_s: float = BEACON_PERIOD_S,
+        beacon_stagger: bool = False,
     ):
         self.sim = sim
         self.medium = medium
@@ -158,13 +159,26 @@ class AccessPoint:
         #: Set while the AP is powered off by fault injection.
         self.failed = False
         self.failures = 0
+        #: Deterministic per-AP beacon phase stagger: draw the phase from a
+        #: per-BSSID stream instead of the shared ``beacon.phase`` stream,
+        #: so co-channel APs never emit synchronized beacon bursts however
+        #: registration is ordered.  Off by default — the shared stream is
+        #: then consumed exactly as before, preserving byte-identity.
+        self.beacon_stagger = beacon_stagger
         self._beacons = PeriodicProcess(
             sim,
             beacon_period_s,
             self._send_beacon,
-            phase=sim.rng("beacon.phase").uniform(0, beacon_period_s),
+            phase=self._draw_beacon_phase(),
         )
         medium.register(self)
+
+    def _draw_beacon_phase(self) -> float:
+        if self.beacon_stagger:
+            rng = self.sim.rng(f"beacon.stagger.{self.bssid}")
+        else:
+            rng = self.sim.rng("beacon.phase")
+        return rng.uniform(0, self.beacon_period_s)
 
     # ------------------------------------------------------------------
     # Station protocol
@@ -222,14 +236,45 @@ class AccessPoint:
         self.failed = False
         self.medium.register(self)
         # PeriodicProcess cannot restart; a recovered AP beacons anew with a
-        # phase drawn from the shared beacon stream (a reboot re-randomizes
-        # the beacon timing in real hardware too).
+        # phase drawn from its beacon stream (a reboot re-randomizes the
+        # beacon timing in real hardware too).
         self._beacons = PeriodicProcess(
             self.sim,
             self.beacon_period_s,
             self._send_beacon,
-            phase=self.sim.rng("beacon.phase").uniform(0, self.beacon_period_s),
+            phase=self._draw_beacon_phase(),
         )
+
+    # ------------------------------------------------------------------
+    # Channel assignment
+    # ------------------------------------------------------------------
+    def retune(self, channel: int) -> None:
+        """Move the AP to ``channel`` (deployment-time reconfiguration).
+
+        ``is_static`` promises the medium a fixed channel *after*
+        registration, so retuning re-registers: the AP drops out of its
+        old per-channel bins and into the new ones (any frames already in
+        flight toward the old channel simply miss, as they would during a
+        real retune).  Intended for channel-assignment experiments that
+        rewrite a built town's channel map before traffic starts.
+        """
+        if channel == self.channel:
+            return
+        if not self.failed:
+            self.medium.unregister(self.bssid)
+        self.channel = channel
+        # The shared beacon frame bakes the channel in; rebuild it.
+        self._beacon_frame = Frame(
+            kind=FrameKind.BEACON,
+            src=self.bssid,
+            dst=BROADCAST,
+            size=MGMT_FRAME_BYTES,
+            channel=channel,
+            bssid=self.bssid,
+            payload={"ssid": self.ssid},
+        )
+        if not self.failed:
+            self.medium.register(self)
 
     # ------------------------------------------------------------------
     # Frame reception

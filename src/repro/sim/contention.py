@@ -1,0 +1,411 @@
+"""CSMA/CA contention with per-cell spatial airtime reuse.
+
+The base :class:`~repro.sim.radio.Medium` serializes airtime *globally*
+per channel — every co-channel station in the world shares one FIFO, so
+the ``city`` world saturates on beacon load alone (10+ s channel
+backlogs, starved joins, ~0 goodput).  Real 802.11 serializes only
+within a carrier-sense domain: two APs ten blocks apart reuse the same
+channel concurrently, which is what makes dense-urban deployments work
+at all (cf. "Modeling Multi-Cell IEEE 802.11 WLANs with Application to
+Channel Assignment", PAPERS.md).
+
+This module supplies that model as an opt-in layer on the medium:
+
+* **Carrier-sense domains** reuse the medium's per-channel spatial bins
+  (cell edge = ``range_m``): a sender senses the busy horizon of its 3x3
+  cell neighbourhood (802.11's sense range exceeds its data range) but
+  busy-marks only its *own* cell, so nearby stations serialize while
+  distant cells transmit concurrently and busy horizons stay bounded by
+  local load.  Domain computation is O(cell), never O(world).
+* **Slotted binary-exponential backoff**: every access attempt pays DIFS
+  plus a uniform draw from ``[0, cw)`` slots off the dedicated seeded
+  ``medium.contention`` stream.  A busy medium defers the sender to the
+  sensed release plus a fresh backoff, where it re-contends from
+  scratch; waiters and new arrivals race backoff-ordered for each idle
+  period (DCF's fairness), so nobody reserves future airtime and busy
+  horizons stay one frame deep.  A station's ``cw`` doubles (up to
+  ``cw_max``) when its unicast frame was wiped by interference (the
+  missed-ACK signal) and resets to ``cw_min`` on an idle grant.
+* **Hidden-terminal collisions are receiver-side**: senders too far
+  apart to sense each other may still cover a common receiver.
+  In-flight transmissions are tracked per cell of the 3x3 interference
+  footprint; at delivery time each candidate receiver checks *its own*
+  cell for a foreign flight overlapping the frame's airtime and, when
+  one exists, misses the frame (no loss draw is consumed — the frame
+  was destroyed by interference, not channel noise).  Receivers outside
+  the interferer's footprint still hear the frame, so one hidden
+  terminal damages a pocket of the coverage area rather than the whole
+  transmission.  A unicast sender whose destination was wiped gets the
+  missing-ACK signal and doubles its window.
+* **Accounting**: per-channel and per-sender airtime, deferral, and
+  collision tallies, plus :mod:`repro.obs` counters and an
+  :meth:`ContentionState.export_telemetry` hook that publishes per-AP /
+  per-channel airtime-share and collision-rate gauges.
+
+The layer is **off by default**.  ``ContentionSpec(enabled=False)`` (what
+``--contention off`` builds) and the absent spec are byte-identical: the
+``medium.contention`` RNG stream is only created when the model engages,
+so default runs consume randomness exactly as before.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (radio imports us)
+    from .radio import Medium, Station
+    from .frames import Frame
+
+__all__ = [
+    "ContentionSpec",
+    "ContentionState",
+    "resolve_contention",
+    "CONTENTION_ENV",
+    "DEFAULT_SLOT_TIME_S",
+    "DEFAULT_DIFS_S",
+]
+
+#: Environment variable behind the ``--contention`` CLI flag
+#: (``off``/``on``/``stagger``/``on,stagger``; see :func:`resolve_contention`).
+CONTENTION_ENV = "REPRO_CONTENTION"
+
+#: 802.11b slot time (long preamble), seconds.
+DEFAULT_SLOT_TIME_S = 20e-6
+
+#: DCF inter-frame space for 802.11b, seconds.
+DEFAULT_DIFS_S = 50e-6
+
+_FALSEY = ("0", "false", "no", "off")
+_TRUTHY = ("1", "true", "yes", "on", "csma")
+
+
+@dataclass(frozen=True)
+class ContentionSpec:
+    """Frozen, picklable contention configuration for a world.
+
+    Carried on ``ExperimentSpec``/``TownTrialSpec`` (hashing cleanly into
+    the trial cache's canonical token) and threaded down to the
+    :class:`~repro.sim.radio.Medium`.  ``enabled=False`` keeps the
+    historical global-FIFO medium byte-identical to runs that predate the
+    subsystem; ``beacon_stagger`` independently switches APs to per-BSSID
+    seeded beacon phases (see :class:`~repro.sim.ap.AccessPoint`).
+    """
+
+    enabled: bool = True
+    slot_time_s: float = DEFAULT_SLOT_TIME_S
+    difs_s: float = DEFAULT_DIFS_S
+    cw_min: int = 16
+    cw_max: int = 1024
+    #: EDCA-style priority access for management frames (beacons, probes,
+    #: association/DHCP handshakes): they contend with this shorter
+    #: inter-frame space (PIFS < DIFS) and a small *fixed* window
+    #: ``cw_mgmt``, so a deferred handshake wakes earlier than deferred
+    #: data senders and wins the next idle period far more often.  Without
+    #: this, TCP bursts from saturated cells starve the very joins that
+    #: Spider's control plane depends on.
+    pifs_s: float = 30e-6
+    cw_mgmt: int = 8
+    #: Physical-layer capture: a receiver decodes its frame through an
+    #: overlapping transmission when the interferer is at least this many
+    #: times *farther* away than the wanted sender (~10 dB SIR at the
+    #: medium's 25 dB/decade path loss).  Interference therefore wipes a
+    #: receiver only when the interferer sits within ``capture_ratio``
+    #: times the sender distance (and within radio range at all).
+    capture_ratio: float = 2.5
+    beacon_stagger: bool = False
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.slot_time_s) or self.slot_time_s <= 0:
+            raise ValueError(f"slot_time_s must be positive: {self.slot_time_s!r}")
+        if not math.isfinite(self.difs_s) or self.difs_s < 0:
+            raise ValueError(f"difs_s must be non-negative: {self.difs_s!r}")
+        if not math.isfinite(self.pifs_s) or self.pifs_s < 0:
+            raise ValueError(f"pifs_s must be non-negative: {self.pifs_s!r}")
+        if self.cw_mgmt < 1:
+            raise ValueError(f"cw_mgmt must be >= 1: {self.cw_mgmt!r}")
+        if not self.capture_ratio >= 1.0:  # also rejects nan
+            raise ValueError(f"capture_ratio must be >= 1: {self.capture_ratio!r}")
+        if self.cw_min < 1:
+            raise ValueError(f"cw_min must be >= 1: {self.cw_min!r}")
+        if self.cw_max < self.cw_min:
+            raise ValueError(
+                f"cw_max ({self.cw_max!r}) must be >= cw_min ({self.cw_min!r})"
+            )
+
+
+def resolve_contention(mode: Optional[str] = None) -> Optional[ContentionSpec]:
+    """Resolve the CLI/env contention selection into a spec, or ``None``.
+
+    ``mode`` (the ``--contention`` flag) wins over the ``REPRO_CONTENTION``
+    environment knob.  Accepted tokens (comma-separable): ``on``/``1``/
+    ``true``/``yes``/``csma`` enable the CSMA/CA model, ``off``/``0``/
+    ``false``/``no`` disable it, ``stagger`` additionally staggers beacon
+    phases per AP.  Returns ``None`` when nothing was requested so the
+    default path stays byte-identical to runs predating the subsystem.
+    """
+    if mode is None:
+        mode = os.environ.get(CONTENTION_ENV)
+    if mode is None:
+        return None
+    text = mode.strip().lower()
+    if not text:
+        return None
+    enabled = True
+    stagger = False
+    for token in text.split(","):
+        token = token.strip()
+        if token in _FALSEY:
+            enabled = False
+        elif token in _TRUTHY:
+            enabled = True
+        elif token == "stagger":
+            stagger = True
+        else:
+            raise ValueError(
+                f"bad contention mode {token!r}; expected on/off/stagger "
+                "(comma-separable)"
+            )
+    return ContentionSpec(enabled=enabled, beacon_stagger=stagger)
+
+
+#: One in-flight transmission: (start, end, sender_id, x, y).  The
+#: transmit position feeds the receiver-side capture check.
+_Flight = Tuple[float, float, str, float, float]
+
+
+class ContentionState:
+    """Per-medium CSMA/CA machinery (only built when the model is on).
+
+    The medium calls :meth:`acquire` instead of consulting its global
+    ``_busy_until`` FIFO; everything here is keyed by the medium's own
+    ``(channel, cell)`` bins so domain work stays O(cell).
+    """
+
+    def __init__(self, medium: "Medium", spec: ContentionSpec):
+        self.medium = medium
+        self.spec = spec
+        self.sim = medium.sim
+        #: Dedicated stream: created lazily *here* so contention-off runs
+        #: never touch it and stay byte-identical to the seed.
+        self._rng = medium.sim.rng("medium.contention")
+        self._bin_m = medium._bin_m
+        #: (channel, cx, cy) -> absolute time the cell's air frees up.
+        self._busy: Dict[Tuple[int, int, int], float] = {}
+        #: (channel, cx, cy) -> in-flight transmissions covering the cell.
+        self._inflight: Dict[Tuple[int, int, int], List[_Flight]] = {}
+        #: Per-sender contention window (absent -> ``cw_min``).
+        self._cw: Dict[str, int] = {}
+        #: Largest airtime granted so far; bounds how long a finished
+        #: flight can still matter to a pending delivery's overlap check.
+        self._max_airtime = 0.0
+        # -- deterministic accounting (pure functions of the sim) --------
+        self.grants = 0
+        self.deferrals = 0
+        self.collisions = 0
+        self.airtime_s_by_channel: Dict[int, float] = {}
+        self.airtime_s_by_sender: Dict[str, float] = {}
+        self.collisions_by_sender: Dict[str, int] = {}
+        tele = medium.sim.telemetry
+        self._obs_grants = tele.counter("contention.grants")
+        self._obs_deferrals = tele.counter("contention.deferrals")
+        self._obs_collisions = tele.counter("contention.collisions")
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        sender_id: str,
+        channel: int,
+        x: float,
+        y: float,
+        airtime: float,
+        priority: bool = False,
+    ) -> Tuple[bool, float, float]:
+        """Contend for the air around ``(x, y)``.
+
+        Returns ``(True, start, done)`` when the sensed medium was idle
+        and the frame's airtime is booked, or ``(False, retry_at, 0.0)``
+        when it was busy — the sender booked nothing and must re-contend
+        (a fresh :meth:`acquire`) at ``retry_at``.  The medium re-checks
+        interference per receiver at delivery time via :meth:`interfered`.
+
+        ``priority`` marks management-plane access (EDCA-style): the
+        frame waits only PIFS plus a draw from the small fixed
+        ``cw_mgmt`` window, and leaves the sender's data-plane backoff
+        state untouched.
+        """
+        now = self.sim.now
+        bin_m = self._bin_m
+        cx = int(x // bin_m)
+        cy = int(y // bin_m)
+        # Carrier sense covers the whole 3x3 neighbourhood — 802.11's
+        # sense range exceeds its data range, so a station hears (and
+        # defers to) transmitters it could never decode.  This is what
+        # protects a nearby receiver from one-cell-away interferers;
+        # only true hidden terminals (two or more cells out) remain.
+        busy = self._busy
+        sensed = 0.0
+        for nx in (cx - 1, cx, cx + 1):
+            for ny in (cy - 1, cy, cy + 1):
+                t = busy.get((channel, nx, ny), 0.0)
+                if t > sensed:
+                    sensed = t
+        spec = self.spec
+        if priority:
+            ifs = spec.pifs_s
+            cw = spec.cw_mgmt
+        else:
+            ifs = spec.difs_s
+            cw = self._cw.get(sender_id, spec.cw_min)
+        if sensed > now:
+            # Deferral: the sender books *nothing* and re-contends (a
+            # fresh sense, a fresh draw) when the sensed air frees up.
+            # Reserving a future slot instead would build a FIFO queue
+            # that couples across neighbouring cells — each deferral
+            # re-extends the horizon its neighbours sense — and merge a
+            # dense corridor into one global serialized queue; the
+            # retry race also gives waiters and fresh arrivals the same
+            # backoff-ordered shot at the next idle period, which is
+            # DCF's fairness (priority frames wake earlier: PIFS plus a
+            # small fixed window).  The window stays as-is: only
+            # collisions widen it (802.11's missed-ACK signal; see
+            # note_collision).
+            self.deferrals += 1
+            self._obs_deferrals.inc()
+            backoff = self._rng.randrange(cw) * spec.slot_time_s
+            return False, sensed + ifs + backoff, 0.0
+        if not priority:
+            # A station that found the medium idle starts a fresh
+            # exchange: its previous collision penalty has served its
+            # purpose.  (Management access never touches the data cw.)
+            self._cw[sender_id] = cw = spec.cw_min
+        backoff = self._rng.randrange(cw) * spec.slot_time_s
+        start = now + ifs + backoff
+        done = start + airtime
+        if airtime > self._max_airtime:
+            self._max_airtime = airtime
+        flight: _Flight = (start, done, sender_id, x, y)
+        inflight = self._inflight
+        # Busy-mark the sender's *own* cell only: neighbours already hear
+        # it through the 3x3 sense scan above.  Marking the whole
+        # footprint instead would charge every frame's airtime to nine
+        # cells at once, and the coupled busy horizons then grow without
+        # bound under beacon load (deferred sends re-extend their
+        # neighbours, dominoing into worse-than-global serialization).
+        own = (channel, cx, cy)
+        if busy.get(own, 0.0) < done:
+            busy[own] = done
+        # Flights must outlive their own delivery events: an overlap is
+        # re-checked per receiver at delivery time, so prune only what
+        # ended more than a max-airtime (plus slack) ago.
+        cutoff = now - self._max_airtime - 1e-3
+        for nx in (cx - 1, cx, cx + 1):
+            for ny in (cy - 1, cy, cy + 1):
+                key = (channel, nx, ny)
+                flights = inflight.get(key)
+                if flights is None:
+                    inflight[key] = [flight]
+                elif flights and flights[0][1] <= cutoff:
+                    live = [f for f in flights if f[1] > cutoff]
+                    live.append(flight)
+                    inflight[key] = live
+                else:
+                    flights.append(flight)
+        self.grants += 1
+        self._obs_grants.inc()
+        self.airtime_s_by_channel[channel] = (
+            self.airtime_s_by_channel.get(channel, 0.0) + airtime
+        )
+        self.airtime_s_by_sender[sender_id] = (
+            self.airtime_s_by_sender.get(sender_id, 0.0) + airtime
+        )
+        return True, start, done
+
+    def interfered(
+        self,
+        sender_id: str,
+        channel: int,
+        rx: float,
+        ry: float,
+        start: float,
+        done: float,
+        sender_distance: float,
+    ) -> bool:
+        """Receiver-side hidden-terminal check with physical capture.
+
+        True if a foreign flight overlapped ``[start, done)`` close
+        enough to the receiver at ``(rx, ry)`` to actually damage it: the
+        interferer must be within radio range *and* within
+        ``capture_ratio`` times the wanted sender's distance — a receiver
+        near its sender decodes straight through a far-off interferer.
+        """
+        bin_m = self._bin_m
+        flights = self._inflight.get((channel, int(rx // bin_m), int(ry // bin_m)))
+        if not flights:
+            return False
+        reach = min(self.medium.range_m, self.spec.capture_ratio * sender_distance)
+        hypot = math.hypot
+        for f_start, f_end, f_sender, f_x, f_y in flights:
+            if (
+                f_sender != sender_id
+                and f_start < done
+                and start < f_end
+                and hypot(rx - f_x, ry - f_y) <= reach
+            ):
+                return True
+        return False
+
+    def note_collision(self, sender_id: str, frame_failed: bool) -> None:
+        """Record that a frame lost at least one receiver to interference.
+
+        ``frame_failed`` — the unicast destination itself was wiped, i.e.
+        the sender misses its ACK — is the 802.11 signal that widens the
+        contention window; broadcast senders never learn and keep theirs.
+        """
+        self.collisions += 1
+        self._obs_collisions.inc()
+        self.collisions_by_sender[sender_id] = (
+            self.collisions_by_sender.get(sender_id, 0) + 1
+        )
+        if frame_failed:
+            cw = self._cw.get(sender_id, self.spec.cw_min)
+            self._cw[sender_id] = min(cw * 2, self.spec.cw_max)
+
+    # ------------------------------------------------------------------
+    def busy_until(self, channel: int) -> float:
+        """Latest busy horizon over every cell of ``channel`` (diagnosis)."""
+        return max(
+            (t for (ch, _x, _y), t in self._busy.items() if ch == channel),
+            default=0.0,
+        )
+
+    def collision_rate(self) -> float:
+        """Collided fraction of all granted transmissions."""
+        return self.collisions / self.grants if self.grants else 0.0
+
+    # ------------------------------------------------------------------
+    def export_telemetry(self, duration_s: float) -> None:
+        """Publish airtime-share and collision-rate gauges to the registry.
+
+        Per-channel airtime share is channel airtime over the run length;
+        per-sender share is that sender's slice of its channel's run
+        length.  Every value is a pure function of (spec, seed), so the
+        gauges survive the deterministic-telemetry byte-identity gates.
+        """
+        tele = self.sim.telemetry
+        span = max(duration_s, 1e-9)
+        for channel in sorted(self.airtime_s_by_channel):
+            tele.gauge(f"contention.airtime_share.ch{channel}").set(
+                self.airtime_s_by_channel[channel] / span
+            )
+        for sender_id in sorted(self.airtime_s_by_sender):
+            tele.gauge(f"contention.airtime_share.{sender_id}").set(
+                self.airtime_s_by_sender[sender_id] / span
+            )
+        for sender_id in sorted(self.collisions_by_sender):
+            tele.gauge(f"contention.collisions.{sender_id}").set(
+                float(self.collisions_by_sender[sender_id])
+            )
+        tele.gauge("contention.collision_rate").set(self.collision_rate())

@@ -6,7 +6,11 @@ The model is deliberately at the granularity the paper's analysis needs:
 * **Airtime** on a channel is serialized FIFO — a transmission begins when the
   channel is free, so stations sharing a channel share its capacity.  This is
   a first-order stand-in for CSMA/CA that preserves the "wireless bandwidth
-  Bw is split among users of the channel" behaviour Eq. 8 assumes.
+  Bw is split among users of the channel" behaviour Eq. 8 assumes.  The
+  serialization is *global* per channel; pass a
+  :class:`~repro.sim.contention.ContentionSpec` to replace it with CSMA/CA
+  per-cell spatial reuse (carrier-sense domains, backoff, hidden-terminal
+  collisions) for dense multi-cell worlds.
 * **Range** is a disk of radius ``range_m`` (the paper assumes 100 m).
 * **Loss** is i.i.d. per delivery with probability ``loss_rate`` (the model's
   ``h``) for management-plane frames — beacons, probes, the association
@@ -29,15 +33,26 @@ the loss draw never reach the hooks and surface only through the
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
 
+from .contention import ContentionSpec, ContentionState
 from .engine import Simulator
 from .frames import BROADCAST, Frame, FrameKind
 
-__all__ = ["Station", "Medium", "rssi_from_distance", "BATCH_ENV", "VECTOR_ENV"]
+__all__ = [
+    "Station",
+    "Medium",
+    "rssi_from_distance",
+    "BATCH_ENV",
+    "VECTOR_ENV",
+    "BACKLOG_WARN_S",
+]
+
+logger = logging.getLogger(__name__)
 
 #: Environment variable disabling per-channel delivery batching when set to
 #: ``0``/``off``/``false`` (useful for A/B determinism tests and bisection).
@@ -75,6 +90,12 @@ FRAME_OVERHEAD_S = 3.0e-4
 #: One-way propagation delay, seconds.  Negligible at Wi-Fi ranges but kept
 #: non-zero so event ordering between tx and rx is unambiguous.
 PROPAGATION_DELAY_S = 1.0e-6
+
+#: A channel backlog (time a new frame waits for the air) beyond this many
+#: seconds of sim time indicates the medium is saturated — the dense-world
+#: failure mode the contention model exists to fix.  Crossing it bumps the
+#: ``medium.backlog_warnings`` counter (once per channel) and logs.
+BACKLOG_WARN_S = 1.0
 
 #: Below this many registered stations the scalar scan (with its cached
 #: candidate lists) beats the array round-trip, so the vector index engages
@@ -149,6 +170,7 @@ class Medium:
         loss_rate: float = 0.1,
         batch_delivery: Optional[bool] = None,
         vector_delivery: Optional[bool] = None,
+        contention: Optional[ContentionSpec] = None,
     ):
         # ``isfinite`` guards are explicit: ``nan`` slips through plain
         # ``<=`` comparisons (every comparison with nan is False) and
@@ -217,6 +239,16 @@ class Medium:
         # place drops surface.  Cached here so the disabled path pays a
         # single no-op call on the (rare) loss branch.
         self._obs_drops = sim.telemetry.counter("medium.drops")
+        # Channel backlog diagnosis: ``channel_busy_until`` was consulted
+        # internally but never exposed, so a saturated channel (the dense
+        # world's 10+ s beacon backlogs) was invisible from telemetry.  The
+        # gauge tracks the high-water wait a frame saw before its airtime
+        # began; the counter trips once per channel past BACKLOG_WARN_S.
+        # Both are created unconditionally (like ``medium.drops``) so every
+        # telemetry export carries them and A/B runs stay byte-comparable.
+        self._obs_backlog = sim.telemetry.gauge("medium.backlog_s")
+        self._obs_backlog_warnings = sim.telemetry.counter("medium.backlog_warnings")
+        self._backlog_warned: set = set()
         # Vectorized candidate selection (repro.sim.medium_vec): numpy
         # arrays prune receiver candidates, the exact scalar predicates
         # confirm survivors, and the shared apply loop below consumes the
@@ -240,6 +272,34 @@ class Medium:
                 # through the obs counter (per-Medium, so one per world).
                 self._obs_vector_fallbacks.inc()
         self.vector_delivery = self._vec is not None
+        # CSMA/CA contention with per-cell spatial reuse (see
+        # repro.sim.contention).  Built last: the state machine reuses the
+        # spatial binning configured above.  ``None`` and a disabled spec
+        # are byte-identical — the state (and its dedicated RNG stream)
+        # only exists when the model is actually on.
+        self.contention_spec = contention
+        self.contention: Optional[ContentionState] = (
+            ContentionState(self, contention)
+            if contention is not None and contention.enabled
+            else None
+        )
+        #: Frames destroyed by hidden-terminal collisions (contention mode
+        #: only; mirrored by the ``contention.collisions`` obs counter).
+        self.frames_collided = 0
+        # Contention mode models each sender as a NIC with a FIFO transmit
+        # queue whose *head* frame contends for the air; frames arriving
+        # while the head is contending or in flight wait their turn.  A
+        # sender_id key exists exactly while that sender has a head frame
+        # outstanding.  (The legacy path needs none of this — its global
+        # per-channel FIFO orders everything.)
+        self._tx_queues: Dict[str, Deque[Frame]] = {}
+        # Head frame currently *deferring* (contending but not yet
+        # granted), per sender.  A management frame may preempt a
+        # deferring data head — the NIC's internal priority scheduler —
+        # whereas a granted head is already on the air and cannot be
+        # recalled.  Retry events validate against this dict so a
+        # preempted head's pending retry becomes a no-op.
+        self._tx_contending: Dict[str, Frame] = {}
 
     # ------------------------------------------------------------------
     def _cell_of(self, channel: int, x: float, y: float) -> Tuple[int, int, int]:
@@ -367,8 +427,29 @@ class Medium:
         return h
 
     def channel_busy_until(self, channel: int) -> float:
-        """Absolute time the channel's current transmissions end."""
+        """Absolute time the channel's current transmissions end.
+
+        Under contention this is the latest busy horizon over the
+        channel's carrier-sense cells — a diagnosis aid, not a sense
+        point (sensing is per-cell).
+        """
+        if self.contention is not None:
+            return self.contention.busy_until(channel)
         return self._busy_until.get(channel, 0.0)
+
+    def _note_backlog(self, channel: int, wait_s: float) -> None:
+        """Record the airtime wait a frame saw before transmitting."""
+        self._obs_backlog.set_max(wait_s)
+        if wait_s > BACKLOG_WARN_S and channel not in self._backlog_warned:
+            self._backlog_warned.add(channel)
+            self._obs_backlog_warnings.inc()
+            logger.warning(
+                "channel %d backlog %.2fs of sim time exceeds %.1fs: "
+                "the medium is saturated (consider the contention model)",
+                channel,
+                wait_s,
+                BACKLOG_WARN_S,
+            )
 
     def transmit(self, sender: Station, frame: Frame) -> float:
         """Queue a frame for transmission on ``frame.channel``.
@@ -378,13 +459,68 @@ class Medium:
         Delivery (including the in-range and tuned checks) happens at
         completion time, so stations that moved away or retuned mid-flight
         miss the frame — exactly the hazard the join model studies.
+
+        With contention enabled, serialization is per carrier-sense cell
+        instead of global: the frame contends via CSMA/CA (DIFS + slotted
+        backoff), may collide with hidden terminals, and is scheduled as
+        its own engine event — concurrent cells complete out of FIFO
+        order, which the per-channel drain queue cannot represent.
         """
         now = self.sim.now
         channel = frame.channel
+        if self.contention is not None:
+            queue = self._tx_queues.get(sender.station_id)
+            if queue is not None:
+                # A frame from this sender is already contending or in
+                # flight: queue behind it (one head frame per NIC, like
+                # real hardware — also what keeps a TCP burst in order).
+                # Management frames jump ahead of queued data (WMM-style
+                # access categories): an AP mid-download must still answer
+                # probes and handshakes before draining a ~30 ms TCP
+                # burst, or every join under load times out.
+                kind = frame.kind
+                if (
+                    kind is FrameKind.DATA
+                    or kind is FrameKind.PING_REQUEST
+                    or kind is FrameKind.PING_REPLY
+                ):
+                    queue.append(frame)
+                    return now + self.airtime(frame)
+                index = len(queue)
+                for i, queued in enumerate(queue):
+                    qk = queued.kind
+                    if (
+                        qk is FrameKind.DATA
+                        or qk is FrameKind.PING_REQUEST
+                        or qk is FrameKind.PING_REPLY
+                    ):
+                        index = i
+                        break
+                head = self._tx_contending.get(sender.station_id)
+                hk = head.kind if head is not None else None
+                if (
+                    hk is FrameKind.DATA
+                    or hk is FrameKind.PING_REQUEST
+                    or hk is FrameKind.PING_REPLY
+                ):
+                    # The head is a data frame still *deferring* (its
+                    # airtime is not booked): preempt it.  The handshake
+                    # contends now; the data frame re-queues ahead of
+                    # the other data (its pending retry event is stale
+                    # and will no-op).  A granted head is on the air and
+                    # cannot be recalled.
+                    queue.insert(index, head)
+                    return self._transmit_contended(sender, frame, now)
+                queue.insert(index, frame)
+                return now + self.airtime(frame)
+            self._tx_queues[sender.station_id] = deque()
+            return self._transmit_contended(sender, frame, now)
         start = max(now, self._busy_until.get(channel, 0.0))
         done = start + self.airtime(frame)
         self._busy_until[channel] = done
         self.frames_sent += 1
+        if start > now:
+            self._note_backlog(channel, start - now)
         deliver_at = done + PROPAGATION_DELAY_S
         if not self.batch_delivery:
             self.sim.schedule_at(deliver_at, self._deliver, sender.station_id, frame)
@@ -437,6 +573,158 @@ class Medium:
                 sim.count_logical_event()
             self._deliver(sender_id, frame)
         state[1] = False
+
+    def _transmit_contended(
+        self, sender: Station, frame: Frame, first_attempt_s: float
+    ) -> float:
+        """CSMA/CA transmit for a sender's head frame: book or retry.
+
+        An idle-medium grant books the frame's airtime and schedules its
+        delivery; a busy medium books nothing and schedules a fresh
+        attempt (re-sensing at the sender's then-current position) when
+        the sensed air frees up.  ``first_attempt_s`` rides along so the
+        backlog gauge reports the wait since the frame *first* tried,
+        across every retry.  Returns the (possibly estimated) completion
+        time; callers ignore it.
+        """
+        sx, sy = sender.position()
+        airtime = self.airtime(frame)
+        kind = frame.kind
+        priority = not (
+            kind is FrameKind.DATA
+            or kind is FrameKind.PING_REQUEST
+            or kind is FrameKind.PING_REPLY
+        )
+        granted, a, b = self.contention.acquire(
+            sender.station_id, frame.channel, sx, sy, airtime, priority=priority
+        )
+        if not granted:
+            self._tx_contending[sender.station_id] = frame
+            self.sim.schedule_at(
+                a, self._retry_contended, sender.station_id, frame, first_attempt_s
+            )
+            return a + airtime
+        self._tx_contending.pop(sender.station_id, None)
+        start, done = a, b
+        self.frames_sent += 1
+        if start > first_attempt_s:
+            self._note_backlog(frame.channel, start - first_attempt_s)
+        self.sim.schedule_at(
+            done + PROPAGATION_DELAY_S,
+            self._deliver_contended,
+            sender.station_id,
+            frame,
+            start,
+            done,
+        )
+        return done
+
+    def _retry_contended(
+        self, sender_id: str, frame: Frame, first_attempt_s: float
+    ) -> None:
+        """Re-contend for a deferred head frame."""
+        if self._tx_contending.get(sender_id) is not frame:
+            # A management frame preempted this head while it deferred;
+            # the frame went back into the queue and this retry is stale.
+            return
+        sender = self._stations.get(sender_id)
+        if sender is None:
+            # Sender vanished while waiting (e.g., torn down): its queued
+            # frames die with it.
+            self._tx_queues.pop(sender_id, None)
+            self._tx_contending.pop(sender_id, None)
+            return
+        self._transmit_contended(sender, frame, first_attempt_s)
+
+    def _advance_tx_queue(self, sender_id: str) -> None:
+        """The head frame finished: promote the next queued frame, if any."""
+        queue = self._tx_queues.get(sender_id)
+        if queue is None:
+            return
+        if not queue:
+            del self._tx_queues[sender_id]
+            return
+        sender = self._stations.get(sender_id)
+        if sender is None:
+            del self._tx_queues[sender_id]
+            return
+        self._transmit_contended(sender, queue.popleft(), self.sim.now)
+
+    def _deliver_contended(
+        self, sender_id: str, frame: Frame, start: float, done: float
+    ) -> None:
+        """Delivery tail for the contention path: the scalar receiver scan
+        plus the receiver-side hidden-terminal check.
+
+        A candidate receiver whose own cell saw a foreign flight overlap
+        ``[start, done)`` misses the frame without consuming a loss draw —
+        interference destroyed it before channel noise got a say.
+        Receivers outside the interferer's footprint still hear it.  A
+        unicast frame whose destination was wiped fails exactly like an
+        out-of-range one (the ACK never comes back), and additionally
+        widens the sender's contention window.  Always the scalar scan:
+        per-frame interference geometry is not represented in the vector
+        index's precomputed survivor rows.
+        """
+        sender = self._stations.get(sender_id)
+        if sender is None:
+            # Sender vanished mid-flight (e.g., torn down): its queued
+            # frames die with it.
+            self._tx_queues.pop(sender_id, None)
+            self._tx_contending.pop(sender_id, None)
+            return
+        contention = self.contention
+        sx, sy = sender.position()
+        receiver_reachable = False
+        interfered_any = False
+        loss_p = self._effective_loss(frame)
+        channel = frame.channel
+        dst = frame.dst
+        broadcast = dst == BROADCAST
+        range_m = self.range_m
+        rng_random = self._rng.random
+        hooks = self.delivery_hooks
+        hypot = math.hypot
+        for station, static_pos in self._candidates(channel, sx, sy):
+            if station.station_id == sender_id:
+                continue
+            if static_pos is None:
+                if station.tuned_channel() != channel:
+                    continue
+                if not broadcast and not station.accepts(dst):
+                    continue
+                rx, ry = station.position()
+            else:
+                if not broadcast and not station.accepts(dst):
+                    continue
+                rx, ry = static_pos
+            distance = hypot(sx - rx, sy - ry)
+            if distance > range_m:
+                continue
+            if contention.interfered(
+                sender_id, channel, rx, ry, start, done, distance
+            ):
+                interfered_any = True
+                continue
+            receiver_reachable = True
+            if rng_random() < loss_p:
+                self.frames_lost += 1
+                self._obs_drops.inc()
+                continue
+            self.frames_delivered += 1
+            for hook in hooks:
+                hook(frame, station.station_id)
+            station.on_frame(frame, rssi_from_distance(distance))
+        if interfered_any:
+            self.frames_collided += 1
+            contention.note_collision(
+                sender_id, frame_failed=not broadcast and not receiver_reachable
+            )
+        if not broadcast and not receiver_reachable:
+            failed = getattr(sender, "on_delivery_failed", None)
+            if failed is not None:
+                failed(frame)
+        self._advance_tx_queue(sender_id)
 
     # ------------------------------------------------------------------
     def _candidates(

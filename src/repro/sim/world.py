@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from .ap import AccessPoint, SplitTcpProxy
 from .cc import TransportSpec
+from .contention import ContentionSpec
 from .engine import Simulator
 from .frames import PING_FRAME_BYTES, FrameKind, TcpSegment
 from .radio import Medium
@@ -138,15 +139,24 @@ class World:
         loss_rate: float = 0.1,
         wired_latency_s: float = DEFAULT_WIRED_LATENCY_S,
         transport: Optional[TransportSpec] = None,
+        contention: Optional[ContentionSpec] = None,
     ):
         self.sim = sim
         self.medium = Medium(
-            sim, data_rate_bps=data_rate_bps, range_m=range_m, loss_rate=loss_rate
+            sim,
+            data_rate_bps=data_rate_bps,
+            range_m=range_m,
+            loss_rate=loss_rate,
+            contention=contention,
         )
         self.wired_latency_s = wired_latency_s
         #: World-wide transport defaults (CC selection, AP splitting, TCP
         #: knobs); the frozen default reproduces the seed exactly.
         self.transport = transport or TransportSpec()
+        #: World-wide contention selection (``None``: the historical global
+        #: per-channel FIFO).  ``beacon_stagger`` reaches every AP this
+        #: world creates, independent of whether CSMA/CA itself is on.
+        self.contention = contention
         self.server = ServerHost(self)
         self.aps: Dict[str, AccessPoint] = {}
         self._ap_by_subnet: Dict[str, AccessPoint] = {}
@@ -196,6 +206,7 @@ class World:
             backhaul_latency_s=backhaul_latency_s,
             dhcp_response_delay=dhcp_response_delay,
             ssid=ssid,
+            beacon_stagger=bool(self.contention and self.contention.beacon_stagger),
         )
         ap.uplink_handler = self._on_uplink
         self.aps[bssid] = ap

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.cc import TransportSpec
+from ..sim.contention import ContentionSpec
 from ..sim.engine import Simulator
 from ..sim.ap import AccessPoint
 from ..sim.mobility import LoopMobility, StaticPosition, circle_point
@@ -121,7 +122,12 @@ PRESETS: Dict[str, TownConfig] = {
     # thousand open APs in tight blocks.  This is the regime the
     # vectorized medium (repro.sim.medium_vec) exists for; the cluster
     # rate is raised so blocks stay ~10 APs rather than merging into one
-    # continuous wall of radios.
+    # continuous wall of radios.  DHCP is commercial-grade: downtown
+    # cores run managed infrastructure, not the slow residential relays
+    # behind amherst's 0.5-3.4 s tail — and with the whole tail inside
+    # Spider's 2.4 s attempt budget, dense-world join completion measures
+    # the *medium* (contention, interference) rather than a server
+    # lottery no MAC could win.
     "city": TownConfig(
         name="city",
         loop_length_m=10_000.0,
@@ -130,6 +136,7 @@ PRESETS: Dict[str, TownConfig] = {
         aps_per_cluster_mean=10.0,
         cluster_spread_m=150.0,
         backhaul_range_bps=(2.0e6, 10.0e6),
+        dhcp_beta_s=(0.2, 1.8),
     ),
 }
 
@@ -139,12 +146,15 @@ def build_town(
     config: Optional[TownConfig] = None,
     preset: Optional[str] = None,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> TownInstance:
     """Instantiate a town into a fresh :class:`World`.
 
     AP placement uses the simulator's seeded ``town.placement`` stream, so
     the same seed reproduces the same town exactly.  ``transport`` sets the
-    world-wide CC/split selection (None keeps the historical Reno default).
+    world-wide CC/split selection (None keeps the historical Reno default);
+    ``contention`` enables the CSMA/CA multi-cell MAC (None keeps the
+    global per-channel FIFO).
     """
     if config is not None and preset is not None:
         raise ValueError("pass either config or preset, not both")
@@ -157,6 +167,7 @@ def build_town(
         loss_rate=config.loss_rate,
         wired_latency_s=config.wired_latency_s,
         transport=transport,
+        contention=contention,
     )
     rng = sim.rng("town.placement")
     channels = sorted(config.channel_mix)
@@ -251,6 +262,7 @@ def lab_topology(
     backhaul_latency_s: float = 0.02,
     data_rate_bps: float = 11e6,
     transport: Optional[TransportSpec] = None,
+    contention: Optional[ContentionSpec] = None,
 ) -> Tuple[World, List[AccessPoint], StaticPosition]:
     """The indoor testbed: APs near a static client, clean channel.
 
@@ -266,6 +278,7 @@ def lab_topology(
         wired_latency_s=wired_latency_s,
         data_rate_bps=data_rate_bps,
         transport=transport,
+        contention=contention,
     )
     aps = []
     for index, (channel, backhaul) in enumerate(ap_specs):

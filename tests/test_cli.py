@@ -116,3 +116,58 @@ class TestCliTransportFlags:
     def test_transport_matrix_registered(self, capsys):
         assert main(["list"]) == 0
         assert "transport-matrix" in capsys.readouterr().out
+
+
+class TestCliContentionFlag:
+    """--contention threads a ContentionSpec into every experiment's spec."""
+
+    capture_spec = TestCliTransportFlags.capture_spec
+
+    def test_on_builds_the_default_spec(self, monkeypatch):
+        from repro.sim.contention import ContentionSpec
+
+        monkeypatch.delenv("REPRO_CONTENTION", raising=False)
+        spec = self.capture_spec(monkeypatch, ["table2", "--contention", "on"])
+        assert spec.contention == ContentionSpec()
+
+    def test_off_builds_the_disabled_spec(self, monkeypatch):
+        from repro.sim.contention import ContentionSpec
+
+        spec = self.capture_spec(monkeypatch, ["table2", "--contention", "off"])
+        assert spec.contention == ContentionSpec(enabled=False)
+
+    def test_stagger_token_composes(self, monkeypatch):
+        from repro.sim.contention import ContentionSpec
+
+        spec = self.capture_spec(
+            monkeypatch, ["table2", "--contention", "on,stagger"]
+        )
+        assert spec.contention == ContentionSpec(beacon_stagger=True)
+
+    def test_no_flag_leaves_contention_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CONTENTION", raising=False)
+        spec = self.capture_spec(monkeypatch, ["table2"])
+        assert spec.contention is None
+
+    def test_env_knob_fills_contention(self, monkeypatch):
+        from repro.sim.contention import ContentionSpec
+
+        monkeypatch.setenv("REPRO_CONTENTION", "on")
+        spec = self.capture_spec(monkeypatch, ["table2"])
+        assert spec.contention == ContentionSpec()
+
+    def test_flag_wins_over_env(self, monkeypatch):
+        from repro.sim.contention import ContentionSpec
+
+        monkeypatch.setenv("REPRO_CONTENTION", "on")
+        spec = self.capture_spec(monkeypatch, ["table2", "--contention", "off"])
+        assert spec.contention == ContentionSpec(enabled=False)
+
+    def test_bad_mode_is_a_usage_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CONTENTION", raising=False)
+        assert main(["table2", "--contention", "maybe"]) == 2
+        assert "bad --contention mode" in capsys.readouterr().err
+
+    def test_channel_assign_registered(self, capsys):
+        assert main(["list"]) == 0
+        assert "channel-assign" in capsys.readouterr().out

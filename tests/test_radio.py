@@ -188,6 +188,90 @@ class TestAirtimeAndSerialization:
         assert lossy.airtime(frame) == pytest.approx(expected)
 
 
+class TestAirtimeEdgeCases:
+    def test_zero_length_frame_costs_exactly_the_overhead(self, medium):
+        frame = mgmt_frame("a", "b", size=0)
+        assert medium.airtime(frame) == FRAME_OVERHEAD_S
+
+    def test_retried_airtime_is_exactly_base_over_one_minus_h(self, sim):
+        h = 0.25
+        medium = Medium(sim, loss_rate=h)
+        frame = data_frame("a", "b", size=1452)
+        base = frame.size * 8.0 / medium.data_rate_bps + FRAME_OVERHEAD_S
+        # Bit-identical to the historical expression, not merely close:
+        # the contention path reuses airtime() for busy horizons, so any
+        # drift here would shift carrier-sense outcomes.
+        assert medium.airtime(frame) == base / (1.0 - h)
+
+    def test_broadcast_data_airtime_not_inflated(self, sim):
+        medium = Medium(sim, loss_rate=0.3)
+        frame = data_frame("a", BROADCAST)
+        base = frame.size * 8.0 / medium.data_rate_bps + FRAME_OVERHEAD_S
+        assert medium.airtime(frame) == pytest.approx(base)
+
+    @pytest.mark.parametrize(
+        "kind", [FrameKind.PING_REQUEST, FrameKind.PING_REPLY]
+    )
+    def test_ping_frames_count_as_data_plane(self, sim, kind):
+        medium = Medium(sim, loss_rate=0.2)
+        frame = Frame(kind=kind, src="a", dst="b", size=100, channel=1)
+        base = frame.size * 8.0 / medium.data_rate_bps + FRAME_OVERHEAD_S
+        assert medium.airtime(frame) == base / (1.0 - 0.2)
+        assert medium.delivery_loss_probability(frame) == pytest.approx(
+            0.2 ** (1 + DATA_RETRY_LIMIT)
+        )
+
+
+class _StepLoss:
+    """A loss model whose rate jumps at a fixed time."""
+
+    def __init__(self, before, after, step_at):
+        self.before, self.after, self.step_at = before, after, step_at
+
+    def loss_rate_at(self, now):
+        return self.after if now >= self.step_at else self.before
+
+
+class TestEffectiveLoss:
+    def test_stationary_matches_delivery_loss_probability(self, sim):
+        medium = Medium(sim, loss_rate=0.1)
+        assert medium._effective_loss(data_frame("a", "b")) == pytest.approx(
+            medium.delivery_loss_probability(data_frame("a", "b"))
+        )
+        assert medium._effective_loss(mgmt_frame("a", "b")) == pytest.approx(0.1)
+
+    def test_bursty_model_overrides_stationary_rate(self, sim):
+        medium = Medium(sim, loss_rate=0.1)
+        medium.set_bursty_loss(_StepLoss(before=0.1, after=0.8, step_at=5.0))
+        frame = mgmt_frame("a", "b")
+        assert medium._effective_loss(frame) == pytest.approx(0.1)
+        sim.run(until=6.0)
+        assert medium._effective_loss(frame) == pytest.approx(0.8)
+        medium.clear_bursty_loss()
+        assert medium.bursty_loss is None
+        assert medium._effective_loss(frame) == pytest.approx(0.1)
+
+    def test_retry_exponent_stacks_on_the_bursty_rate(self, sim):
+        medium = Medium(sim, loss_rate=0.05)
+        medium.set_bursty_loss(_StepLoss(before=0.5, after=0.5, step_at=0.0))
+        # Unicast data sees the *bursty* rate raised to the retry power,
+        # not the stationary one: 0.5^(1+retries), not 0.05^(1+retries).
+        assert medium._effective_loss(data_frame("a", "b")) == pytest.approx(
+            0.5 ** (1 + DATA_RETRY_LIMIT)
+        )
+        # Broadcast data keeps the raw bursty rate (no link-layer retries).
+        assert medium._effective_loss(data_frame("a", BROADCAST)) == pytest.approx(0.5)
+
+    def test_airtime_ignores_the_bursty_model(self, sim):
+        medium = Medium(sim, loss_rate=0.1)
+        frame = data_frame("a", "b")
+        before = medium.airtime(frame)
+        medium.set_bursty_loss(_StepLoss(before=0.9, after=0.9, step_at=0.0))
+        # airtime() models the *average* retry cost; the burst only moves
+        # the per-delivery coin flip.
+        assert medium.airtime(frame) == before
+
+
 class TestLossModel:
     def test_zero_loss_delivers_everything(self, sim):
         medium = Medium(sim, loss_rate=0.0)
