@@ -56,10 +56,10 @@ Every experiment shares one flag vocabulary, parsed here once:
 ``--contention MODE``
     replace the global per-channel airtime FIFO with the CSMA/CA
     multi-cell MAC (:mod:`repro.sim.contention`) in every world the
-    experiment builds: ``on``/``off``/``stagger`` (comma-separable;
-    ``stagger`` additionally staggers AP beacon phases).  Default: the
-    ``REPRO_CONTENTION`` environment variable, else the historical
-    global FIFO.
+    experiment builds: ``on``/``off``, optionally with the ``stagger``
+    modifier (``on,stagger`` / ``off,stagger``) to also stagger AP
+    beacon phases.  Default: the ``REPRO_CONTENTION`` environment
+    variable, else the historical global FIFO.
 
 Flags map onto the experiment's spec via
 :func:`repro.experiments.api.spec_from_options`, so fields a given spec
@@ -264,7 +264,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--contention",
         default=None,
         metavar="MODE",
-        help="CSMA/CA multi-cell MAC: on/off/stagger, comma-separable "
+        help="CSMA/CA multi-cell MAC: on/off, plus the stagger modifier "
+        "(on,stagger / off,stagger) "
         "(default: $REPRO_CONTENTION, else the global airtime FIFO)",
     )
     return parser

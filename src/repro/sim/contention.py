@@ -69,7 +69,8 @@ __all__ = [
 ]
 
 #: Environment variable behind the ``--contention`` CLI flag
-#: (``off``/``on``/``stagger``/``on,stagger``; see :func:`resolve_contention`).
+#: (``off``/``on``/``on,stagger``/``off,stagger``; see
+#: :func:`resolve_contention`).
 CONTENTION_ENV = "REPRO_CONTENTION"
 
 #: 802.11b slot time (long preamble), seconds.
@@ -143,7 +144,11 @@ def resolve_contention(mode: Optional[str] = None) -> Optional[ContentionSpec]:
     environment knob.  Accepted tokens (comma-separable): ``on``/``1``/
     ``true``/``yes``/``csma`` enable the CSMA/CA model, ``off``/``0``/
     ``false``/``no`` disable it, ``stagger`` additionally staggers beacon
-    phases per AP.  Returns ``None`` when nothing was requested so the
+    phases per AP.  ``stagger`` is a modifier, not a mode: it must be
+    paired with an explicit on/off token (``on,stagger`` for CSMA/CA
+    plus stagger, ``off,stagger`` for stagger alone) so asking for
+    beacon stagger never switches the whole contention model on as a
+    side effect.  Returns ``None`` when nothing was requested so the
     default path stays byte-identical to runs predating the subsystem.
     """
     if mode is None:
@@ -153,7 +158,7 @@ def resolve_contention(mode: Optional[str] = None) -> Optional[ContentionSpec]:
     text = mode.strip().lower()
     if not text:
         return None
-    enabled = True
+    enabled: Optional[bool] = None
     stagger = False
     for token in text.split(","):
         token = token.strip()
@@ -168,6 +173,14 @@ def resolve_contention(mode: Optional[str] = None) -> Optional[ContentionSpec]:
                 f"bad contention mode {token!r}; expected on/off/stagger "
                 "(comma-separable)"
             )
+    if enabled is None:
+        # Only reachable for a bare "stagger": without an explicit
+        # on/off it is ambiguous whether CSMA/CA itself was requested,
+        # and ContentionSpec documents the two as independent.
+        raise ValueError(
+            "'stagger' is a modifier; pair it with on/off "
+            "('on,stagger' or 'off,stagger')"
+        )
     return ContentionSpec(enabled=enabled, beacon_stagger=stagger)
 
 
@@ -391,17 +404,19 @@ class ContentionState:
 
         Per-channel airtime share is channel airtime over the run length;
         per-sender share is that sender's slice of its channel's run
-        length.  Every value is a pure function of (spec, seed), so the
-        gauges survive the deterministic-telemetry byte-identity gates.
+        length.  The two live under distinct ``channel.``/``sender.``
+        prefixes so a station id can never shadow a channel gauge.
+        Every value is a pure function of (spec, seed), so the gauges
+        survive the deterministic-telemetry byte-identity gates.
         """
         tele = self.sim.telemetry
         span = max(duration_s, 1e-9)
         for channel in sorted(self.airtime_s_by_channel):
-            tele.gauge(f"contention.airtime_share.ch{channel}").set(
+            tele.gauge(f"contention.airtime_share.channel.{channel}").set(
                 self.airtime_s_by_channel[channel] / span
             )
         for sender_id in sorted(self.airtime_s_by_sender):
-            tele.gauge(f"contention.airtime_share.{sender_id}").set(
+            tele.gauge(f"contention.airtime_share.sender.{sender_id}").set(
                 self.airtime_s_by_sender[sender_id] / span
             )
         for sender_id in sorted(self.collisions_by_sender):

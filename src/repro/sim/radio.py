@@ -297,9 +297,19 @@ class Medium:
         # granted), per sender.  A management frame may preempt a
         # deferring data head — the NIC's internal priority scheduler —
         # whereas a granted head is already on the air and cannot be
-        # recalled.  Retry events validate against this dict so a
-        # preempted head's pending retry becomes a no-op.
+        # recalled.
         self._tx_contending: Dict[str, Frame] = {}
+        # Per-sender contention-chain generation, bumped on every
+        # _transmit_contended entry.  Pending retry events carry the
+        # generation they were scheduled under and no-op on mismatch.
+        # Frame identity is not enough: a preempted head can be
+        # re-promoted from the queue and defer again *before* its old
+        # retry event fires, and that event would then see the same
+        # frame object contending and fork a second concurrent chain.
+        # Entries are never removed — monotonicity is the safety
+        # property, and a re-registered sender id must not restart at a
+        # generation an orphaned event might still carry.
+        self._tx_gen: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def _cell_of(self, channel: int, x: float, y: float) -> Tuple[int, int, int]:
@@ -454,17 +464,21 @@ class Medium:
     def transmit(self, sender: Station, frame: Frame) -> float:
         """Queue a frame for transmission on ``frame.channel``.
 
-        Returns the absolute time at which the transmission completes.  The
-        channel is serialized: the frame starts when the channel frees up.
-        Delivery (including the in-range and tuned checks) happens at
-        completion time, so stations that moved away or retuned mid-flight
-        miss the frame — exactly the hazard the join model studies.
+        Without contention, returns the absolute time at which the
+        transmission completes.  The channel is serialized: the frame
+        starts when the channel frees up.  Delivery (including the
+        in-range and tuned checks) happens at completion time, so
+        stations that moved away or retuned mid-flight miss the frame —
+        exactly the hazard the join model studies.
 
         With contention enabled, serialization is per carrier-sense cell
         instead of global: the frame contends via CSMA/CA (DIFS + slotted
         backoff), may collide with hidden terminals, and is scheduled as
         its own engine event — concurrent cells complete out of FIFO
-        order, which the per-channel drain queue cannot represent.
+        order, which the per-channel drain queue cannot represent.  The
+        completion time is then unknowable at transmit time (it depends
+        on future backoff draws and queue preemption), so the return
+        value is only a lower-bound *estimate* — do not pace off it.
         """
         now = self.sim.now
         channel = frame.channel
@@ -505,9 +519,10 @@ class Medium:
                 ):
                     # The head is a data frame still *deferring* (its
                     # airtime is not booked): preempt it.  The handshake
-                    # contends now; the data frame re-queues ahead of
-                    # the other data (its pending retry event is stale
-                    # and will no-op).  A granted head is on the air and
+                    # contends now (bumping the sender's chain
+                    # generation, which orphans the data head's pending
+                    # retry event); the data frame re-queues ahead of
+                    # the other data.  A granted head is on the air and
                     # cannot be recalled.
                     queue.insert(index, head)
                     return self._transmit_contended(sender, frame, now)
@@ -584,9 +599,14 @@ class Medium:
         attempt (re-sensing at the sender's then-current position) when
         the sensed air frees up.  ``first_attempt_s`` rides along so the
         backlog gauge reports the wait since the frame *first* tried,
-        across every retry.  Returns the (possibly estimated) completion
-        time; callers ignore it.
+        across every retry.  Each entry here starts a new contention
+        chain for the sender: the generation bump invalidates any retry
+        event still pending from a previous chain.  Returns the
+        (possibly estimated) completion time; callers ignore it.
         """
+        sender_id = sender.station_id
+        gen = self._tx_gen.get(sender_id, 0) + 1
+        self._tx_gen[sender_id] = gen
         sx, sy = sender.position()
         airtime = self.airtime(frame)
         kind = frame.kind
@@ -596,15 +616,15 @@ class Medium:
             or kind is FrameKind.PING_REPLY
         )
         granted, a, b = self.contention.acquire(
-            sender.station_id, frame.channel, sx, sy, airtime, priority=priority
+            sender_id, frame.channel, sx, sy, airtime, priority=priority
         )
         if not granted:
-            self._tx_contending[sender.station_id] = frame
+            self._tx_contending[sender_id] = frame
             self.sim.schedule_at(
-                a, self._retry_contended, sender.station_id, frame, first_attempt_s
+                a, self._retry_contended, sender_id, frame, first_attempt_s, gen
             )
             return a + airtime
-        self._tx_contending.pop(sender.station_id, None)
+        self._tx_contending.pop(sender_id, None)
         start, done = a, b
         self.frames_sent += 1
         if start > first_attempt_s:
@@ -612,7 +632,7 @@ class Medium:
         self.sim.schedule_at(
             done + PROPAGATION_DELAY_S,
             self._deliver_contended,
-            sender.station_id,
+            sender_id,
             frame,
             start,
             done,
@@ -620,12 +640,17 @@ class Medium:
         return done
 
     def _retry_contended(
-        self, sender_id: str, frame: Frame, first_attempt_s: float
+        self, sender_id: str, frame: Frame, first_attempt_s: float, gen: int
     ) -> None:
         """Re-contend for a deferred head frame."""
-        if self._tx_contending.get(sender_id) is not frame:
-            # A management frame preempted this head while it deferred;
-            # the frame went back into the queue and this retry is stale.
+        if self._tx_gen.get(sender_id) != gen:
+            # The sender's chain moved on while this retry sat in the
+            # heap — a management frame preempted the head (it went back
+            # into the queue), or the head was already re-promoted and
+            # is contending under a newer generation.  Frame identity
+            # cannot distinguish those cases (the same frame object may
+            # legitimately be deferring again), so stale events check
+            # the generation and no-op.
             return
         sender = self._stations.get(sender_id)
         if sender is None:

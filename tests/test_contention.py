@@ -111,10 +111,19 @@ class TestResolveContention:
     def test_cli_tokens(self):
         assert resolve_contention("on") == ContentionSpec()
         assert resolve_contention("off") == ContentionSpec(enabled=False)
-        assert resolve_contention("stagger") == ContentionSpec(beacon_stagger=True)
         assert resolve_contention("on,stagger") == ContentionSpec(
             beacon_stagger=True
         )
+        assert resolve_contention("off,stagger") == ContentionSpec(
+            enabled=False, beacon_stagger=True
+        )
+
+    def test_bare_stagger_requires_explicit_on_off(self):
+        # "stagger" is a modifier: silently implying "on" would switch
+        # the whole CSMA/CA model on as a side effect of asking for
+        # beacon stagger, which ContentionSpec documents as independent.
+        with pytest.raises(ValueError, match="modifier"):
+            resolve_contention("stagger")
 
     def test_env_resolves_when_no_cli(self):
         os.environ[CONTENTION_ENV] = "on"
@@ -311,6 +320,83 @@ class TestNicQueue:
         from_a = [f.kind for f, _ in rx.received if f.src == "a"]
         assert from_a == [FrameKind.AUTH_REQUEST, FrameKind.DATA]
 
+    def test_stale_retry_ignores_repromoted_head(self):
+        """A preempted head's surviving retry event must stay inert even
+        when the head has been re-promoted and is deferring *again* when
+        the event finally fires.
+
+        Frame identity cannot catch that case — the same frame object is
+        legitimately back in ``_tx_contending`` — so retries validate a
+        per-sender chain generation.  Before that token existed, the
+        stale event matched and forked a second concurrent contention
+        chain for the head (an extra acquire/deferral off-schedule,
+        perturbing the backoff model and the contention RNG stream).
+
+        The interleaving needs the sensed world to differ between the
+        head's two attempts, so the sender teleports into a far cell
+        (two bins away: mutually un-sensed) where a long foreign flight
+        is in progress.  Seed 11 draws a first-deferral backoff >= 1
+        slot, which makes the stale event outlive the management frame's
+        grant + delivery + re-promotion; the pinned deferral count below
+        fails (4, not 3) without the generation check.
+        """
+        sim = Simulator(seed=11)
+        # 1 ms slots stretch data backoff well past the mgmt frame's
+        # turnaround; cw_mgmt=1 makes the mgmt grant time deterministic.
+        spec = ContentionSpec(slot_time_s=1e-3, cw_mgmt=1)
+        medium = contended_medium(sim, spec=spec)
+        p = FakeStation("p", x=250.0)  # two cells away: hidden from cell 0
+        o = FakeStation("o", x=10.0)
+        a = FakeStation("a", x=12.0)
+        rx = FakeStation("rx", x=20.0)
+        for s in (p, o, a, rx):
+            medium.register(s)
+        # A long foreign flight occupies the far cell for ~0.5 s...
+        medium.transmit(p, data_frame("p", "pz", size=700000))
+        # ...while o holds the near cell, so a's data head defers there.
+        medium.transmit(o, data_frame("o", "orx", size=5500))
+        t1 = medium.contention._busy[(1, 0, 0)]  # o's flight end
+        d = data_frame("a", "rx", size=500)
+        medium.transmit(a, d)
+        # The handshake preempts the deferring head: d re-queues, and the
+        # retry event scheduled for d's first attempt goes stale.
+        medium.transmit(a, mgmt_frame("a", "rx"))
+        # Teleport a (and its receiver) into the far cell after the mgmt
+        # frame's grant (t1 + 30 us) but before its delivery, so d's
+        # re-promotion senses the long flight and defers again.
+        def move():
+            a.x = 250.0
+            rx.x = 240.0
+
+        sim.schedule_at(t1 + 40e-6, move)
+        sim.run(until=2.0)
+        # Exactly three deferrals: d's first attempt, the mgmt frame's,
+        # and d's re-promotion.  The stale retry must not add a fourth.
+        assert medium.contention.deferrals == 3
+        # And d goes on the air exactly once.
+        assert len([f for f, _ in rx.received if f is d]) == 1
+        assert medium._tx_queues == {}
+        assert medium._tx_contending == {}
+
+    def test_stale_generation_token_no_ops(self, sim):
+        """Directly firing a retry with an outdated generation does nothing."""
+        medium = contended_medium(sim)
+        o = FakeStation("o", x=5.0)
+        a = FakeStation("a", x=10.0)
+        rx = FakeStation("rx", x=20.0)
+        for s in (o, a, rx):
+            medium.register(s)
+        medium.transmit(o, data_frame("o", "rx", size=8000))
+        d = data_frame("a", "rx", size=500)
+        medium.transmit(a, d)  # defers behind o's flight
+        stale_gen = medium._tx_gen["a"]
+        medium.transmit(a, mgmt_frame("a", "rx"))  # preempts: gen bumps
+        assert medium._tx_gen["a"] == stale_gen + 1
+        before = medium.contention.deferrals
+        medium._retry_contended("a", d, 0.0, stale_gen)
+        assert medium.contention.deferrals == before
+        assert d in medium._tx_queues["a"]
+
     def test_unregistered_sender_drops_queue(self, sim):
         medium = contended_medium(sim)
         a = FakeStation("a", x=10.0)
@@ -439,8 +525,12 @@ class TestAccounting:
         state.export_telemetry(1.0)
         snapshot = tele.snapshot().deterministic()
         names = {name for name, _value, _high in snapshot.gauges}
-        assert "contention.airtime_share.ch1" in names
-        assert "contention.airtime_share.a" in names
+        assert "contention.airtime_share.channel.1" in names
+        assert "contention.airtime_share.sender.a" in names
+        # The channel/sender prefixes keep the namespaces disjoint: a
+        # station that happens to be called "ch1" must not shadow the
+        # channel-1 gauge.
+        assert "contention.airtime_share.ch1" not in names
         assert "contention.collision_rate" in names
         assert "contention.collisions.a" in names
         assert snapshot.counter_value("contention.collisions") >= 1.0
