@@ -24,6 +24,14 @@ itself).  Naming a gate that is absent from the compared files is a
 configuration error (exit 2 with the known gate list), not a silent
 no-op.
 
+Fields ending in ``speedup`` (scalar/vector wall-clock ratios such as
+``contention_dense_town.speedup``) are *strict-only* gates: ratios of two
+timed runs are noisier than single rates, so they are ignored by the
+default sweep and compared only when pinned explicitly — e.g. ``--strict
+contention_dense_town.speedup:0.2`` keeps the contended vectorization win
+within 20 % of its committed baseline (the >= 2x floor itself is asserted
+inside the bench).
+
 ``--list`` prints every gate name and its committed baseline value, then
 exits — handy for discovering what ``--strict`` can pin::
 
@@ -40,14 +48,19 @@ from typing import Dict, Iterator, Tuple
 #: Metric fields treated as throughput (higher is better).
 RATE_SUFFIX = "events_per_sec"
 
+#: Higher-is-better ratio fields, compared only under ``--strict``.
+SPEEDUP_SUFFIX = "speedup"
+
 
 def iter_rates(payload: dict) -> Iterator[Tuple[str, float]]:
-    """Yield ``(bench.field, value)`` for every events/sec field."""
+    """Yield ``(bench.field, value)`` for every gateable field."""
     for bench, fields in sorted(payload.get("results", {}).items()):
         if not isinstance(fields, dict):
             continue
         for field, value in sorted(fields.items()):
-            if field.endswith(RATE_SUFFIX) and isinstance(value, (int, float)):
+            if (
+                field.endswith(RATE_SUFFIX) or field.endswith(SPEEDUP_SUFFIX)
+            ) and isinstance(value, (int, float)):
                 yield f"{bench}.{field}", float(value)
 
 
@@ -69,6 +82,10 @@ def compare(
     passed: Dict[str, Tuple[float, float, float]] = {}
     regressed: Dict[str, Tuple[float, float, float]] = {}
     for name in sorted(set(base_rates) & set(cur_rates)):
+        if name.endswith(SPEEDUP_SUFFIX) and name not in strict:
+            # Speedup ratios divide two timed runs — too noisy for the
+            # default sweep; they gate only when pinned via --strict.
+            continue
         base, cur = base_rates[name], cur_rates[name]
         ratio = cur / base if base > 0 else float("inf")
         limit = strict.get(name, threshold)

@@ -30,10 +30,13 @@ Measured workloads:
                          BBR-lite end-to-end plus Reno behind the AP
                          split proxy) on one Spider policy, with the
                          aggregate events/sec across the cells
-* ``contention_dense_town`` — a 100-vehicle city fleet with the CSMA/CA
-                         contention model on vs the global-FIFO
-                         baseline, asserting the acceptance bars
-                         (join completion > 0.5, goodput >= 3x)
+* ``contention_dense_town`` — the full 250-vehicle city with the
+                         CSMA/CA model on, array-backed vs scalar
+                         contention state (rows bit-identical,
+                         speedup >= 2x, peak RSS < 2x the uncontended
+                         dense town), plus the PR 9 acceptance bars
+                         (join completion > 0.5, goodput >= 3x the
+                         global-FIFO baseline)
 * ``channel_assign``   — a reduced strategy x policy grid of the
                          channel-assignment experiment under contention
 
@@ -561,65 +564,141 @@ def test_perf_transport_matrix(report):
 
 
 def test_perf_contention_dense_town(report):
-    """The contention model's acceptance bar on the city world.
+    """Full 250-vehicle contended city: array-backed CSMA/CA vs scalar.
 
-    Under the legacy global per-channel FIFO the dense world starves:
-    every join handshake on a channel serializes behind the entire
-    city's traffic, so the fleet completes essentially nothing.  With
-    CSMA/CA spatial reuse the same world comes back to life.  The bar:
+    The contended twin of ``dense_town``: the whole city fleet drives
+    with ``--contention on``, once per code path — the scalar dict-walk
+    state vs :mod:`repro.sim.contention_vec` (plus the vectorized
+    medium), rows asserted bit-identical every round.  Single channel is
+    the spec default and the contended worst case: every NIC is a
+    delivery candidate and every flight shares one channel's cells, so
+    the scalar sense walk and hidden-terminal scan see maximal load.
 
-    * join completion rate > 0.5 with contention on, and
-    * aggregate goodput >= 3x the global-serialization baseline.
+    Timing uses the trial's ``sim_cpu_s`` hook — CPU time of the event
+    loop alone (immune to co-tenant steal on shared CI boxes, and
+    excluding world/fleet construction, which is path-independent and
+    would only dilute the ratio) — with interleaved rounds and a
+    best-of-rounds estimator on each side independently: noise only
+    ever *adds* time, so the per-side minimum is the least-biased
+    estimate of the true cost and the ratio of minima the least-biased
+    speedup.  Rounds are adaptive: five to start, extended (bounded)
+    while the ratio sits under the floor, because extra samples can
+    only sharpen the minima — a genuine regression stays under the
+    floor no matter how many rounds run, while a cache-pollution
+    window on a busy box washes out.  The acceptance floor is the
+    issue's >= 2x events/sec.
 
-    The fleet is pinned at 100 vehicles — the scale where the contention
-    model (not the DHCP lottery or sheer client count) is the binding
-    constraint; the 250-vehicle point stays the vector bench's workload.
+    The PR 9 acceptance bars (join completion > 0.5 under contention,
+    goodput >= 3x the global-FIFO baseline) ride along at their
+    committed 100-vehicle calibration point, driven through the
+    vectorized path — outcomes are bit-identical across paths, so the
+    cheap path proves the same physics.  (At 250 vehicles the DHCP
+    lottery, not the MAC, caps the 10-second join funnel near 0.43, so
+    the bar stays pinned where the contention model is the binding
+    constraint.)
+
+    ``peak_rss_mb`` snapshots the process peak after the contended runs;
+    ``test_perf_dense_town`` recorded the uncontended peak earlier in
+    this same process, so the < 2x assertion bounds the *additional*
+    footprint of the contention state (flight lists, sense grids,
+    per-delivery scan caches).
     """
+    import pickle
+    import resource
     from dataclasses import replace
 
+    import pytest
+
+    pytest.importorskip("numpy")
     from repro.experiments.dense_town import DenseTownSpec, run_dense_trial
     from repro.sim.contention import ContentionSpec
 
-    spec = DenseTownSpec(n_vehicles=100)
-    t0 = time.perf_counter()
-    baseline = run_dense_trial(replace(spec, contention=None), seed=0)
-    baseline_wall = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    contended = run_dense_trial(
-        replace(spec, contention=ContentionSpec()), seed=0
+    spec = DenseTownSpec(duration_s=1.0, contention=ContentionSpec())
+    scalar_spec = replace(spec, vector=False, contention_vector=False)
+    vector_spec = replace(spec, vector=True, contention_vector=True)
+    walls = {False: [], True: []}
+    rows = {}
+    rounds = 0
+    while True:
+        for vec, one in ((False, scalar_spec), (True, vector_spec)):
+            timings = {}
+            rows[vec] = run_dense_trial(one, seed=0, timings=timings)
+            walls[vec].append(timings["sim_cpu_s"])
+        assert rows[True] == rows[False], (
+            "array-backed contended path diverged from scalar"
+        )
+        assert pickle.dumps(rows[True]) == pickle.dumps(rows[False])
+        rounds += 1
+        speedup = min(walls[False]) / min(walls[True])
+        if rounds >= 12 or (rounds >= 5 and speedup >= 2.0):
+            break
+    contended = rows[True]
+    assert contended.ap_count >= 1000
+    assert contended.vehicles == 250
+    scalar_wall = min(walls[False])
+    vector_wall = min(walls[True])
+    speedup = scalar_wall / vector_wall
+    events = contended.events_processed
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    # Outcome bars at their committed calibration point — 100 vehicles,
+    # 10 simulated seconds (vectorized path; outcomes are
+    # path-independent).
+    bars_spec = replace(
+        spec, duration_s=10.0, n_vehicles=100, vector=True, contention_vector=True
     )
-    contended_wall = time.perf_counter() - t0
+    t0 = time.process_time()
+    bars = run_dense_trial(bars_spec, seed=0)
+    bars_wall = time.process_time() - t0
+    baseline = run_dense_trial(
+        replace(bars_spec, contention=None), seed=0
+    )
     goodput_gain = (
-        contended.aggregate_kBps / baseline.aggregate_kBps
+        bars.aggregate_kBps / baseline.aggregate_kBps
         if baseline.aggregate_kBps > 0
         else float("inf")
     )
     _record(
         "contention_dense_town",
-        wall_s=contended_wall,
-        baseline_wall_s=baseline_wall,
-        events=contended.events_processed,
-        events_per_sec=contended.events_processed / contended_wall,
+        wall_s=vector_wall,
+        scalar_wall_s=scalar_wall,
+        bars_wall_s=bars_wall,
+        events=events,
+        events_per_sec=events / vector_wall,
+        scalar_events_per_sec=events / scalar_wall,
+        speedup=speedup,
         vehicles=contended.vehicles,
         ap_count=contended.ap_count,
-        join_completion_rate=contended.join_completion_rate,
+        peak_rss_mb=peak_rss_mb,
+        rows_equal=True,
+        join_completion_rate=bars.join_completion_rate,
         baseline_join_completion_rate=baseline.join_completion_rate,
-        aggregate_kBps=contended.aggregate_kBps,
+        aggregate_kBps=bars.aggregate_kBps,
         baseline_aggregate_kBps=baseline.aggregate_kBps,
-        frames_collided=contended.frames_collided,
+        frames_collided=bars.frames_collided,
     )
     report(
         "perf/contention_dense_town",
         json.dumps(_PERF["contention_dense_town"], indent=2),
     )
-    assert contended.join_completion_rate > 0.5, (
-        f"contended join completion {contended.join_completion_rate:.3f} "
-        f"({contended.joins_completed}/{contended.join_attempts})"
+    assert speedup >= 2.0, (
+        f"array-backed contention only {speedup:.2f}x over scalar "
+        f"({scalar_wall:.2f}s -> {vector_wall:.2f}s CPU)"
+    )
+    uncontended = _PERF.get("dense_town", {}).get("peak_rss_mb")
+    if uncontended is not None:
+        assert peak_rss_mb < 2.0 * uncontended, (
+            f"contended city peaks at {peak_rss_mb:.0f} MB RSS, >= 2x the "
+            f"uncontended dense town's {uncontended:.0f} MB"
+        )
+    assert bars.join_completion_rate > 0.5, (
+        f"contended join completion {bars.join_completion_rate:.3f} "
+        f"({bars.joins_completed}/{bars.join_attempts})"
     )
     assert goodput_gain >= 3.0, (
         f"contention goodput only {goodput_gain:.2f}x the serialized "
         f"baseline ({baseline.aggregate_kBps:.1f} -> "
-        f"{contended.aggregate_kBps:.1f} kB/s)"
+        f"{bars.aggregate_kBps:.1f} kB/s)"
     )
 
 

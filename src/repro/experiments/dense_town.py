@@ -22,6 +22,7 @@ ad-hoc presets.
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
@@ -61,9 +62,23 @@ class DenseTownSpec(ExperimentSpec):
     town: str = "city"
     n_vehicles: int = 250
     speed_mps: float = 10.0
+    #: Channels in the fleet's operation schedule.  One channel keeps the
+    #: historical ``single-ch`` pin (and is the contended perf bench's
+    #: operating point: with every NIC tuned to the same channel the
+    #: scalar delivery scan checks the whole fleet per frame and the
+    #: scalar hidden-terminal walk sees every flight — exactly the loops
+    #: the array-backed paths collapse); several run Spider's equal-split
+    #: multi-channel schedule, the paper's operating point for the
+    #: channel-assignment experiments.
+    channels: Tuple[int, ...] = (1,)
     #: Delivery path: ``True``/``False`` force the vectorized/scalar
     #: medium, ``None`` defers to ``REPRO_MEDIUM_VECTOR``.
     vector: Optional[bool] = None
+    #: Contention state: ``True``/``False`` force the array-backed/scalar
+    #: CSMA/CA state (no effect unless ``contention`` is enabled),
+    #: ``None`` defers to ``REPRO_CONTENTION_VECTOR``.  Either way the
+    #: rows are byte-identical — only wall-clock differs.
+    contention_vector: Optional[bool] = None
     #: Town overrides (``None`` keeps the preset's value).
     loop_length_m: Optional[float] = None
     ap_density_per_km: Optional[float] = None
@@ -179,13 +194,23 @@ def _vector_env(vector: Optional[bool]):
 
 
 def run_dense_trial(
-    spec: DenseTownSpec, seed: int, telemetry: Optional[bool] = None
+    spec: DenseTownSpec,
+    seed: int,
+    telemetry: Optional[bool] = None,
+    timings: Optional[dict] = None,
 ) -> DenseTownRow:
     """Drive the full fleet once and fold the outcome into a row.
 
     The trial body is identical in shape to the fleet experiment's — the
     same staggered :class:`SpiderClient` fleet on one shared town — at the
     scale the vectorized medium targets.
+
+    ``timings``, when given, receives ``sim_cpu_s`` — the CPU time of
+    ``sim.run`` alone, excluding world construction and fleet setup.
+    The perf benches A/B the scalar and array-backed paths through this
+    hook: setup cost is path-independent, so including it only dilutes
+    the measured speedup.  It never touches the row, which must stay
+    byte-identical across paths.
     """
     with_telemetry = spec.telemetry if telemetry is None else telemetry
     with _vector_env(spec.vector):
@@ -200,22 +225,29 @@ def run_dense_trial(
             config=spec.town_config(),
             transport=spec.transport,
             contention=spec.contention,
+            contention_vector=spec.contention_vector,
         )
         spacing = town.config.loop_length_m / max(spec.n_vehicles, 1)
         clients = []
+        mode = (
+            OperationMode.single_channel(spec.channels[0])
+            if len(spec.channels) == 1
+            else OperationMode.equal_split(spec.channels, 0.4)
+        )
         for index in range(spec.n_vehicles):
             mobility = town.make_vehicle_mobility(
                 spec.speed_mps, start_arc_m=index * spacing
             )
-            config = SpiderConfig.spider_defaults(
-                OperationMode.single_channel(1), num_interfaces=7
-            )
+            config = SpiderConfig.spider_defaults(mode, num_interfaces=7)
             client = SpiderClient(
                 sim, town.world, mobility, config, client_id=f"veh{index}"
             )
             client.start()
             clients.append(client)
+        t0 = time.process_time()
         sim.run(until=spec.duration_s)
+        if timings is not None:
+            timings["sim_cpu_s"] = time.process_time() - t0
     n = max(spec.n_vehicles, 1)
     medium = town.world.medium
     if tele is not None and medium.contention is not None:

@@ -53,6 +53,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (radio imports us)
@@ -81,6 +82,11 @@ DEFAULT_DIFS_S = 50e-6
 
 _FALSEY = ("0", "false", "no", "off")
 _TRUTHY = ("1", "true", "yes", "on", "csma")
+
+#: Cells shorter than this skip the expired-flight prune on booking; the
+#: overlap predicates already exclude stale flights (see acquire), so the
+#: only cost of keeping them briefly is a slightly longer exact scan.
+_PRUNE_MIN = 16
 
 
 @dataclass(frozen=True)
@@ -195,7 +201,18 @@ class ContentionState:
     The medium calls :meth:`acquire` instead of consulting its global
     ``_busy_until`` FIFO; everything here is keyed by the medium's own
     ``(channel, cell)`` bins so domain work stays O(cell).
+
+    The three hot loops are isolated behind overridable hooks —
+    :meth:`_sense` / :meth:`_book` (carrier sense + booking) and
+    :meth:`_interfered` (the hidden-terminal flight scan) — so the
+    array-backed subclass in :mod:`repro.sim.contention_vec` can replace
+    the data structure per loop while :meth:`acquire` keeps one shared
+    control flow (and therefore one shared RNG-draw sequence).
     """
+
+    #: The scalar state; :class:`~repro.sim.contention_vec.ContentionVecState`
+    #: flips this so the medium/tests can report which path engaged.
+    is_vector = False
 
     def __init__(self, medium: "Medium", spec: ContentionSpec):
         self.medium = medium
@@ -209,11 +226,33 @@ class ContentionState:
         self._busy: Dict[Tuple[int, int, int], float] = {}
         #: (channel, cx, cy) -> in-flight transmissions covering the cell.
         self._inflight: Dict[Tuple[int, int, int], List[_Flight]] = {}
+        #: (channel, cx, cy) -> that cell's nine neighbourhood keys, so a
+        #: grant re-visiting a cell (vehicles loop the same corridor all
+        #: run) reuses the tuples instead of allocating nine per booking.
+        self._nbr_keys: Dict[Tuple[int, int, int], Tuple] = {}
         #: Per-sender contention window (absent -> ``cw_min``).
         self._cw: Dict[str, int] = {}
+        # Hot-path caches: ``acquire`` runs a few hundred thousand times
+        # per contended city trial, so the frozen spec's fields and the
+        # RNG's bound method are hoisted out of the per-call attribute
+        # chains.
+        self._slot_s = spec.slot_time_s
+        self._difs_s = spec.difs_s
+        self._pifs_s = spec.pifs_s
+        self._cw_min = spec.cw_min
+        self._cw_mgmt = spec.cw_mgmt
+        # ``randrange(cw)`` with a positive int ``cw`` reduces to
+        # ``_randbelow(cw)`` after argument normalisation; binding the
+        # inner method draws the identical bit stream while skipping the
+        # wrapper frame on every backoff draw.
+        self._randrange = self._rng._randbelow
         #: Largest airtime granted so far; bounds how long a finished
         #: flight can still matter to a pending delivery's overlap check.
         self._max_airtime = 0.0
+        #: channel -> latest ``done`` ever booked (running max).  Cell
+        #: busy horizons only ever move forward, so the per-channel max
+        #: is exact without scanning cells — ``busy_until`` is O(1).
+        self._chan_horizon: Dict[int, float] = {}
         # -- deterministic accounting (pure functions of the sim) --------
         self.grants = 0
         self.deferrals = 0
@@ -225,6 +264,27 @@ class ContentionState:
         self._obs_grants = tele.counter("contention.grants")
         self._obs_deferrals = tele.counter("contention.deferrals")
         self._obs_collisions = tele.counter("contention.collisions")
+        # Per-phase dispatch counters (deterministic — pure functions of
+        # the event sequence, so the scalar/vector byte-identity gates
+        # cover them) plus wall-clock twins in the same style as the
+        # engine's profiling twin loop: ``contention.wall.*`` attribute
+        # contended wall time per phase and are flagged
+        # ``deterministic=False`` so they never leak into the
+        # deterministic snapshot projection.
+        self._obs_sense = tele.counter("contention.sense")
+        self._obs_defer = tele.counter("contention.defer")
+        self._obs_collision_scan = tele.counter("contention.collision_scan")
+        self._profile = bool(tele.enabled)
+        self._wall_sense = tele.counter("contention.wall.sense", deterministic=False)
+        self._wall_defer = tele.counter("contention.wall.defer", deterministic=False)
+        self._wall_collision_scan = tele.counter(
+            "contention.wall.collision_scan", deterministic=False
+        )
+        if not self._profile:
+            # Telemetry off: the instrumented wrapper would only forward
+            # to the hook, so bind the hook directly (one frame fewer on
+            # a call that runs once per survivor per delivery).
+            self.interfered = self._interfered  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     def acquire(
@@ -249,29 +309,19 @@ class ContentionState:
         ``cw_mgmt`` window, and leaves the sender's data-plane backoff
         state untouched.
         """
+        profile = self._profile
+        t0 = perf_counter() if profile else 0.0
         now = self.sim.now
         bin_m = self._bin_m
         cx = int(x // bin_m)
         cy = int(y // bin_m)
-        # Carrier sense covers the whole 3x3 neighbourhood — 802.11's
-        # sense range exceeds its data range, so a station hears (and
-        # defers to) transmitters it could never decode.  This is what
-        # protects a nearby receiver from one-cell-away interferers;
-        # only true hidden terminals (two or more cells out) remain.
-        busy = self._busy
-        sensed = 0.0
-        for nx in (cx - 1, cx, cx + 1):
-            for ny in (cy - 1, cy, cy + 1):
-                t = busy.get((channel, nx, ny), 0.0)
-                if t > sensed:
-                    sensed = t
-        spec = self.spec
+        sensed = self._sense(channel, cx, cy)
         if priority:
-            ifs = spec.pifs_s
-            cw = spec.cw_mgmt
+            ifs = self._pifs_s
+            cw = self._cw_mgmt
         else:
-            ifs = spec.difs_s
-            cw = self._cw.get(sender_id, spec.cw_min)
+            ifs = self._difs_s
+            cw = self._cw.get(sender_id, self._cw_min)
         if sensed > now:
             # Deferral: the sender books *nothing* and re-contends (a
             # fresh sense, a fresh draw) when the sensed air frees up.
@@ -286,55 +336,106 @@ class ContentionState:
             # collisions widen it (802.11's missed-ACK signal; see
             # note_collision).
             self.deferrals += 1
-            self._obs_deferrals.inc()
-            backoff = self._rng.randrange(cw) * spec.slot_time_s
+            backoff = self._randrange(cw) * self._slot_s
+            if profile:
+                # The obs counters are null instruments whenever
+                # telemetry is disabled (``_profile`` is exactly
+                # ``telemetry.enabled``), so the hot path skips even the
+                # no-op calls.
+                self._obs_sense.inc()
+                self._obs_deferrals.inc()
+                self._obs_defer.inc()
+                self._wall_defer.inc(perf_counter() - t0)
             return False, sensed + ifs + backoff, 0.0
         if not priority:
             # A station that found the medium idle starts a fresh
             # exchange: its previous collision penalty has served its
             # purpose.  (Management access never touches the data cw.)
-            self._cw[sender_id] = cw = spec.cw_min
-        backoff = self._rng.randrange(cw) * spec.slot_time_s
+            self._cw[sender_id] = cw = self._cw_min
+        backoff = self._randrange(cw) * self._slot_s
         start = now + ifs + backoff
         done = start + airtime
         if airtime > self._max_airtime:
             self._max_airtime = airtime
+        self._book(channel, cx, cy, done)
         flight: _Flight = (start, done, sender_id, x, y)
         inflight = self._inflight
-        # Busy-mark the sender's *own* cell only: neighbours already hear
-        # it through the 3x3 sense scan above.  Marking the whole
-        # footprint instead would charge every frame's airtime to nine
-        # cells at once, and the coupled busy horizons then grow without
-        # bound under beacon load (deferred sends re-extend their
-        # neighbours, dominoing into worse-than-global serialization).
-        own = (channel, cx, cy)
-        if busy.get(own, 0.0) < done:
-            busy[own] = done
         # Flights must outlive their own delivery events: an overlap is
         # re-checked per receiver at delivery time, so prune only what
-        # ended more than a max-airtime (plus slack) ago.
+        # ended more than a max-airtime (plus slack) ago.  Pruning is
+        # lazy — it waits until a cell holds _PRUNE_MIN flights — which
+        # is invisible to :meth:`interfered`: a stale flight has
+        # ``f_end <= now - max_airtime - 1e-3``, while any later-checked
+        # delivery has ``start >= done - max_airtime > now - 1us -
+        # max_airtime``, so ``start < f_end`` can never hold for it.
         cutoff = now - self._max_airtime - 1e-3
-        for nx in (cx - 1, cx, cx + 1):
-            for ny in (cy - 1, cy, cy + 1):
-                key = (channel, nx, ny)
-                flights = inflight.get(key)
-                if flights is None:
-                    inflight[key] = [flight]
-                elif flights and flights[0][1] <= cutoff:
-                    live = [f for f in flights if f[1] > cutoff]
-                    live.append(flight)
-                    inflight[key] = live
-                else:
-                    flights.append(flight)
+        own = (channel, cx, cy)
+        keys = self._nbr_keys.get(own)
+        if keys is None:
+            keys = self._nbr_keys[own] = tuple(
+                (channel, nx, ny)
+                for nx in (cx - 1, cx, cx + 1)
+                for ny in (cy - 1, cy, cy + 1)
+            )
+        for key in keys:
+            flights = inflight.get(key)
+            if flights is None:
+                inflight[key] = [flight]
+            elif flights[0][1] <= cutoff and len(flights) >= _PRUNE_MIN:
+                live = [f for f in flights if f[1] > cutoff]
+                live.append(flight)
+                inflight[key] = live
+            else:
+                flights.append(flight)
         self.grants += 1
-        self._obs_grants.inc()
         self.airtime_s_by_channel[channel] = (
             self.airtime_s_by_channel.get(channel, 0.0) + airtime
         )
         self.airtime_s_by_sender[sender_id] = (
             self.airtime_s_by_sender.get(sender_id, 0.0) + airtime
         )
+        if profile:
+            self._obs_sense.inc()
+            self._obs_grants.inc()
+            self._wall_sense.inc(perf_counter() - t0)
         return True, start, done
+
+    # -- carrier-sense hooks (overridden by the array-backed state) ----
+    def _sense(self, channel: int, cx: int, cy: int) -> float:
+        """Busy horizon sensed from cell ``(cx, cy)``: the max over its
+        3x3 neighbourhood.
+
+        Carrier sense covers the whole neighbourhood — 802.11's sense
+        range exceeds its data range, so a station hears (and defers to)
+        transmitters it could never decode.  This is what protects a
+        nearby receiver from one-cell-away interferers; only true hidden
+        terminals (two or more cells out) remain.
+        """
+        busy = self._busy
+        sensed = 0.0
+        for nx in (cx - 1, cx, cx + 1):
+            for ny in (cy - 1, cy, cy + 1):
+                t = busy.get((channel, nx, ny), 0.0)
+                if t > sensed:
+                    sensed = t
+        return sensed
+
+    def _book(self, channel: int, cx: int, cy: int, done: float) -> None:
+        """Busy-mark the sender's *own* cell until ``done``.
+
+        Neighbours already hear the transmission through the 3x3 sense
+        scan.  Marking the whole footprint instead would charge every
+        frame's airtime to nine cells at once, and the coupled busy
+        horizons then grow without bound under beacon load (deferred
+        sends re-extend their neighbours, dominoing into worse-than-
+        global serialization).
+        """
+        own = (channel, cx, cy)
+        busy = self._busy
+        if busy.get(own, 0.0) < done:
+            busy[own] = done
+        if done > self._chan_horizon.get(channel, 0.0):
+            self._chan_horizon[channel] = done
 
     def interfered(
         self,
@@ -354,6 +455,57 @@ class ContentionState:
         ``capture_ratio`` times the wanted sender's distance — a receiver
         near its sender decodes straight through a far-off interferer.
         """
+        if not self._profile:
+            return self._interfered(
+                sender_id, channel, rx, ry, start, done, sender_distance
+            )
+        self._obs_collision_scan.inc()
+        t0 = perf_counter()
+        hit = self._interfered(
+            sender_id, channel, rx, ry, start, done, sender_distance
+        )
+        self._wall_collision_scan.inc(perf_counter() - t0)
+        return hit
+
+    def interfered_rows(
+        self,
+        sender_id: str,
+        channel: int,
+        rows: List[Tuple],
+        start: float,
+        done: float,
+    ) -> List[bool]:
+        """Per-survivor interference flags for one delivery.
+
+        ``rows`` are the medium's survivor 7-tuples ``(seq, station,
+        rssi, ignores_beacons, rx, ry, distance)``; the result holds
+        :meth:`interfered` evaluated for each, in order.  One call per
+        delivery lets the array-backed state amortize its per-delivery
+        screening; with telemetry on, both states route through
+        :meth:`interfered` so the deterministic ``contention.
+        collision_scan`` counter advances once per survivor exactly as
+        the scalar delivery scan does.
+        """
+        if self._profile:
+            interfered = self.interfered
+        else:
+            interfered = self._interfered
+        return [
+            interfered(sender_id, channel, row[4], row[5], start, done, row[6])
+            for row in rows
+        ]
+
+    def _interfered(
+        self,
+        sender_id: str,
+        channel: int,
+        rx: float,
+        ry: float,
+        start: float,
+        done: float,
+        sender_distance: float,
+    ) -> bool:
+        """The flight scan behind :meth:`interfered` (overridable)."""
         bin_m = self._bin_m
         flights = self._inflight.get((channel, int(rx // bin_m), int(ry // bin_m)))
         if not flights:
@@ -388,11 +540,14 @@ class ContentionState:
 
     # ------------------------------------------------------------------
     def busy_until(self, channel: int) -> float:
-        """Latest busy horizon over every cell of ``channel`` (diagnosis)."""
-        return max(
-            (t for (ch, _x, _y), t in self._busy.items() if ch == channel),
-            default=0.0,
-        )
+        """Latest busy horizon over every cell of ``channel`` (diagnosis).
+
+        O(1): cell horizons only move forward, so a running per-channel
+        max maintained at booking time is exact — telemetry exports
+        (``medium.backlog_s`` samples every channel) must never pay an
+        O(cells) scan of ``_busy``.
+        """
+        return self._chan_horizon.get(channel, 0.0)
 
     def collision_rate(self) -> float:
         """Collided fraction of all granted transmissions."""

@@ -200,9 +200,13 @@ class VectorIndex:
     ) -> List[Tuple]:
         """Exact receivers of ``frame``, in registration order.
 
-        Each element is ``(seq, station, rssi, ignores_beacons)``; every
-        listed station has already passed the scalar path's full predicate
-        set (channel, ``accepts``, exact ``hypot`` range check).
+        Each element is ``(seq, station, rssi, ignores_beacons, rx, ry,
+        distance)``; every listed station has already passed the scalar
+        path's full predicate set (channel, ``accepts``, exact ``hypot``
+        range check).  ``(rx, ry)`` is the receiver position and
+        ``distance`` the exact ``hypot`` distance the RSSI came from —
+        the contended delivery tail feeds both to the receiver-side
+        interference check, on the same floats the scalar walk would use.
         """
         medium = self._medium
         channel = frame.channel
@@ -298,7 +302,17 @@ class VectorIndex:
             distance = math.hypot(sx - entry[2], sy - entry[3])
             if distance > range_m:
                 return []
-            return [(entry[0], entry[1], rssi_from_distance(distance), entry[4])]
+            return [
+                (
+                    entry[0],
+                    entry[1],
+                    rssi_from_distance(distance),
+                    entry[4],
+                    entry[2],
+                    entry[3],
+                    distance,
+                )
+            ]
         return self._scan_statics(cs, sender_id, dst, sx, sy, range_m)
 
     def _scan_statics(
@@ -332,7 +346,9 @@ class VectorIndex:
             distance = hypot(sx - x, sy - y)
             if distance > range_m:
                 continue
-            out.append((seq, station, rssi_from_distance(distance), ignores))
+            out.append(
+                (seq, station, rssi_from_distance(distance), ignores, x, y, distance)
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -394,6 +410,9 @@ class VectorIndex:
                     station,
                     rssi_from_distance(distance),
                     getattr(station, "ignores_beacons", False),
+                    rx,
+                    ry,
+                    distance,
                 )
             )
         return out

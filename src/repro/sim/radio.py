@@ -171,6 +171,7 @@ class Medium:
         batch_delivery: Optional[bool] = None,
         vector_delivery: Optional[bool] = None,
         contention: Optional[ContentionSpec] = None,
+        contention_vector: Optional[bool] = None,
     ):
         # ``isfinite`` guards are explicit: ``nan`` slips through plain
         # ``<=`` comparisons (every comparison with nan is False) and
@@ -276,13 +277,28 @@ class Medium:
         # repro.sim.contention).  Built last: the state machine reuses the
         # spatial binning configured above.  ``None`` and a disabled spec
         # are byte-identical — the state (and its dedicated RNG stream)
-        # only exists when the model is actually on.
-        self.contention_spec = contention
-        self.contention: Optional[ContentionState] = (
-            ContentionState(self, contention)
-            if contention is not None and contention.enabled
-            else None
+        # only exists when the model is actually on.  The array-backed
+        # state (repro.sim.contention_vec) is picked unless
+        # REPRO_CONTENTION_VECTOR (or the explicit ``contention_vector``
+        # argument) pins the scalar one; like the delivery index, the
+        # fallback counter is created unconditionally and flagged
+        # nondeterministic (it reflects installed packages, not the seed).
+        self._obs_contention_fallbacks = sim.telemetry.counter(
+            "contention.vector_fallbacks", deterministic=False
         )
+        self.contention_spec = contention
+        self.contention: Optional[ContentionState] = None
+        self.vector_contention = False
+        if contention is not None and contention.enabled:
+            from .contention_vec import make_contention_state
+
+            state, fell_back = make_contention_state(
+                self, contention, contention_vector
+            )
+            if fell_back:
+                self._obs_contention_fallbacks.inc()
+            self.contention = state
+            self.vector_contention = state.is_vector
         #: Frames destroyed by hidden-terminal collisions (contention mode
         #: only; mirrored by the ``contention.collisions`` obs counter).
         self.frames_collided = 0
@@ -538,7 +554,7 @@ class Medium:
             self._note_backlog(channel, start - now)
         deliver_at = done + PROPAGATION_DELAY_S
         if not self.batch_delivery:
-            self.sim.schedule_at(deliver_at, self._deliver, sender.station_id, frame)
+            self.sim.schedule_fire(deliver_at, self._deliver, sender.station_id, frame)
             return done
         state = self._chan_state.get(channel)
         if state is None:
@@ -549,7 +565,7 @@ class Medium:
             # heap position (and hence same-instant tie-breaking) matches
             # the per-frame event the unbatched path would have created.
             state[1] = True
-            self.sim.schedule_at(deliver_at, self._drain, channel)
+            self.sim.schedule_fire(deliver_at, self._drain, channel)
         return done
 
     def _drain(self, channel: int) -> None:
@@ -578,7 +594,7 @@ class Medium:
                 if bound < horizon:
                     horizon = bound
                 if deliver_at > horizon:
-                    sim.schedule_at(deliver_at, self._drain, channel)
+                    sim.schedule_fire(deliver_at, self._drain, channel)
                     return
                 sim.advance_clock(deliver_at)
             _, sender_id, frame = pending.popleft()
@@ -590,7 +606,12 @@ class Medium:
         state[1] = False
 
     def _transmit_contended(
-        self, sender: Station, frame: Frame, first_attempt_s: float
+        self,
+        sender: Station,
+        frame: Frame,
+        first_attempt_s: float,
+        airtime: Optional[float] = None,
+        priority: bool = False,
     ) -> float:
         """CSMA/CA transmit for a sender's head frame: book or retry.
 
@@ -608,20 +629,33 @@ class Medium:
         gen = self._tx_gen.get(sender_id, 0) + 1
         self._tx_gen[sender_id] = gen
         sx, sy = sender.position()
-        airtime = self.airtime(frame)
-        kind = frame.kind
-        priority = not (
-            kind is FrameKind.DATA
-            or kind is FrameKind.PING_REQUEST
-            or kind is FrameKind.PING_REPLY
-        )
+        if airtime is None:
+            # Computed once per frame and carried through every retry —
+            # frame size never changes mid-chain.  (The position *is*
+            # re-read per attempt: the sender may have moved.)
+            airtime = self.airtime(frame)
+            kind = frame.kind
+            priority = not (
+                kind is FrameKind.DATA
+                or kind is FrameKind.PING_REQUEST
+                or kind is FrameKind.PING_REPLY
+            )
         granted, a, b = self.contention.acquire(
             sender_id, frame.channel, sx, sy, airtime, priority=priority
         )
         if not granted:
             self._tx_contending[sender_id] = frame
-            self.sim.schedule_at(
-                a, self._retry_contended, sender_id, frame, first_attempt_s, gen
+            # Fire-and-forget: stale retries are invalidated by the
+            # generation token, never cancelled, so no handle is needed.
+            self.sim.schedule_fire(
+                a,
+                self._retry_contended,
+                sender_id,
+                frame,
+                first_attempt_s,
+                gen,
+                airtime,
+                priority,
             )
             return a + airtime
         self._tx_contending.pop(sender_id, None)
@@ -629,7 +663,7 @@ class Medium:
         self.frames_sent += 1
         if start > first_attempt_s:
             self._note_backlog(frame.channel, start - first_attempt_s)
-        self.sim.schedule_at(
+        self.sim.schedule_fire(
             done + PROPAGATION_DELAY_S,
             self._deliver_contended,
             sender_id,
@@ -640,7 +674,13 @@ class Medium:
         return done
 
     def _retry_contended(
-        self, sender_id: str, frame: Frame, first_attempt_s: float, gen: int
+        self,
+        sender_id: str,
+        frame: Frame,
+        first_attempt_s: float,
+        gen: int,
+        airtime: Optional[float] = None,
+        priority: bool = False,
     ) -> None:
         """Re-contend for a deferred head frame."""
         if self._tx_gen.get(sender_id) != gen:
@@ -659,7 +699,7 @@ class Medium:
             self._tx_queues.pop(sender_id, None)
             self._tx_contending.pop(sender_id, None)
             return
-        self._transmit_contended(sender, frame, first_attempt_s)
+        self._transmit_contended(sender, frame, first_attempt_s, airtime, priority)
 
     def _advance_tx_queue(self, sender_id: str) -> None:
         """The head frame finished: promote the next queued frame, if any."""
@@ -687,9 +727,14 @@ class Medium:
         Receivers outside the interferer's footprint still hear it.  A
         unicast frame whose destination was wiped fails exactly like an
         out-of-range one (the ACK never comes back), and additionally
-        widens the sender's contention window.  Always the scalar scan:
-        per-frame interference geometry is not represented in the vector
-        index's precomputed survivor rows.
+        widens the sender's contention window.
+
+        When the vector index is engaged, receiver resolution goes
+        through the same survivor rows as the uncontended path (the rows
+        carry each receiver's position and exact distance, which is all
+        the per-receiver interference geometry needs) and
+        :meth:`_apply_contended` runs the contended tail; otherwise the
+        scalar candidate walk below does both.
         """
         sender = self._stations.get(sender_id)
         if sender is None:
@@ -700,6 +745,15 @@ class Medium:
             return
         contention = self.contention
         sx, sy = sender.position()
+        if self._vec is not None and len(self._stations) >= VECTOR_MIN_STATIONS:
+            self._apply_contended(
+                sender,
+                frame,
+                self._vec.survivors(sender_id, frame, sx, sy),
+                start,
+                done,
+            )
+            return
         receiver_reachable = False
         interfered_any = False
         loss_p = self._effective_loss(frame)
@@ -844,16 +898,17 @@ class Medium:
     def _apply(self, sender: Station, frame: Frame, survivors: List) -> None:
         """Deliver to a pre-resolved receiver list (the vector path's tail).
 
-        ``survivors`` holds ``(seq, station, rssi, ignores_beacons)`` rows
-        in registration order, every row already past the exact channel,
-        ``accepts`` and range predicates — so the loss draws taken here
-        consume the ``medium.loss`` stream exactly as the scalar scan in
-        :meth:`_deliver` does: one draw per in-range receiver, in
-        registration order, interleaved with the receiver callbacks just
-        like the scalar loop.  Beacon deliveries to stations declaring
-        ``ignores_beacons`` skip the no-op ``on_frame`` call — counters,
-        hooks, and the loss draw still happen, keeping every observable
-        identical.
+        ``survivors`` holds ``(seq, station, rssi, ignores_beacons, rx,
+        ry, distance)`` rows in registration order, every row already
+        past the exact channel, ``accepts`` and range predicates — so the
+        loss draws taken here consume the ``medium.loss`` stream exactly
+        as the scalar scan in :meth:`_deliver` does: one draw per
+        in-range receiver, in registration order, interleaved with the
+        receiver callbacks just like the scalar loop.  Beacon deliveries
+        to stations declaring ``ignores_beacons`` skip the no-op
+        ``on_frame`` call — counters, hooks, and the loss draw still
+        happen, keeping every observable identical.  (The position/
+        distance columns exist for :meth:`_apply_contended`.)
         """
         loss_p = self._effective_loss(frame)
         rng_random = self._rng.random
@@ -861,7 +916,7 @@ class Medium:
         beacon = frame.kind is FrameKind.BEACON
         lost = 0
         delivered = 0
-        for _seq, station, rssi, ignores_beacons in survivors:
+        for _seq, station, rssi, ignores_beacons, _rx, _ry, _dist in survivors:
             if rng_random() < loss_p:
                 lost += 1
                 continue
@@ -881,3 +936,69 @@ class Medium:
             failed = getattr(sender, "on_delivery_failed", None)
             if failed is not None:
                 failed(frame)
+
+    def _apply_contended(
+        self,
+        sender: Station,
+        frame: Frame,
+        survivors: List,
+        start: float,
+        done: float,
+    ) -> None:
+        """Contended delivery to pre-resolved receivers (vector tail).
+
+        Mirrors the scalar loop in :meth:`_deliver_contended` row for
+        row: survivor rows arrive in registration order with the exact
+        ``math.hypot`` distance the scalar walk would compute, each row
+        runs the same receiver-side :meth:`ContentionState.interfered`
+        check first (a wiped receiver consumes no loss draw), and the
+        collision/window/failed-delivery accounting at the tail is the
+        same code shape — so results, counters, and both RNG streams stay
+        byte-identical whichever path resolved the receivers.
+        """
+        contention = self.contention
+        sender_id = sender.station_id
+        channel = frame.channel
+        broadcast = frame.dst == BROADCAST
+        loss_p = self._effective_loss(frame)
+        rng_random = self._rng.random
+        hooks = self.delivery_hooks
+        beacon = frame.kind is FrameKind.BEACON
+        # Flags are precomputed per delivery (one batched state call):
+        # they consume no randomness and mid-delivery bookings can never
+        # overlap this delivery, so the early evaluation is invisible to
+        # the draw streams and the scalar walk's answers.
+        wiped = (
+            contention.interfered_rows(sender_id, channel, survivors, start, done)
+            if survivors
+            else ()
+        )
+        receiver_reachable = False
+        interfered_any = False
+        for hit, (_seq, station, rssi, ignores_beacons, _rx, _ry, _dist) in zip(
+            wiped, survivors
+        ):
+            if hit:
+                interfered_any = True
+                continue
+            receiver_reachable = True
+            if rng_random() < loss_p:
+                self.frames_lost += 1
+                self._obs_drops.inc()
+                continue
+            self.frames_delivered += 1
+            for hook in hooks:
+                hook(frame, station.station_id)
+            if beacon and ignores_beacons:
+                continue
+            station.on_frame(frame, rssi)
+        if interfered_any:
+            self.frames_collided += 1
+            contention.note_collision(
+                sender_id, frame_failed=not broadcast and not receiver_reachable
+            )
+        if not broadcast and not receiver_reachable:
+            failed = getattr(sender, "on_delivery_failed", None)
+            if failed is not None:
+                failed(frame)
+        self._advance_tx_queue(sender_id)

@@ -55,8 +55,19 @@ def mgmt_frame(src, dst, channel=1, kind=FrameKind.AUTH_REQUEST, size=80):
     return Frame(kind=kind, src=src, dst=dst, size=size, channel=channel)
 
 
-def contended_medium(sim, spec=None, loss_rate=0.0):
-    return Medium(sim, loss_rate=loss_rate, contention=spec or ContentionSpec())
+def contended_medium(sim, spec=None, loss_rate=0.0, contention_vector=None):
+    """A contended medium on whichever contention state the env picks.
+
+    The suite runs unchanged against the scalar and array-backed states
+    (CI's ``tier1-scalar`` job pins ``REPRO_CONTENTION_VECTOR=0``); tests
+    that poke scalar internals pin ``contention_vector=False``.
+    """
+    return Medium(
+        sim,
+        loss_rate=loss_rate,
+        contention=spec or ContentionSpec(),
+        contention_vector=contention_vector,
+    )
 
 
 @pytest.fixture
@@ -175,7 +186,7 @@ class TestCarrierSense:
         assert len(ra.received) == 1 and len(rb.received) == 1
 
     def test_adjacent_cell_sensed_but_only_own_cell_marked(self, sim):
-        medium = contended_medium(sim)
+        medium = contended_medium(sim, contention_vector=False)
         state = medium.contention
         granted, start, done = state.acquire("a", 1, 50.0, 0.0, 0.01)
         assert granted
@@ -186,6 +197,18 @@ class TestCarrierSense:
         # ...but only the sender's own cell carries the busy horizon.
         assert state._busy.get((1, 0, 0), 0.0) == done
         assert (1, 1, 0) not in state._busy
+
+    def test_sense_matches_scalar_neighbourhood_semantics(self, sim):
+        # Same sensed horizons on whichever state the env picked: a
+        # booking is heard one cell away but not two.
+        medium = contended_medium(sim)
+        state = medium.contention
+        granted, _start, done = state.acquire("a", 1, 50.0, 0.0, 0.01)
+        assert granted
+        assert state._sense(1, 1, 0) == done  # neighbour cell hears it
+        assert state._sense(1, 0, 0) == done  # own cell too
+        assert state._sense(1, 2, 0) == 0.0  # two cells out: idle air
+        assert state._sense(6, 0, 0) == 0.0  # other channel: idle air
 
 
 class TestHiddenTerminals:
@@ -344,7 +367,7 @@ class TestNicQueue:
         # 1 ms slots stretch data backoff well past the mgmt frame's
         # turnaround; cw_mgmt=1 makes the mgmt grant time deterministic.
         spec = ContentionSpec(slot_time_s=1e-3, cw_mgmt=1)
-        medium = contended_medium(sim, spec=spec)
+        medium = contended_medium(sim, spec=spec, contention_vector=False)
         p = FakeStation("p", x=250.0)  # two cells away: hidden from cell 0
         o = FakeStation("o", x=10.0)
         a = FakeStation("a", x=12.0)

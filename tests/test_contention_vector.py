@@ -1,0 +1,583 @@
+"""Array-backed contention state: toggle, fallback, and byte-identity.
+
+The PR-10 tentpole (:mod:`repro.sim.contention_vec`) is only admissible
+because it is semantics-preserving: every grant, deferral, backoff draw,
+collision, and deterministic telemetry counter must match the scalar
+:class:`~repro.sim.contention.ContentionState` bit for bit.  These tests
+pin the unit contract (env decode, numpy fallback and its obs counter,
+sense/interference equivalence on hand-built geometries including the
+capture boundary), the O(channels) ``busy_until`` regression, and the
+trial-scale contract: hypothesis-driven contended dense-town runs whose
+results *and* deterministic telemetry exports are compared byte for byte
+across the scalar and vector paths.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from contextlib import contextmanager
+
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.sim import contention_vec
+from repro.sim.contention import ContentionSpec, ContentionState
+from repro.sim.contention_vec import (
+    CONTENTION_VECTOR_ENV,
+    VEC_MIN_FLIGHTS,
+    ContentionVecState,
+    make_contention_state,
+    vector_contention_enabled,
+)
+from repro.sim.engine import Simulator
+from repro.sim.frames import Frame, FrameKind
+from repro.sim.radio import Medium
+
+
+def data_frame(src, dst, channel=1, size=1452):
+    return Frame(kind=FrameKind.DATA, src=src, dst=dst, size=size, channel=channel)
+
+
+class FakeStation:
+    def __init__(self, station_id, x=0.0, y=0.0, channel=1):
+        self.station_id = station_id
+        self.x, self.y = x, y
+        self.channel = channel
+        self.received = []
+        self.failed = []
+
+    def position(self):
+        return (self.x, self.y)
+
+    def tuned_channel(self):
+        return self.channel
+
+    def accepts(self, dst):
+        return dst == self.station_id
+
+    def on_frame(self, frame, rssi):
+        self.received.append((frame.src, frame.kind, rssi))
+
+    def on_delivery_failed(self, frame):
+        self.failed.append(frame.src)
+
+
+def contended_medium(sim, contention_vector=None, loss_rate=0.0):
+    return Medium(
+        sim,
+        loss_rate=loss_rate,
+        contention=ContentionSpec(),
+        contention_vector=contention_vector,
+    )
+
+
+class TestEnvToggle:
+    def test_default_is_on(self):
+        assert vector_contention_enabled(None) is True
+
+    @pytest.mark.parametrize("token", ["0", "off", "OFF", "false", "no", " 0 "])
+    def test_falsey_tokens_disable(self, token):
+        assert vector_contention_enabled(token) is False
+
+    @pytest.mark.parametrize("token", ["1", "on", "true", "yes", "", "anything"])
+    def test_other_tokens_enable(self, token):
+        assert vector_contention_enabled(token) is True
+
+
+class TestMakeContentionState:
+    def _medium(self):
+        sim = Simulator(seed=7)
+        return Medium(sim, contention=ContentionSpec())
+
+    def test_pinned_scalar(self):
+        state, fell_back = make_contention_state(
+            self._medium(), ContentionSpec(), vector=False
+        )
+        assert type(state) is ContentionState
+        assert not state.is_vector
+        assert not fell_back
+
+    @pytest.mark.skipif(
+        contention_vec._np is None, reason="vector state requires numpy"
+    )
+    def test_pinned_vector(self):
+        state, fell_back = make_contention_state(
+            self._medium(), ContentionSpec(), vector=True
+        )
+        assert isinstance(state, ContentionVecState)
+        assert state.is_vector
+        assert not fell_back
+
+    def test_env_off_pins_scalar(self, monkeypatch):
+        monkeypatch.setenv(CONTENTION_VECTOR_ENV, "0")
+        state, fell_back = make_contention_state(self._medium(), ContentionSpec())
+        assert type(state) is ContentionState
+        assert not fell_back
+
+    def test_missing_numpy_falls_back(self, monkeypatch):
+        monkeypatch.setattr(contention_vec, "_np", None)
+        state, fell_back = make_contention_state(
+            self._medium(), ContentionSpec(), vector=True
+        )
+        assert type(state) is ContentionState
+        assert fell_back
+
+    def test_missing_numpy_scalar_pin_is_not_a_fallback(self, monkeypatch):
+        monkeypatch.setattr(contention_vec, "_np", None)
+        state, fell_back = make_contention_state(
+            self._medium(), ContentionSpec(), vector=False
+        )
+        assert not fell_back
+
+
+class TestFallbackCounter:
+    def test_fallback_counted_on_medium(self, monkeypatch):
+        monkeypatch.setattr(contention_vec, "_np", None)
+        tele = Telemetry(enabled=True, key=("cv-fallback",))
+        sim = Simulator(seed=0, telemetry=tele)
+        medium = contended_medium(sim, contention_vector=True)
+        assert medium.vector_contention is False
+        assert tele.counter("contention.vector_fallbacks").value == 1
+
+    @pytest.mark.skipif(
+        contention_vec._np is None, reason="vector state requires numpy"
+    )
+    def test_no_fallback_with_numpy(self):
+        tele = Telemetry(enabled=True, key=("cv-ok",))
+        sim = Simulator(seed=0, telemetry=tele)
+        medium = contended_medium(sim, contention_vector=True)
+        assert medium.vector_contention is True
+        assert tele.counter("contention.vector_fallbacks").value == 0
+
+    def test_fallback_counter_is_not_deterministic(self, monkeypatch):
+        """The fallback count depends on the host (numpy present or not),
+        so it must be excluded from the deterministic projection."""
+        monkeypatch.setattr(contention_vec, "_np", None)
+        tele = Telemetry(enabled=True, key=("cv-det",))
+        sim = Simulator(seed=0, telemetry=tele)
+        contended_medium(sim, contention_vector=True)
+        det = tele.snapshot().deterministic()
+        names = {name for name, _ in det.counters}
+        assert "contention.vector_fallbacks" not in names
+
+
+needs_numpy = pytest.mark.skipif(
+    contention_vec._np is None, reason="vector state requires numpy"
+)
+
+
+@needs_numpy
+class TestSenseGridEquivalence:
+    """Hand-built geometry: grids and dicts must sense the same air."""
+
+    def _states(self):
+        states = []
+        for vector in (False, True):
+            sim = Simulator(seed=3)
+            medium = contended_medium(sim, contention_vector=vector)
+            states.append(medium.contention)
+        return states
+
+    def test_booked_neighbourhood_senses_identically(self):
+        scalar, vector = self._states()
+        bookings = [(1, 50.0, 0.0, 0.011), (1, 350.0, 0.0, 0.007), (6, 50.0, 0.0, 0.02)]
+        for channel, x, y, airtime in bookings:
+            for state in (scalar, vector):
+                granted, start, done = state.acquire("s", channel, x, y, airtime)
+                assert granted
+        for channel in (1, 6, 11):
+            for cx in range(-2, 8):
+                for cy in range(-2, 3):
+                    assert scalar._sense(channel, cx, cy) == vector._sense(
+                        channel, cx, cy
+                    ), (channel, cx, cy)
+            assert scalar.busy_until(channel) == vector.busy_until(channel)
+
+    def test_grid_growth_preserves_bookings(self):
+        _, vector = self._states()
+        # Book far apart so the channel grid must regrow, then re-sense
+        # the original cell: growth must preserve the propagated max.
+        granted, _, done_a = vector.acquire("a", 1, 0.0, 0.0, 0.01)
+        assert granted
+        granted, _, done_b = vector.acquire("b", 1, 5000.0, 5000.0, 0.02)
+        assert granted
+        assert vector._sense(1, 0, 0) == done_a
+        assert vector._sense(1, 50, 50) == done_b
+        assert vector.busy_until(1) == max(done_a, done_b)
+
+    def test_sense_returns_python_floats(self):
+        _, vector = self._states()
+        vector.acquire("a", 1, 0.0, 0.0, 0.01)
+        sensed = vector._sense(1, 0, 0)
+        assert type(sensed) is float  # np.float64 must never leak out
+
+
+@needs_numpy
+class TestInterferenceEquivalence:
+    """The capture-bound prefilter must agree with the exact scalar scan,
+    including exactly on the capture boundary."""
+
+    def _states(self, flights):
+        states = []
+        for vector in (False, True):
+            sim = Simulator(seed=5)
+            medium = contended_medium(sim, contention_vector=vector)
+            state = medium.contention
+            for cell, cell_flights in flights.items():
+                state._inflight[cell] = list(cell_flights)
+            states.append(state)
+        return states
+
+    def _agree(self, states, sender_id, channel, rx, ry, start, done, distance):
+        scalar, vector = states
+        a = scalar.interfered(sender_id, channel, rx, ry, start, done, distance)
+        b = vector.interfered(sender_id, channel, rx, ry, start, done, distance)
+        assert a == b, (rx, ry, distance)
+        return a
+
+    def test_exact_capture_boundary(self):
+        # Sender 30 m out: capture bound = min(100, 2.5 * 30) = 75 m.
+        # An interferer at exactly 75 m is inside (<=); at the next float
+        # out it is not.  Both states must make the same call.
+        states = self._states(
+            {(1, 0, 0): [(0.0, 0.001, "far", 75.0, 0.0)]}
+        )
+        assert self._agree(states, "s", 1, 0.0, 0.0, 0.0, 0.0005, 30.0) is True
+        states = self._states(
+            {(1, 0, 0): [(0.0, 0.001, "far", math.nextafter(75.0, 100.0), 0.0)]}
+        )
+        assert self._agree(states, "s", 1, 0.0, 0.0, 0.0, 0.0005, 30.0) is False
+
+    def test_colocated_sender_zero_capture(self):
+        # Receiver on top of its sender: capture bound collapses to 0 —
+        # only an interferer at the exact same point can wipe it.
+        at_rx = {(1, 0, 0): [(0.0, 0.001, "far", 10.0, 20.0)]}
+        states = self._states(at_rx)
+        assert self._agree(states, "s", 1, 10.0, 20.0, 0.0, 0.0005, 0.0) is True
+        near = {(1, 0, 0): [(0.0, 0.001, "far", 10.0 + 1e-9, 20.0)]}
+        states = self._states(near)
+        assert self._agree(states, "s", 1, 10.0, 20.0, 0.0, 0.0005, 0.0) is False
+
+    def test_own_flights_and_nonoverlapping_windows_ignored(self):
+        flights = [
+            (0.0, 0.001, "s", 1.0, 0.0),  # own transmission
+            (0.002, 0.003, "far", 1.0, 0.0),  # starts after done
+            (-0.002, -0.001, "far", 1.0, 0.0),  # ended before start
+        ]
+        states = self._states({(1, 0, 0): flights})
+        assert self._agree(states, "s", 1, 0.0, 0.0, 0.0, 0.0015, 40.0) is False
+
+    def test_numpy_path_engages_and_agrees(self):
+        # Enough overlapping foreign flights to cross VEC_MIN_FLIGHTS:
+        # the vector state screens with arrays, the scalar state walks —
+        # answers must agree for receivers straddling the reach boundary.
+        n = VEC_MIN_FLIGHTS + 4
+        flights = [
+            (0.0, 0.001, f"f{i}", 200.0 + 3.0 * i, 0.0) for i in range(n)
+        ]
+        states = self._states({(1, 2, 0): flights})
+        scalar, vector = states
+        for rx in (200.0, 230.0, 260.0, 290.0):
+            a = scalar.interfered("s", 1, rx, 0.0, 0.0, 0.0005, 38.0)
+            b = vector.interfered("s", 1, rx, 0.0, 0.0, 0.0005, 38.0)
+            assert a == b, rx
+
+    def test_interfered_rows_matches_single_calls(self):
+        n = VEC_MIN_FLIGHTS + 4
+        flights = [
+            (0.0, 0.001, f"f{i}", 200.0 + 3.0 * i, 0.0) for i in range(n)
+        ]
+        states = self._states({(1, 2, 0): flights})
+        rows = [
+            (i, None, -50.0, False, rx, 0.0, d)
+            for i, (rx, d) in enumerate(
+                [(205.0, 10.0), (230.0, 38.0), (260.0, 38.0), (295.0, 90.0)]
+            )
+        ]
+        for state in states:
+            batched = state.interfered_rows("s", 1, rows, 0.0, 0.0005)
+            singles = [
+                state.interfered("s", 1, r[4], r[5], 0.0, 0.0005, r[6])
+                for r in rows
+            ]
+            assert batched == singles
+
+
+class TestBusyUntilComplexity:
+    class _NoIterDict(dict):
+        """A _busy stand-in that forbids whole-table walks."""
+
+        def values(self):  # pragma: no cover - the assertion is the point
+            raise AssertionError("busy_until must not walk _busy")
+
+        def items(self):  # pragma: no cover
+            raise AssertionError("busy_until must not walk _busy")
+
+        def __iter__(self):  # pragma: no cover
+            raise AssertionError("busy_until must not walk _busy")
+
+    def test_scalar_busy_until_is_o_channels(self):
+        sim = Simulator(seed=9)
+        medium = contended_medium(sim, contention_vector=False)
+        state = medium.contention
+        dones = []
+        for i in range(40):
+            granted, _, done = state.acquire(f"s{i}", 1, 1000.0 * i, 0.0, 0.01 + i * 1e-4)
+            assert granted
+            dones.append(done)
+        state._busy = self._NoIterDict(state._busy)
+        assert state.busy_until(1) == max(dones)
+        assert state.busy_until(6) == 0.0
+
+    @needs_numpy
+    def test_vector_busy_until_matches_scalar(self):
+        results = []
+        for vector in (False, True):
+            sim = Simulator(seed=9)
+            medium = contended_medium(sim, contention_vector=vector)
+            state = medium.contention
+            for i in range(10):
+                state.acquire(f"s{i}", 1, 400.0 * i, 0.0, 0.005)
+                state.acquire(f"m{i}", 6, 400.0 * i, 0.0, 0.002)
+            results.append((state.busy_until(1), state.busy_until(6), state.busy_until(11)))
+        assert results[0] == results[1]
+
+
+@needs_numpy
+class TestEndToEndTraceEquality:
+    """Whole contended runs on hand-built worlds, scalar vs vector."""
+
+    def _run(self, vector, loss_rate=0.3, seed=11):
+        sim = Simulator(seed=seed)
+        medium = contended_medium(sim, contention_vector=vector, loss_rate=loss_rate)
+        stations = []
+        # A corridor of cells with hidden-terminal geometry plus two
+        # bystander receivers per cell — enough traffic to defer, carry
+        # flights, and wipe receivers on both paths.
+        for i in range(6):
+            x = 95.0 + 105.0 * i
+            stations.append(FakeStation(f"tx{i}", x=x))
+            stations.append(FakeStation(f"rx{i}", x=x + 60.0))
+        for s in stations:
+            medium.register(s)
+        for burst in range(3):
+            for i in range(6):
+                medium.transmit(
+                    stations[2 * i], data_frame(f"tx{i}", f"rx{i}", size=600 + 200 * burst)
+                )
+        sim.run(until=2.0)
+        state = medium.contention
+        return (
+            [(s.station_id, s.received, s.failed) for s in stations],
+            medium.frames_delivered,
+            medium.frames_lost,
+            medium.frames_collided,
+            state.grants,
+            state.deferrals,
+            state.collisions,
+            dict(state.collisions_by_sender),
+            {c: round(v, 12) for c, v in state.airtime_s_by_channel.items()},
+        )
+
+    def test_traces_identical(self):
+        assert self._run(False) == self._run(True)
+
+    def test_traces_identical_lossless(self):
+        assert self._run(False, loss_rate=0.0, seed=4) == self._run(
+            True, loss_rate=0.0, seed=4
+        )
+
+
+# ----------------------------------------------------------------------
+# Trial scale: whole contended town drives, scalar vs array-backed state.
+
+from dataclasses import replace  # noqa: E402
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.schedule import OperationMode  # noqa: E402
+from repro.experiments.api import to_jsonable  # noqa: E402
+from repro.experiments.common import TownTrialSpec, run_town_trial_spec  # noqa: E402
+from repro.experiments.dense_town import (  # noqa: E402
+    DenseTownSpec,
+    _vector_env,
+    run_dense_trial,
+    run_spec,
+)
+from repro.experiments.town_runs import spider_factory  # noqa: E402
+from repro.obs.export import build_payload, collect_snapshots  # noqa: E402
+from repro.sim import radio  # noqa: E402
+from repro.sim.faults import ApFlap, DhcpStall, FaultPlan, RandomOutages  # noqa: E402
+
+
+@contextmanager
+def _both_paths_env(vector):
+    """Pin the medium AND contention path envs for one trial body.
+
+    ``_vector_env`` covers ``REPRO_MEDIUM_VECTOR`` only; the envelope
+    property runs identical specs (``vector=None``/``contention_vector=
+    None``) both ways so the serialized spec matches byte for byte, which
+    means both toggles must come from the environment.
+    """
+    before = os.environ.get(CONTENTION_VECTOR_ENV)
+    os.environ[CONTENTION_VECTOR_ENV] = "1" if vector else "0"
+    try:
+        with _vector_env(vector):
+            yield
+    finally:
+        if before is None:
+            os.environ.pop(CONTENTION_VECTOR_ENV, None)
+        else:
+            os.environ[CONTENTION_VECTOR_ENV] = before
+
+#: Small-but-contended: dense enough that flights stack, defers fire, and
+#: the vectorized medium engages at the real thresholds, small enough to
+#: run twice per regime.
+CONTENDED_DENSE = DenseTownSpec(
+    duration_s=1.5,
+    town="city",
+    n_vehicles=3,
+    loop_length_m=1500.0,
+    ap_density_per_km=80.0,
+    telemetry=True,
+    contention=ContentionSpec(),
+)
+
+
+def _dense_pair(spec, seed=0):
+    """One contended dense trial per code path, same seed."""
+    scalar = run_dense_trial(
+        replace(spec, vector=False, contention_vector=False), seed=seed
+    )
+    vector = run_dense_trial(
+        replace(spec, vector=True, contention_vector=True), seed=seed
+    )
+    return scalar, vector
+
+
+@needs_numpy
+class TestContendedTrialBitIdentity:
+    """Dense-town regimes: results AND deterministic telemetry match."""
+
+    def _assert_identical(self, spec, seed=0):
+        scalar, vector = _dense_pair(spec, seed=seed)
+        assert scalar == vector  # dataclass equality: bit-for-bit floats
+        assert scalar.telemetry is not None
+        assert scalar.frames_delivered > 0
+
+    def test_static_fleet(self):
+        """Speed 0: every sender re-contends from a frozen position, so
+        the sense grid and flight cells never churn spatially."""
+        self._assert_identical(replace(CONTENDED_DENSE, speed_mps=0.0))
+
+    def test_mobile_fleet(self):
+        self._assert_identical(CONTENDED_DENSE, seed=1)
+
+    def test_clustered_lossy_world(self):
+        """Clustered AP drops pile flights into few cells (deep scans on
+        both paths) while loss draws interleave with backoff draws."""
+        self._assert_identical(
+            replace(CONTENDED_DENSE, clustered=True, loss_rate=0.25), seed=2
+        )
+
+    def test_staggered_vs_colocated_starts(self):
+        """The stagger regime both ways: the default drive staggers
+        ``start_arc_m`` around the loop; pinning the loop short packs the
+        staggered vehicles into adjacent cells instead, so both the
+        spread and the crowded geometry must agree."""
+        self._assert_identical(replace(CONTENDED_DENSE, loop_length_m=900.0), seed=3)
+
+
+@needs_numpy
+class TestContendedFaultPlanIdentity:
+    """A full fault plan on a contended amherst drive, both paths."""
+
+    def _run(self, monkeypatch, vector):
+        monkeypatch.setenv(radio.VECTOR_ENV, "1" if vector else "0")
+        monkeypatch.setenv(CONTENTION_VECTOR_ENV, "1" if vector else "0")
+        monkeypatch.setattr(radio, "VECTOR_MIN_STATIONS", 0)
+        plan = FaultPlan(
+            events=(
+                ApFlap(start_s=5.0, count=2, down_s=3.0, up_s=4.0),
+                DhcpStall(at_s=12.0, duration_s=6.0),
+                RandomOutages(start_s=0.0, end_s=30.0, rate_per_min=2.0),
+            )
+        )
+        spec = TownTrialSpec(
+            factory=spider_factory(OperationMode.single_channel(1), 7),
+            label="contended-faults",
+            seed=2,
+            duration_s=30.0,
+            telemetry=True,
+            contention=ContentionSpec(),
+            faults=plan,
+        )
+        return run_town_trial_spec(spec)
+
+    def test_fault_plan_trace_identical(self, monkeypatch):
+        import pickle
+
+        scalar = self._run(monkeypatch, False)
+        vector = self._run(monkeypatch, True)
+        assert pickle.dumps(replace(scalar, telemetry=None)) == pickle.dumps(
+            replace(vector, telemetry=None)
+        )
+        assert scalar.telemetry is not None
+        assert pickle.dumps(scalar.telemetry.deterministic()) == pickle.dumps(
+            vector.telemetry.deterministic()
+        )
+
+
+@needs_numpy
+class TestContendedRandomGridProperty:
+    """Hypothesis: contended byte-identity over arbitrary dense grids.
+
+    The strongest form of the contract: the whole experiment envelope
+    (JSON) and the deterministic telemetry export payload are serialized
+    and compared as bytes, over random world geometry, loss, clustering,
+    and fleet size — the same surface users diff between runs.
+    """
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        loop_length_m=st.sampled_from([1200.0, 1500.0, 1800.0]),
+        ap_density_per_km=st.sampled_from([60.0, 80.0, 100.0]),
+        loss_rate=st.sampled_from([0.0, 0.1, 0.25]),
+        clustered=st.booleans(),
+        n_vehicles=st.integers(min_value=2, max_value=3),
+    )
+    def test_random_contended_grid_byte_identity(
+        self, seed, loop_length_m, ap_density_per_km, loss_rate, clustered, n_vehicles
+    ):
+        spec = DenseTownSpec(
+            seeds=(seed,),
+            duration_s=1.2,
+            town="city",
+            n_vehicles=n_vehicles,
+            loop_length_m=loop_length_m,
+            ap_density_per_km=ap_density_per_km,
+            loss_rate=loss_rate,
+            clustered=clustered,
+            telemetry=True,
+            contention=ContentionSpec(),
+        )
+        dumps = {}
+        for vector in (False, True):
+            with _both_paths_env(vector):
+                envelope = run_spec(spec)
+            assert envelope.ok
+            dumps[vector] = (
+                json.dumps(to_jsonable(envelope), sort_keys=True).encode(),
+                json.dumps(
+                    build_payload(collect_snapshots(envelope.value)), sort_keys=True
+                ).encode(),
+            )
+        assert dumps[False] == dumps[True]

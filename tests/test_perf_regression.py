@@ -39,10 +39,28 @@ class TestIterRates:
                 "c": {"speedup": 2.0},
             }
         }
+        # Speedup ratios are gateable (so --strict can pin them) but the
+        # default compare() sweep skips them — see the strict-only tests.
         assert dict(check.iter_rates(data)) == {
             "a.events_per_sec": 10.0,
             "b.serial_events_per_sec": 5.0,
+            "c.speedup": 2.0,
         }
+
+    def test_speedup_skipped_by_default_sweep(self):
+        data = {"results": {"c": {"speedup": 2.0}}}
+        passed, regressed = check.compare(
+            data, {"results": {"c": {"speedup": 1.0}}}, threshold=0.10
+        )
+        assert not passed and not regressed
+
+    def test_speedup_gated_when_pinned_strict(self):
+        base = {"results": {"c": {"speedup": 2.0}}}
+        cur = {"results": {"c": {"speedup": 1.0}}}
+        passed, regressed = check.compare(
+            base, cur, threshold=0.10, strict={"c.speedup": 0.2}
+        )
+        assert "c.speedup" in regressed and not passed
 
     def test_ignores_non_dict_results(self):
         assert dict(check.iter_rates({"results": {"a": 3}})) == {}
